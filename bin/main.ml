@@ -1,0 +1,260 @@
+(* unroll-ml: command-line front end for the CGO 2005 reproduction.
+
+   Subcommands mirror the workflow of the paper: generate and label the
+   workload ([dataset]), inspect a single loop through the whole pipeline
+   ([inspect]), run any table/figure reproduction ([experiment]), and train
+   or query predictors ([predict]). *)
+
+open Cmdliner
+
+let config_of ~fast ~scale ~seed ~machine ~runs ~noise =
+  let base = if fast then Config.fast else Config.default in
+  let machine =
+    match Machine.by_name machine with
+    | Some m -> m
+    | None ->
+      Printf.eprintf "unknown machine '%s'; available:%s\n" machine
+        (String.concat "" (List.map (fun m -> " " ^ m.Machine.mach_name) Machine.all));
+      exit 2
+  in
+  {
+    base with
+    Config.scale = Option.value scale ~default:base.Config.scale;
+    seed = Option.value seed ~default:base.Config.seed;
+    machine;
+    runs = Option.value runs ~default:base.Config.runs;
+    noise = Option.value noise ~default:base.Config.noise;
+  }
+
+(* Shared flags *)
+let fast_flag =
+  Arg.(value & flag & info [ "fast" ] ~doc:"Use the reduced configuration (same as FAST=1).")
+
+let scale_opt =
+  Arg.(value & opt (some float) None & info [ "scale" ] ~docv:"S" ~doc:"Workload scale multiplier.")
+
+let seed_opt =
+  Arg.(value & opt (some int) None & info [ "seed" ] ~docv:"N" ~doc:"Master workload seed.")
+
+let machine_opt =
+  Arg.(value & opt string "itanium2" & info [ "machine" ] ~docv:"NAME" ~doc:"Target machine model.")
+
+let runs_opt =
+  Arg.(value & opt (some int) None & info [ "runs" ] ~docv:"N" ~doc:"Measurement repetitions per configuration.")
+
+let noise_opt =
+  Arg.(value & opt (some float) None & info [ "noise" ] ~docv:"F" ~doc:"Relative measurement noise.")
+
+let config_term =
+  Term.(
+    const (fun fast scale seed machine runs noise ->
+        config_of ~fast ~scale ~seed ~machine ~runs ~noise)
+    $ fast_flag $ scale_opt $ seed_opt $ machine_opt $ runs_opt $ noise_opt)
+
+(* dataset *)
+let dataset_cmd =
+  let output =
+    Arg.(value & opt string "dataset.csv" & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output CSV path.")
+  in
+  let swp =
+    Arg.(value & flag & info [ "swp" ] ~doc:"Label with software pipelining enabled.")
+  in
+  let run config output swp =
+    let benchmarks = Suite.full ~scale:config.Config.scale ~seed:config.Config.seed in
+    let labeled = Labeling.collect config ~swp benchmarks in
+    let ds = Labeling.to_dataset config labeled in
+    Dataset.to_csv ds output;
+    Printf.printf "wrote %d labelled loops (of %d measured) to %s\n" (Dataset.size ds)
+      (List.length labeled) output
+  in
+  Cmd.v
+    (Cmd.info "dataset" ~doc:"Generate the 72-benchmark suite, label every loop, write a CSV.")
+    Term.(const run $ config_term $ output $ swp)
+
+(* experiment *)
+let experiment_cmd =
+  let which =
+    let all = [ "fig1"; "fig2"; "fig3"; "table2"; "table3"; "table4"; "fig4"; "fig5"; "summary"; "ablations"; "all" ] in
+    Arg.(
+      required
+      & pos 0 (some (enum (List.map (fun s -> (s, s)) all))) None
+      & info [] ~docv:"EXPERIMENT" ~doc:"One of fig1 fig2 fig3 table2 table3 table4 fig4 fig5 summary ablations all.")
+  in
+  let run config which =
+    let env = Experiments.build_env config in
+    let out =
+      match which with
+      | "fig1" -> Experiments.fig1 env
+      | "fig2" -> Experiments.fig2 env
+      | "fig3" -> Experiments.fig3 env
+      | "table2" -> Experiments.table2 env
+      | "table3" -> Experiments.table3 env
+      | "table4" -> Experiments.table4 env
+      | "fig4" -> Experiments.fig4 env
+      | "fig5" -> Experiments.fig5 env
+      | "summary" -> Experiments.summary env
+      | "ablations" -> Experiments.ablations env
+      | _ -> Experiments.all env
+    in
+    print_string out
+  in
+  Cmd.v
+    (Cmd.info "experiment" ~doc:"Reproduce a table or figure from the paper.")
+    Term.(const run $ config_term $ which)
+
+(* inspect *)
+let inspect_cmd =
+  let kernel =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"KERNEL" ~doc:"Kernel name (see `unroll-ml kernels`).")
+  in
+  let trip =
+    Arg.(value & opt int 512 & info [ "trip" ] ~docv:"N" ~doc:"Runtime trip count.")
+  in
+  let factor =
+    Arg.(value & opt (some int) None & info [ "unroll" ] ~docv:"U" ~doc:"Unroll factor to show (default: sweep all).")
+  in
+  let swp = Arg.(value & flag & info [ "swp" ] ~doc:"Software pipelining enabled.") in
+  let run config kernel trip factor swp =
+    match List.assoc_opt kernel Kernels.all with
+    | None ->
+      Printf.eprintf "unknown kernel '%s'; try `unroll-ml kernels`\n" kernel;
+      exit 2
+    | Some maker ->
+      let loop = maker ~name:kernel ~trip in
+      Format.printf "%a@." Pretty.pp_loop loop;
+      let features = Features.extract config.Config.machine loop in
+      Format.printf "features:@.";
+      Array.iteri
+        (fun i v -> Format.printf "  %-26s %g@." Features.names.(i) v)
+        features;
+      let factors = match factor with Some u -> [ u ] | None -> List.init 8 (fun i -> i + 1) in
+      List.iter
+        (fun u ->
+          let exe = Simulator.compile config.Config.machine ~swp loop u in
+          let state = Simulator.create_state config.Config.machine in
+          ignore (Simulator.run state exe);
+          let cycles = Simulator.run state exe in
+          let kind =
+            match exe.Simulator.schedules with
+            | (s, _, _) :: _ -> begin
+              match s.Schedule.kind with
+              | Schedule.Straight -> Printf.sprintf "straight len=%d" s.Schedule.length
+              | Schedule.Pipelined { ii; stages } -> Printf.sprintf "pipelined II=%d stages=%d" ii stages
+            end
+            | [] -> "?"
+          in
+          Format.printf "u=%d: %d cycles (%s, %d spills, %dB code)@." u cycles kind
+            exe.Simulator.total_spills exe.Simulator.total_code_bytes)
+        factors;
+      let orc = Orc_heuristic.predict config.Config.machine ~swp loop in
+      Format.printf "ORC heuristic picks u=%d@." orc
+  in
+  Cmd.v
+    (Cmd.info "inspect" ~doc:"Compile and simulate one kernel across unroll factors.")
+    Term.(const run $ config_term $ kernel $ trip $ factor $ swp)
+
+(* export *)
+let export_cmd =
+  let output =
+    Arg.(value & opt string "loops.txt" & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output path.")
+  in
+  let what =
+    Arg.(
+      value
+      & opt (enum [ ("suite", `Suite); ("kernels", `Kernels) ]) `Kernels
+      & info [ "what" ] ~docv:"WHAT" ~doc:"'kernels' (default) or the full 'suite'.")
+  in
+  let run config output what =
+    let loops =
+      match what with
+      | `Kernels ->
+        List.map (fun (name, maker) -> maker ~name ~trip:256) Kernels.all
+      | `Suite ->
+        List.map snd
+          (Suite.all_loops (Suite.full ~scale:config.Config.scale ~seed:config.Config.seed))
+    in
+    let oc = open_out output in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () ->
+        List.iter
+          (fun l ->
+            output_string oc (Loop_text.to_string l);
+            output_char oc '\n')
+          loops);
+    Printf.printf "wrote %d loops to %s\n" (List.length loops) output
+  in
+  Cmd.v
+    (Cmd.info "export"
+       ~doc:"Write loops in the textual format (the paper's released raw loop data).")
+    Term.(const run $ config_term $ output $ what)
+
+(* inspect-file *)
+let inspect_file_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"A .loop file (see `unroll-ml export`).")
+  in
+  let swp = Arg.(value & flag & info [ "swp" ] ~doc:"Software pipelining enabled.") in
+  let run config file swp =
+    let contents =
+      let ic = open_in_bin file in
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    match Loop_text.parse_many contents with
+    | Error e ->
+      Printf.eprintf "parse error: %s\n" e;
+      exit 2
+    | Ok loops ->
+      List.iter
+        (fun loop ->
+          Format.printf "%a@." Pretty.pp_loop loop;
+          for u = 1 to Unroll.max_factor do
+            let exe = Simulator.compile config.Config.machine ~swp loop u in
+            let state = Simulator.create_state config.Config.machine in
+            ignore (Simulator.run state exe);
+            let cycles = Simulator.run state exe in
+            Format.printf "  u=%d: %d cycles@." u cycles
+          done;
+          Format.printf "  ORC heuristic picks u=%d@.@."
+            (Orc_heuristic.predict config.Config.machine ~swp loop))
+        loops
+  in
+  Cmd.v
+    (Cmd.info "inspect-file" ~doc:"Parse loops from the textual format and sweep them.")
+    Term.(const run $ config_term $ file $ swp)
+
+(* kernels *)
+let kernels_cmd =
+  let run () =
+    List.iter (fun (name, _) -> print_endline name) Kernels.all
+  in
+  Cmd.v (Cmd.info "kernels" ~doc:"List the built-in kernel loops.") Term.(const run $ const ())
+
+(* machines *)
+let machines_cmd =
+  let run () =
+    List.iter
+      (fun m ->
+        Printf.printf "%-10s %d-issue M%d I%d F%d B%d, %d/%d regs, L1D %dKB\n"
+          m.Machine.mach_name m.Machine.issue_width m.Machine.m_units m.Machine.i_units
+          m.Machine.f_units m.Machine.b_units m.Machine.int_regs m.Machine.fp_regs
+          (m.Machine.l1d.Machine.size_bytes / 1024))
+      Machine.all
+  in
+  Cmd.v (Cmd.info "machines" ~doc:"List the machine models.") Term.(const run $ const ())
+
+let main =
+  Cmd.group
+    (Cmd.info "unroll-ml" ~version:"1.0.0"
+       ~doc:"Predicting unroll factors using supervised classification (CGO 2005 reproduction).")
+    [
+      dataset_cmd; experiment_cmd; inspect_cmd; inspect_file_cmd; export_cmd;
+      kernels_cmd; machines_cmd;
+    ]
+
+let () = exit (Cmd.eval main)

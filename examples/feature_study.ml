@@ -1,0 +1,69 @@
+(* Feature study: which loop characteristics actually predict the best
+   unroll factor?  Reproduces the paper's §7 methodology on a reduced
+   dataset: mutual information scores, then greedy forward selection for
+   both classifiers, then a comparison of classification accuracy with all
+   38 features vs the selected subset — the paper's observation that a
+   well-chosen subset beats the full set.
+
+   Run with: dune exec examples/feature_study.exe *)
+
+let () =
+  let config = { Config.fast with Config.scale = 0.2; runs = 5 } in
+  Printf.eprintf "labelling (a minute or so at this scale)...\n%!";
+  let benchmarks = Suite.full ~scale:config.Config.scale ~seed:config.Config.seed in
+  let labeled = Labeling.collect config ~swp:false benchmarks in
+  let dataset = Labeling.to_dataset config labeled in
+  Printf.printf "dataset: %d loops, %d features\n\n" (Dataset.size dataset) Features.count;
+
+  (* --- mutual information --- *)
+  let ranked = Mis.rank dataset in
+  print_endline "top 10 features by mutual information score:";
+  Array.iteri
+    (fun i (j, s) ->
+      if i < 10 then
+        Printf.printf "  %2d. %-26s %.3f bits\n" (i + 1) dataset.Dataset.feature_names.(j) s)
+    ranked;
+
+  (* --- greedy selection --- *)
+  let scaled = Scale.apply (Scale.fit dataset) dataset in
+  let nn_picks =
+    Greedy_select.run ~n_features:Features.count ~k:5
+      ~error:(Greedy_select.nn_training_error scaled)
+  in
+  print_endline "\ngreedy selection for 1-NN (feature, training error so far):";
+  List.iter
+    (fun (j, e) -> Printf.printf "  %-26s %.3f\n" dataset.Dataset.feature_names.(j) e)
+    nn_picks;
+  let svm_picks =
+    Greedy_select.run ~n_features:Features.count ~k:5
+      ~error:
+        (Greedy_select.svm_training_error ~kernel:config.Config.svm_kernel
+           ~gamma:config.Config.svm_gamma ~max_examples:250 scaled)
+  in
+  print_endline "greedy selection for the SVM:";
+  List.iter
+    (fun (j, e) -> Printf.printf "  %-26s %.3f\n" dataset.Dataset.feature_names.(j) e)
+    svm_picks;
+
+  (* --- does the reduced feature set help? --- *)
+  let union =
+    List.sort_uniq compare
+      (List.map fst nn_picks
+      @ List.map fst svm_picks
+      @ List.map fst (List.filteri (fun i _ -> i < 5) (Array.to_list ranked)))
+  in
+  let eval features =
+    let ds0 = Dataset.select_features dataset (Array.of_list features) in
+    let ds = Scale.apply (Scale.fit ds0) ds0 in
+    let pairs = Dataset.points ds in
+    let nn = Knn.train ~radius:config.Config.knn_radius ~n_classes:8 pairs in
+    Metrics.accuracy ~pred:(Knn.loo_predictions nn) ~truth:(Dataset.labels ds)
+  in
+  let all = List.init Features.count (fun i -> i) in
+  Printf.printf
+    "\nNN LOOCV accuracy with all %d features: %.1f%%\n\
+     NN LOOCV accuracy with the %d selected:  %.1f%%\n"
+    Features.count
+    (100.0 *. eval all)
+    (List.length union)
+    (100.0 *. eval union)

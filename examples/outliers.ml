@@ -1,0 +1,61 @@
+(* Outlier detection via near-neighbor confidence (paper §5.1).
+
+   "One can imagine a tool that automatically detects outliers by setting
+   low confidence examples aside.  An engineer could then visually inspect
+   outlier loops to determine why they are hard to classify."
+
+   This is that tool: it labels a suite, computes the NN vote confidence of
+   every example under leave-one-out, and prints the least-confident loops
+   together with the structural reasons they sit far from their neighbors.
+
+   Run with: dune exec examples/outliers.exe *)
+
+let () =
+  let config = { Config.fast with Config.scale = 0.15; runs = 5 } in
+  Printf.eprintf "labelling...\n%!";
+  let benchmarks = Suite.full ~scale:config.Config.scale ~seed:config.Config.seed in
+  let labeled = Labeling.collect config ~swp:false benchmarks in
+  let kept = List.filter Labeling.passes_filters labeled in
+  let dataset = Labeling.to_dataset config labeled in
+  let scaled = Scale.apply (Scale.fit dataset) dataset in
+  let pairs = Dataset.points scaled in
+  let knn = Knn.train ~radius:config.Config.knn_radius ~n_classes:8 pairs in
+
+  let scored =
+    List.mapi
+      (fun i (l : Labeling.labeled) ->
+        (* Leave-one-out confidence: classify each point against the rest. *)
+        let rest =
+          Array.of_list
+            (List.filteri (fun j _ -> j <> i) (Array.to_list pairs))
+        in
+        let knn_rest =
+          Knn.train ~radius:(Knn.radius knn) ~n_classes:8 rest
+        in
+        let pred, conf = Knn.predict_confidence knn_rest (fst pairs.(i)) in
+        (l, pred + 1, conf))
+      kept
+  in
+  let sorted = List.sort (fun (_, _, a) (_, _, b) -> compare a b) scored in
+  Printf.printf "%d loops; least-confident classifications:\n\n" (List.length sorted);
+  List.iteri
+    (fun i ((l : Labeling.labeled), pred, conf) ->
+      if i < 8 then begin
+        let loop = l.Labeling.loop in
+        Printf.printf "%-34s best=u%d predicted=u%d confidence=%.2f\n"
+          loop.Loop.name (Labeling.best_factor l) pred conf;
+        Printf.printf
+          "    %d ops, %d mem, %d indirect, trip %s, %s%s%s\n"
+          (Loop.op_count loop) (Loop.memory_op_count loop)
+          (Loop.indirect_ref_count loop)
+          (match loop.Loop.trip_static with Some t -> string_of_int t | None -> "unknown")
+          (if Loop.has_early_exit loop then "early-exit " else "")
+          (if Loop.has_call loop then "call " else "")
+          (if loop.Loop.aliased then "may-alias" else "")
+      end)
+    sorted;
+  let high = List.filter (fun (_, _, c) -> c >= 0.75) scored in
+  Printf.printf
+    "\n%d of %d loops classify with confidence >= 0.75; the outliers above\n\
+     are the ones an engineer would inspect by hand.\n"
+    (List.length high) (List.length scored)

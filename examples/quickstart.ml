@@ -1,0 +1,57 @@
+(* Quickstart: the full workflow of the paper on a small scale.
+
+   1. Build a loop with the IR builder.
+   2. Generate a training suite, label it by measuring every unroll factor
+      through the simulated Itanium-2 testbed.
+   3. Train the near-neighbor and LS-SVM classifiers.
+   4. Predict an unroll factor for the new loop and check the prediction
+      against a direct measurement sweep.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+let () =
+  let config = { Config.fast with Config.scale = 0.08; runs = 5 } in
+  let machine = config.Config.machine in
+
+  (* --- 1. a brand-new loop: y[i] = a*x[i] + y[i] over 256 elements --- *)
+  let b = Builder.create ~lang:Loop.Fortran ~name:"my_daxpy" ~trip:256 () in
+  let x = Builder.add_array b ~length:272 "x" in
+  let y = Builder.add_array b ~length:272 "y" in
+  let a = Builder.freg b in
+  let xv = Builder.load b ~cls:Op.Flt ~array:x ~stride:1 ~offset:0 () in
+  let yv = Builder.load b ~cls:Op.Flt ~array:y ~stride:1 ~offset:0 () in
+  let r = Builder.fmadd b [ a; xv; yv ] in
+  Builder.store b ~array:y ~stride:1 ~offset:0 r;
+  let loop = Builder.finish b in
+  Format.printf "Our loop:@.%a@." Pretty.pp_loop loop;
+
+  (* --- 2. training data: generate a suite and label it --- *)
+  print_endline "Labelling a small training suite (this takes a few seconds)...";
+  let benchmarks = Suite.full ~scale:config.Config.scale ~seed:config.Config.seed in
+  let labeled = Labeling.collect config ~swp:false benchmarks in
+  let dataset = Labeling.to_dataset config labeled in
+  Printf.printf "training examples after filters: %d\n%!" (Dataset.size dataset);
+
+  (* --- 3. train both classifiers on every feature --- *)
+  let all_features = Array.init Features.count (fun i -> i) in
+  let nn = Predictor.train_nn config ~features:all_features dataset in
+  let svm = Predictor.train_svm config ~features:all_features dataset in
+
+  (* --- 4. predict, then verify against ground truth --- *)
+  let u_nn = Predictor.predict nn config ~swp:false loop in
+  let u_svm = Predictor.predict svm config ~swp:false loop in
+  let u_orc = Orc_heuristic.predict machine ~swp:false loop in
+  Printf.printf "NN predicts u=%d, SVM predicts u=%d, ORC heuristic picks u=%d\n" u_nn u_svm u_orc;
+
+  let rng = Rng.create 1 in
+  let cycles = Measure.sweep ~noise:0.0 ~runs:1 ~rng ~machine ~swp:false loop in
+  print_endline "measured cycles per factor:";
+  Array.iteri (fun i c -> Printf.printf "  u=%d: %d%s\n" (i + 1) c
+      (if i = Stats.min_index (Array.map float_of_int cycles) then "  <- best" else ""))
+    cycles;
+  let best = 1 + Stats.min_index (Array.map float_of_int cycles) in
+  let penalty u =
+    float_of_int cycles.(u - 1) /. float_of_int cycles.(best - 1)
+  in
+  Printf.printf "prediction penalties vs optimal: NN %.3fx, SVM %.3fx, ORC %.3fx\n"
+    (penalty u_nn) (penalty u_svm) (penalty u_orc)

@@ -1,0 +1,41 @@
+let compile (config : Config.t) ~swp predictor ?cycles loop =
+  let u = Predictor.predict predictor config ~swp ?cycles loop in
+  (u, Simulator.compile config.Config.machine ~swp loop u)
+
+let run_compiled (config : Config.t) exe =
+  let state = Simulator.create_state config.Config.machine in
+  Simulator.run ~max_sim_iters:config.Config.max_sim_iters state exe
+
+let predictions_for config ~swp predictor labeled =
+  Array.of_list
+    (List.map
+       (fun (l : Labeling.labeled) ->
+         Predictor.predict predictor config ~swp ~cycles:l.Labeling.cycles l.Labeling.loop)
+       labeled)
+
+let benchmark_speedup config ~swp predictor ~baseline (b : Suite.benchmark) labeled =
+  let mine =
+    List.filter (fun (l : Labeling.labeled) -> l.Labeling.bench = b.Suite.bname) labeled
+  in
+  match mine with
+  | [] -> 1.0
+  | _ ->
+    (* Relative loop time under a predictor, weighted by each loop's share
+       of baseline loop runtime. *)
+    let ratio =
+      let num = ref 0.0 and den = ref 0.0 in
+      List.iter
+        (fun (l : Labeling.labeled) ->
+          let pick p =
+            Predictor.predict p config ~swp ~cycles:l.Labeling.cycles l.Labeling.loop
+          in
+          let u_p = pick predictor and u_b = pick baseline in
+          let c_p = float_of_int l.Labeling.cycles.(u_p - 1) in
+          let c_b = float_of_int l.Labeling.cycles.(u_b - 1) in
+          num := !num +. (l.Labeling.weight *. (c_p /. c_b));
+          den := !den +. l.Labeling.weight)
+        mine;
+      if !den > 0.0 then !num /. !den else 1.0
+    in
+    let f = b.Suite.loop_fraction in
+    1.0 /. ((1.0 -. f) +. (f *. ratio))

@@ -1,0 +1,31 @@
+(** The end-to-end compilation pipeline with a pluggable unroll predictor.
+
+    [compile] is what the modified ORC does per loop: ask the predictor for
+    a factor, unroll, clean up exposed redundancy, schedule (modulo
+    scheduling with list fallback when software pipelining is on), and
+    allocate registers.  [benchmark_speedup] reproduces the whole-program
+    methodology of §6.1: per-benchmark runtimes combine the per-loop cycle
+    measurements with the benchmark's loop weights and its non-loop
+    fraction (Amdahl dilution), and speedups are reported against the ORC
+    baseline. *)
+
+val compile :
+  Config.t -> swp:bool -> Predictor.t -> ?cycles:int array -> Loop.t ->
+  int * Simulator.executable
+(** The chosen factor and the compiled, schedulable result. *)
+
+val run_compiled : Config.t -> Simulator.executable -> int
+(** Execute a compiled loop on a fresh machine state (one warm-up entry
+    already included in the executable's outer trips). *)
+
+val predictions_for :
+  Config.t -> swp:bool -> Predictor.t -> Labeling.labeled list -> int array
+(** The factor the predictor picks for every labelled loop (oracle
+    predictors consult the measurements). *)
+
+val benchmark_speedup :
+  Config.t -> swp:bool -> Predictor.t -> baseline:Predictor.t ->
+  Suite.benchmark -> Labeling.labeled list -> float
+(** Whole-benchmark speedup of [Predictor.t] over [baseline] (> 1.0 is
+    faster), using each loop's measured per-factor cycles, the loop
+    weights, and the benchmark's loop fraction. *)

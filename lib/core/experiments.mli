@@ -1,0 +1,73 @@
+(** Reproduction drivers: one per table and figure of the paper's
+    evaluation.
+
+    [build_env] performs the heavy, shared work once — generating the
+    72-benchmark suite, sweeping every loop at factors 1..8 with software
+    pipelining disabled and enabled, building the filtered datasets, and
+    running feature selection.  Each experiment then renders its table or
+    figure as text (ASCII plots for the figures), shaped after the paper's
+    artefact. *)
+
+type env = {
+  config : Config.t;
+  benchmarks : Suite.benchmark list;
+  labeled_off : Labeling.labeled list;  (** all loops, SWP disabled *)
+  labeled_on : Labeling.labeled list;   (** all loops, SWP enabled *)
+  filtered_off : Labeling.labeled list; (** filter-surviving, dataset order *)
+  filtered_on : Labeling.labeled list;
+  dataset_off : Dataset.t;
+  dataset_on : Dataset.t;
+  selected : int array;
+  (** feature subset used for classification (§7: union of the MIS top-k
+      and the greedy picks for both classifiers) *)
+  speedup_cache : (bool, (string * bool * float * float * float) list) Hashtbl.t;
+  (** memoised per-benchmark speedups (bname, is_fp, nn, svm, oracle),
+      keyed by SWP mode — shared between the figure drivers and {!summary} *)
+}
+
+val build_env : ?progress:bool -> Config.t -> env
+(** [progress] (default true) prints coarse progress to stderr. *)
+
+val fig1 : env -> string
+(** Near-neighbor classification on LDA-projected data (4 classes, ≥30%
+    margin), with an example query. *)
+
+val fig2 : env -> string
+(** SVM decision regions on the projected plane (binary, ≥30% margin). *)
+
+val fig3 : env -> string
+(** Histogram of optimal unroll factors, SWP disabled. *)
+
+val table2 : env -> string
+(** Prediction-rank distribution for NN, SVM and the ORC heuristic, with
+    the misprediction cost column (LOOCV). *)
+
+val table3 : env -> string
+(** Top features by mutual information score. *)
+
+val table4 : env -> string
+(** Top features by greedy selection for 1-NN and the SVM. *)
+
+val fig4 : env -> string
+(** Per-benchmark speedup over ORC, SWP disabled (NN, SVM, oracle), with
+    SPEC and SPECfp aggregates. *)
+
+val fig5 : env -> string
+(** Same with SWP enabled. *)
+
+val summary : env -> string
+(** Headline numbers next to the paper's claims. *)
+
+val ablations : env -> string
+(** Design-choice studies beyond the paper's tables:
+    - NN radius sensitivity (the paper picked 0.3 "experimentally", §5.1);
+    - one-vs-rest vs dense error-correcting output codes (§5.2 mentions
+      ECOC as a possible improvement it does not use);
+    - the selected feature subset vs all 38 features (§7's claim that a
+      well-chosen subset improves accuracy);
+    - the binary unroll/don't-unroll problem of Monsifrot et al. (§9):
+      decision-tree accuracy vs the always-unroll baseline the paper
+      derives from Figure 3. *)
+
+val all : env -> string
+(** Every experiment, concatenated in paper order (ablations last). *)

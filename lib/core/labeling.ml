@@ -1,0 +1,56 @@
+type labeled = {
+  bench : string;
+  loop : Loop.t;
+  weight : float;
+  cycles : int array;
+}
+
+let best_factor l = 1 + Stats.min_index (Array.map float_of_int l.cycles)
+
+let passes_filters l =
+  let fc = Array.map float_of_int l.cycles in
+  let best = fc.(Stats.min_index fc) in
+  let mean = Stats.mean fc in
+  Loop.unrollable l.loop
+  && best >= float_of_int Measure.min_cycles_filter
+  && mean /. best >= 1.05
+
+let collect ?progress (config : Config.t) ~swp benchmarks =
+  let rng = Rng.create config.Config.noise_seed in
+  let total =
+    List.fold_left (fun acc (b : Suite.benchmark) -> acc + Array.length b.Suite.loops) 0 benchmarks
+  in
+  let done_ = ref 0 in
+  List.concat_map
+    (fun (b : Suite.benchmark) ->
+      Array.to_list
+        (Array.map
+           (fun (loop, weight) ->
+             let cycles =
+               Measure.sweep ~noise:config.Config.noise ~runs:config.Config.runs
+                 ~max_sim_iters:config.Config.max_sim_iters ~rng
+                 ~machine:config.Config.machine ~swp loop
+             in
+             incr done_;
+             (match progress with
+             | Some f -> f ~done_:!done_ ~total
+             | None -> ());
+             { bench = b.Suite.bname; loop; weight; cycles })
+           b.Suite.loops))
+    benchmarks
+
+let to_dataset ?(filtered = true) (config : Config.t) labeled =
+  let keep = if filtered then List.filter passes_filters labeled else labeled in
+  let examples =
+    List.map
+      (fun l ->
+        {
+          Dataset.features = Features.extract config.Config.machine l.loop;
+          label = best_factor l - 1;
+          tag = l.loop.Loop.name;
+          group = l.bench;
+          costs = Array.map float_of_int l.cycles;
+        })
+      keep
+  in
+  Dataset.create ~feature_names:Features.names ~n_classes:Unroll.max_factor examples

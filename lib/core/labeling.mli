@@ -1,0 +1,32 @@
+(** Label collection (paper §4.4–4.6).
+
+    Every loop in a suite is measured at unroll factors 1..8 through the
+    simulated testbed; the factor with the fewest cycles is the loop's
+    label.  Three filters from the paper apply before training: the reference
+    compiler must be able to unroll the loop at all (no calls or early
+    exits, §4.6), loops must
+    run for at least 50,000 cycles (measurement noise otherwise dominates),
+    and the optimal factor must beat the mean over all factors by at least
+    1.05x (flat loops teach nothing). *)
+
+type labeled = {
+  bench : string;
+  loop : Loop.t;
+  weight : float;          (** runtime weight within its benchmark *)
+  cycles : int array;      (** measured cycles per factor, index 0 = u1 *)
+}
+
+val best_factor : labeled -> int
+(** 1-based optimal unroll factor. *)
+
+val passes_filters : labeled -> bool
+
+val collect :
+  ?progress:(done_:int -> total:int -> unit) ->
+  Config.t -> swp:bool -> Suite.benchmark list -> labeled list
+(** Sweeps every loop of every benchmark.  Deterministic in the config. *)
+
+val to_dataset : ?filtered:bool -> Config.t -> labeled list -> Dataset.t
+(** Feature extraction + labelling.  [filtered] (default true) applies
+    {!passes_filters}.  Labels are 0-based (factor − 1); costs are the
+    measured cycles. *)

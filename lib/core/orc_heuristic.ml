@@ -1,0 +1,115 @@
+let is_pow2 n = n land (n - 1) = 0
+
+let largest_pow2_le n =
+  let rec go p = if p * 2 <= n then go (p * 2) else p in
+  if n < 1 then 1 else go 1
+
+let no_swp _machine (loop : Loop.t) =
+  if Loop.has_call loop then 1
+  else if Loop.has_early_exit loop then 1
+  else begin
+    let ops = Loop.op_count loop in
+    (* Code-size budget: the unrolled body should stay around 96 ops. *)
+    let budget = 96 in
+    let u = largest_pow2_le (max 1 (budget / max ops 1)) in
+    let u = min u Unroll.max_factor in
+    (* Long-latency unpipelined divides saturate quickly. *)
+    let fdivs =
+      Array.fold_left
+        (fun acc (op : Op.t) -> match op.Op.opcode with Op.Fdiv -> acc + 1 | _ -> acc)
+        0 loop.Loop.body
+    in
+    let u = if fdivs > 0 then min u 2 else u in
+    (* Indirect references defeat the disambiguator; unrolling exposes no
+       reordering freedom. *)
+    let u = if Loop.indirect_ref_count loop > 1 then min u 2 else u in
+    (* Failed alias analysis: replicas cannot be reordered, so only the
+       branch saving remains — unroll modestly. *)
+    let u = if loop.Loop.aliased then min u 4 else u in
+    (* Respect a known trip count: do not unroll past it, and for short
+       loops prefer factors that divide it. *)
+    let u =
+      match loop.Loop.trip_static with
+      | None -> u (* unknown trip: unroll anyway, a remainder loop handles it *)
+      | Some trip ->
+        let u = if trip < u then largest_pow2_le (max trip 1) else u in
+        let rec fit u =
+          if u > 1 && trip < 64 && trip mod u <> 0 then fit (u / 2) else u
+        in
+        fit u
+    in
+    let _ = is_pow2 in
+    max 1 (min Unroll.max_factor u)
+  end
+
+let swp machine (loop : Loop.t) =
+  if Loop.has_call loop || Loop.has_early_exit loop then 1
+  else begin
+    let m = machine in
+    let core, ovh =
+      (* Separate the loop overhead (merged once by the unroller) from the
+         replicated core. *)
+      let n = Array.length loop.Loop.body in
+      if n >= 3 then (Array.sub loop.Loop.body 0 (n - 3), 3) else (loop.Loop.body, 0)
+    in
+    let counts = [| 0; 0; 0; 0 |] in
+    Array.iter
+      (fun op ->
+        let k =
+          match Machine.unit_of op with Machine.M -> 0 | Machine.I -> 1 | Machine.F -> 2 | Machine.B -> 3
+        in
+        let c = match op.Op.opcode with
+          | Op.Fdiv when m.Machine.fdiv_unpipelined -> m.Machine.lat_fdiv
+          | _ -> 1
+        in
+        counts.(k) <- counts.(k) + c)
+      core;
+    let units = [| m.Machine.m_units; m.Machine.i_units; m.Machine.f_units; m.Machine.b_units |] in
+    let ii_for u =
+      (* Resource bound of the unrolled body: replicated core plus one copy
+         of the overhead (which includes the branch). *)
+      let bound = ref 1 in
+      Array.iteri
+        (fun k c ->
+          let total = (c * u) + if k = 1 then ovh - 1 else if k = 3 then 1 else 0 in
+          bound := max !bound ((total + units.(k) - 1) / units.(k)))
+        counts;
+      let total_ops = (Array.length core * u) + ovh in
+      max !bound ((total_ops + m.Machine.issue_width - 1) / m.Machine.issue_width)
+    in
+    let ops = Loop.op_count loop in
+    (* Register demand estimate: every def needs at least one rotating
+       register per replica, plus the loop invariants. *)
+    let int_defs, fp_defs =
+      Array.fold_left
+        (fun (i, f) (op : Op.t) ->
+          match op.Op.dst with
+          | Some { Op.cls = Op.Int; _ } -> (i + 1, f)
+          | Some { Op.cls = Op.Flt; _ } -> (i, f + 1)
+          | None -> (i, f))
+        (0, 0) core
+    in
+    let invariants = List.length (Loop.live_in_regs loop) in
+    let regs_ok u =
+      (int_defs * u) + invariants + 3 <= m.Machine.rot_int_regs
+      && fp_defs * u <= m.Machine.rot_fp_regs
+    in
+    let best = ref 1 and best_metric = ref infinity in
+    for u = 1 to Unroll.max_factor do
+      let code_ok = ops * u <= 96 in
+      let trip_ok = match loop.Loop.trip_static with Some t -> u <= max t 1 | None -> true in
+      if code_ok && trip_ok && regs_ok u then begin
+        let metric = float_of_int (ii_for u) /. float_of_int u in
+        (* Strictly better only: ties keep the smaller factor (less code,
+           less register pressure). *)
+        if metric < !best_metric -. 1e-9 then begin
+          best := u;
+          best_metric := metric
+        end
+      end
+    done;
+    !best
+  end
+
+let predict machine ~swp:swp_mode loop =
+  if swp_mode then swp machine loop else no_swp machine loop

@@ -1,0 +1,22 @@
+(** The baseline hand-written unroll heuristics, modelled on ORC's.
+
+    ORC v2.1 uses two heuristics (paper §1): one when software pipelining
+    is disabled, and one — rewritten in every major release, ~205 lines of
+    C++ by v2.1 — used together with the software pipeliner to reach
+    fractional initiation intervals.  These are from-scratch renditions of
+    the same design ideas, not ports:
+
+    - {b no-SWP}: unroll to a code-size budget (bigger bodies get smaller
+      factors), prefer powers of two, never exceed a known trip count, and
+      back off for calls, early exits and heavy divides.
+    - {b SWP}: pick the factor that minimises the per-original-iteration
+      resource bound ceil(u * ResMII₁) / u subject to a code-size cap and
+      a register-pressure estimate — the "fractional II" rationale. *)
+
+val no_swp : Machine.t -> Loop.t -> int
+(** Unroll factor in 1..8. *)
+
+val swp : Machine.t -> Loop.t -> int
+(** Unroll factor in 1..8 for the software-pipelining pipeline. *)
+
+val predict : Machine.t -> swp:bool -> Loop.t -> int

@@ -1,0 +1,204 @@
+type t =
+  | Fixed of int
+  | Orc
+  | Oracle
+  | Nn of learned_nn
+  | Svm of learned_svm
+  | Tree of learned_tree
+
+and learned_nn = { nn_model : Knn.t; nn_scaler : Scale.t; nn_features : int array }
+
+and learned_svm = {
+  svm_model : Multiclass.t;
+  svm_scaler : Scale.t;
+  svm_features : int array;
+}
+
+and learned_tree = {
+  tree_model : Decision_tree.t;
+  tree_scaler : Scale.t;
+  tree_features : int array;
+}
+
+let name = function
+  | Fixed k -> Printf.sprintf "fixed-%d" k
+  | Orc -> "orc"
+  | Oracle -> "oracle"
+  | Nn _ -> "nn"
+  | Svm _ -> "svm"
+  | Tree _ -> "tree"
+
+let prepare ~features ds =
+  let ds = Dataset.select_features ds features in
+  let scaler = Scale.fit ds in
+  (Scale.apply scaler ds, scaler)
+
+let train_nn (config : Config.t) ~features ds =
+  let scaled, scaler = prepare ~features ds in
+  let model =
+    Knn.train ~radius:config.Config.knn_radius ~n_classes:ds.Dataset.n_classes
+      (Dataset.points scaled)
+  in
+  Nn { nn_model = model; nn_scaler = scaler; nn_features = features }
+
+let subsample_cap ds cap =
+  let n = Dataset.size ds in
+  if n <= cap then ds
+  else begin
+    let stride = float_of_int n /. float_of_int cap in
+    let keep = List.init cap (fun i -> int_of_float (float_of_int i *. stride)) in
+    {
+      ds with
+      Dataset.examples = Array.of_list (List.map (fun i -> ds.Dataset.examples.(i)) keep);
+    }
+  end
+
+let train_svm ?cap (config : Config.t) ~features ds =
+  let ds = match cap with Some c -> subsample_cap ds c | None -> ds in
+  let scaled, scaler = prepare ~features ds in
+  let model =
+    Multiclass.train ~n_classes:ds.Dataset.n_classes ~kernel:config.Config.svm_kernel
+      ~gamma:config.Config.svm_gamma (Dataset.points scaled)
+  in
+  Svm { svm_model = model; svm_scaler = scaler; svm_features = features }
+
+let train_tree (_config : Config.t) ~features ds =
+  let scaled, scaler = prepare ~features ds in
+  let model =
+    Decision_tree.train ~n_classes:ds.Dataset.n_classes (Dataset.points scaled)
+  in
+  Tree { tree_model = model; tree_scaler = scaler; tree_features = features }
+
+let project features x = Array.map (fun j -> x.(j)) features
+
+(* Persistence: a small CSV-backed format.  The first row tags the
+   predictor kind; the rest carry the scaler, the feature subset, and the
+   learned state (the NN database or the SVM dual coefficients plus
+   training points). *)
+
+let floats_row tag xs = tag :: List.map string_of_float (Array.to_list xs)
+let ints_row tag xs = tag :: List.map string_of_int (Array.to_list xs)
+
+let parse_floats = function
+  | _ :: rest -> Array.of_list (List.map float_of_string rest)
+  | [] -> failwith "Predictor.load: empty row"
+
+let parse_ints = function
+  | _ :: rest -> Array.of_list (List.map int_of_string rest)
+  | [] -> failwith "Predictor.load: empty row"
+
+let save t path =
+  match t with
+  | Nn { nn_model; nn_scaler; nn_features } ->
+    let radius, classes, db = Knn.export nn_model in
+    let mean, std = Scale.export nn_scaler in
+    let rows =
+      [ [ "nn" ]; [ "radius"; string_of_float radius ]; [ "classes"; string_of_int classes ] ]
+      @ [ ints_row "features" nn_features; floats_row "mean" mean; floats_row "std" std ]
+      @ Array.to_list
+          (Array.map
+             (fun (x, y) -> "point" :: string_of_int y :: List.map string_of_float (Array.to_list x))
+             db)
+    in
+    Csvio.write path rows
+  | Svm { svm_model; svm_scaler; svm_features } ->
+    let codewords, machines = Multiclass.export svm_model in
+    if Array.length machines = 0 then invalid_arg "Predictor.save: empty SVM";
+    let mean, std = Scale.export svm_scaler in
+    let points = Lssvm.training_points machines.(0) in
+    let kernel = Lssvm.kernel_of machines.(0) in
+    let rows =
+      [ [ "svm" ]; [ "kernel"; Kernel.name kernel ] ]
+      @ [ ints_row "features" svm_features; floats_row "mean" mean; floats_row "std" std ]
+      @ Array.to_list (Array.map (fun cw -> ints_row "codeword" cw) codewords)
+      @ Array.to_list (Array.map (fun m -> floats_row "alphas" (Lssvm.export m)) machines)
+      @ Array.to_list (Array.map (fun x -> floats_row "point" x) points)
+    in
+    Csvio.write path rows
+  | Fixed _ | Orc | Oracle | Tree _ ->
+    invalid_arg "Predictor.save: only learned NN/SVM predictors persist"
+
+let load path =
+  match Csvio.read path with
+  | [ "nn" ] :: rest ->
+    let radius = ref 0.3 and classes = ref 8 in
+    let features = ref [||] and mean = ref [||] and std = ref [||] in
+    let db = ref [] in
+    List.iter
+      (fun row ->
+        match row with
+        | [ "radius"; r ] -> radius := float_of_string r
+        | [ "classes"; c ] -> classes := int_of_string c
+        | "features" :: _ -> features := parse_ints row
+        | "mean" :: _ -> mean := parse_floats row
+        | "std" :: _ -> std := parse_floats row
+        | "point" :: y :: xs ->
+          db := (Array.of_list (List.map float_of_string xs), int_of_string y) :: !db
+        | _ -> failwith "Predictor.load: unrecognised NN row")
+      rest;
+    let model = Knn.train ~radius:!radius ~n_classes:!classes (Array.of_list (List.rev !db)) in
+    Nn
+      {
+        nn_model = model;
+        nn_scaler = Scale.import ~mean:!mean ~std:!std;
+        nn_features = !features;
+      }
+  | [ "svm" ] :: rest ->
+    let kernel = ref Kernel.Linear in
+    let features = ref [||] and mean = ref [||] and std = ref [||] in
+    let codewords = ref [] and alphas = ref [] and points = ref [] in
+    List.iter
+      (fun row ->
+        match row with
+        | [ "kernel"; k ] -> begin
+          match Kernel.of_string k with
+          | Some kk -> kernel := kk
+          | None -> failwith ("Predictor.load: bad kernel " ^ k)
+        end
+        | "features" :: _ -> features := parse_ints row
+        | "mean" :: _ -> mean := parse_floats row
+        | "std" :: _ -> std := parse_floats row
+        | "codeword" :: _ -> codewords := parse_ints row :: !codewords
+        | "alphas" :: _ -> alphas := parse_floats row :: !alphas
+        | "point" :: _ -> points := parse_floats row :: !points
+        | _ -> failwith "Predictor.load: unrecognised SVM row")
+      rest;
+    let points = Array.of_list (List.rev !points) in
+    let machines =
+      Array.of_list
+        (List.rev_map (fun a -> Lssvm.import ~kernel:!kernel ~points ~alphas:a) !alphas)
+    in
+    let model =
+      Multiclass.import ~codewords:(Array.of_list (List.rev !codewords)) ~machines
+    in
+    Svm
+      {
+        svm_model = model;
+        svm_scaler = Scale.import ~mean:!mean ~std:!std;
+        svm_features = !features;
+      }
+  | _ -> failwith "Predictor.load: unsupported or malformed file"
+
+
+let predict t (config : Config.t) ~swp ?cycles loop =
+  (* Like ORC, the compiler leaves loops with calls or early exits rolled,
+     whatever the predictor would say. *)
+  if not (Loop.unrollable loop) then 1
+  else
+  match t with
+  | Fixed k -> max 1 (min Unroll.max_factor k)
+  | Orc -> Orc_heuristic.predict config.Config.machine ~swp loop
+  | Oracle -> begin
+    match cycles with
+    | Some cs -> 1 + Stats.min_index (Array.map float_of_int cs)
+    | None -> invalid_arg "Predictor.predict: Oracle needs measured cycles"
+  end
+  | Nn { nn_model; nn_scaler; nn_features } ->
+    let x = project nn_features (Features.extract config.Config.machine loop) in
+    1 + Knn.predict nn_model (Scale.transform nn_scaler x)
+  | Svm { svm_model; svm_scaler; svm_features } ->
+    let x = project svm_features (Features.extract config.Config.machine loop) in
+    1 + Multiclass.predict svm_model (Scale.transform svm_scaler x)
+  | Tree { tree_model; tree_scaler; tree_features } ->
+    let x = project tree_features (Features.extract config.Config.machine loop) in
+    1 + Decision_tree.predict tree_model (Scale.transform tree_scaler x)

@@ -1,0 +1,62 @@
+(** Unroll-factor predictors: the pluggable heuristic interface.
+
+    A predictor maps a loop to a factor in 1..8.  Learned predictors carry
+    their scaler and feature subset so they can be dropped into the
+    compiler exactly as §4.1 envisions; the oracle consults measured
+    cycles and is only available where a sweep exists. *)
+
+type t =
+  | Fixed of int                    (** always the same factor *)
+  | Orc                             (** the hand heuristic baseline *)
+  | Oracle                          (** best measured factor *)
+  | Nn of learned_nn
+  | Svm of learned_svm
+  | Tree of learned_tree
+
+and learned_nn = {
+  nn_model : Knn.t;
+  nn_scaler : Scale.t;
+  nn_features : int array;
+}
+
+and learned_svm = {
+  svm_model : Multiclass.t;
+  svm_scaler : Scale.t;
+  svm_features : int array;
+}
+
+and learned_tree = {
+  tree_model : Decision_tree.t;
+  tree_scaler : Scale.t;
+  tree_features : int array;
+}
+
+val name : t -> string
+
+val train_nn : Config.t -> features:int array -> Dataset.t -> t
+(** Populate the near-neighbor database from a (raw, unnormalised)
+    dataset restricted to [features]. *)
+
+val train_svm : ?cap:int -> Config.t -> features:int array -> Dataset.t -> t
+(** Train the multi-class LS-SVM; [cap] optionally subsamples the training
+    set (deterministically) to bound the O(N³) solve. *)
+
+val train_tree : Config.t -> features:int array -> Dataset.t -> t
+
+val save : t -> string -> unit
+(** Persist a trained predictor to a file (its own small text format).
+    §4.1: "the learned classifier can easily be incorporated into a
+    compiler" — a compiler ships the trained model as data, not code.
+    Supported for [Nn] and [Svm]; other predictors raise
+    [Invalid_argument] (they carry no learned state worth shipping). *)
+
+val load : string -> t
+(** Inverse of {!save}.  Raises [Failure] with a diagnostic on malformed
+    input. *)
+
+val predict :
+  t -> Config.t -> swp:bool -> ?cycles:int array -> Loop.t -> int
+(** Factor in 1..8.  Loops the compiler cannot unroll (calls, early exits)
+    always get 1.  [cycles] (per-factor measurements) must be supplied for
+    [Oracle]; raises [Invalid_argument] otherwise (not consulted for
+    non-unrollable loops). *)

@@ -1,0 +1,153 @@
+type t = {
+  name : string;
+  nest_level : int;
+  lang : Loop.lang;
+  trip_static : int option;
+  trip_actual : int;
+  aliased : bool;
+  outer_trip : int;
+  exit_prob : float;
+  mutable next_addr : int;
+  mutable arrays : Loop.array_info list; (* reversed *)
+  mutable ops : Op.t list;               (* reversed *)
+  mutable next_reg : int;
+  mutable next_uid : int;
+  mutable live_out : Op.reg list;
+}
+
+let create ?(nest_level = 1) ?(lang = Loop.C) ?trip_static ?aliased ?(outer_trip = 1)
+    ?(exit_prob = 0.0) ?(base_addr = 0x10000) ~name ~trip () =
+  let trip_static = match trip_static with None -> Some trip | Some ts -> ts in
+  let aliased =
+    match aliased with
+    | Some a -> a
+    | None -> (match lang with Loop.C -> true | Loop.Fortran | Loop.Fortran90 -> false)
+  in
+  {
+    name;
+    nest_level;
+    lang;
+    trip_static;
+    trip_actual = trip;
+    aliased;
+    outer_trip;
+    exit_prob;
+    next_addr = base_addr;
+    arrays = [];
+    ops = [];
+    next_reg = 0;
+    next_uid = 0;
+    live_out = [];
+  }
+
+let align64 n = (n + 63) land lnot 63
+
+let add_array t ?(elem_size = 8) ?(length = 4096) aname =
+  let id = List.length t.arrays in
+  let base = align64 t.next_addr in
+  t.next_addr <- base + (elem_size * length);
+  t.arrays <- { Loop.aname; elem_size; length; base } :: t.arrays;
+  id
+
+let fresh_reg t cls =
+  let id = t.next_reg in
+  t.next_reg <- id + 1;
+  { Op.id; cls }
+
+let ireg t = fresh_reg t Op.Int
+let freg t = fresh_reg t Op.Flt
+
+let append t ?dst ?(srcs = []) ?pred opcode =
+  let uid = t.next_uid in
+  t.next_uid <- uid + 1;
+  let pred = Option.map (fun (r : Op.reg) -> r.Op.id) pred in
+  t.ops <- Op.make ~uid ?dst ~srcs ?pred opcode :: t.ops
+
+let load t ?pred ?(mkind = Op.Direct) ?addr ~cls ~array ~stride ~offset () =
+  let dst = fresh_reg t cls in
+  let srcs = match addr with Some a -> [ a ] | None -> [] in
+  append t ~dst ~srcs ?pred (Op.Load { Op.array; stride; offset; mkind });
+  dst
+
+let store t ?pred ?(mkind = Op.Direct) ?addr ~array ~stride ~offset src =
+  let srcs = src :: (match addr with Some a -> [ a ] | None -> []) in
+  append t ~srcs ?pred (Op.Store { Op.array; stride; offset; mkind })
+
+let check_class opname cls srcs =
+  List.iter
+    (fun (r : Op.reg) ->
+      if r.Op.cls <> cls then
+        invalid_arg (Printf.sprintf "Builder.%s: operand class mismatch" opname))
+    srcs
+
+let arith t opname opcode cls ?pred srcs =
+  check_class opname cls srcs;
+  let dst = fresh_reg t cls in
+  append t ~dst ~srcs ?pred opcode;
+  dst
+
+let ialu t ?pred srcs = arith t "ialu" Op.Ialu Op.Int ?pred srcs
+let imul t ?pred srcs = arith t "imul" Op.Imul Op.Int ?pred srcs
+let fadd t ?pred srcs = arith t "fadd" Op.Fadd Op.Flt ?pred srcs
+let fmul t ?pred srcs = arith t "fmul" Op.Fmul Op.Flt ?pred srcs
+let fmadd t ?pred srcs = arith t "fmadd" Op.Fmadd Op.Flt ?pred srcs
+let fdiv t ?pred srcs = arith t "fdiv" Op.Fdiv Op.Flt ?pred srcs
+
+let accumulate t ?pred ~acc ~op srcs =
+  let opcode, cls =
+    match op with
+    | `Fadd -> (Op.Fadd, Op.Flt)
+    | `Fmadd -> (Op.Fmadd, Op.Flt)
+    | `Ialu -> (Op.Ialu, Op.Int)
+  in
+  check_class "accumulate" cls (acc :: srcs);
+  append t ~dst:acc ~srcs:(acc :: srcs) ?pred opcode
+
+let mov t ?pred src =
+  let dst = fresh_reg t src.Op.cls in
+  append t ~dst ~srcs:[ src ] ?pred Op.Mov;
+  dst
+
+let sel t ~pred a b =
+  if a.Op.cls <> b.Op.cls then invalid_arg "Builder.sel: operand class mismatch";
+  let dst = fresh_reg t a.Op.cls in
+  append t ~dst ~srcs:[ a; b ] ~pred Op.Sel;
+  dst
+
+let cmp t ?pred srcs =
+  let dst = fresh_reg t Op.Int in
+  append t ~dst ~srcs ?pred Op.Cmp;
+  dst
+
+let call t = append t Op.Call
+
+let early_exit t ~pred =
+  append t ~srcs:[ pred ] (Op.Br Op.Exit)
+
+let mark_live_out t r = t.live_out <- r :: t.live_out
+
+let finish t =
+  (* Canonical loop overhead: induction update, trip compare, back branch. *)
+  let iv = ireg t in
+  (* Seed the induction variable as loop-carried: iv = iv + 1. *)
+  append t ~dst:iv ~srcs:[ iv ] Op.Ialu;
+  let p = cmp t [ iv ] in
+  append t ~srcs:[ p ] (Op.Br Op.Backedge);
+  let loop =
+    {
+      Loop.name = t.name;
+      body = Array.of_list (List.rev t.ops);
+      arrays = Array.of_list (List.rev t.arrays);
+      nest_level = t.nest_level;
+      lang = t.lang;
+      trip_static = t.trip_static;
+      trip_actual = t.trip_actual;
+      aliased = t.aliased;
+      outer_trip = t.outer_trip;
+      exit_prob = t.exit_prob;
+      live_out = t.live_out;
+    }
+  in
+  match Loop.validate loop with
+  | Ok () -> loop
+  | Error msg -> failwith ("Builder.finish: " ^ msg)

@@ -1,0 +1,75 @@
+(** Imperative construction of loops.
+
+    The builder allocates virtual registers and array slots, appends ops in
+    program order, and on {!finish} closes the body with the canonical loop
+    overhead — induction increment, trip-count compare, backward branch —
+    then validates the result.  Both the hand-written kernels and the
+    synthetic workload generator are written against this API, as is the
+    quickstart example. *)
+
+type t
+
+val create :
+  ?nest_level:int ->
+  ?lang:Loop.lang ->
+  ?trip_static:int option ->
+  ?aliased:bool ->
+  ?outer_trip:int ->
+  ?exit_prob:float ->
+  ?base_addr:int ->
+  name:string ->
+  trip:int ->
+  unit ->
+  t
+(** [create ~name ~trip ()] starts a loop whose runtime trip count is
+    [trip].  [trip_static] defaults to [Some trip] (the compiler knows the
+    trip count); pass [~trip_static:None] for a compile-time-unknown trip.
+    [base_addr] (default 0x10000) is where array allocation begins. *)
+
+val add_array : t -> ?elem_size:int -> ?length:int -> string -> int
+(** Declares an array and returns its id.  Arrays are laid out sequentially
+    from [base_addr], 64-byte aligned.  [elem_size] defaults to 8,
+    [length] to 4096 elements. *)
+
+val ireg : t -> Op.reg
+val freg : t -> Op.reg
+(** Fresh virtual registers of each class. *)
+
+val load : t -> ?pred:Op.reg -> ?mkind:Op.mem_kind -> ?addr:Op.reg -> cls:Op.reg_class ->
+  array:int -> stride:int -> offset:int -> unit -> Op.reg
+(** Appends a load and returns the destination register.  [addr] names the
+    register the address is computed from (used with [Indirect] references
+    so the address-generation dependence is visible to the scheduler). *)
+
+val store : t -> ?pred:Op.reg -> ?mkind:Op.mem_kind -> ?addr:Op.reg ->
+  array:int -> stride:int -> offset:int -> Op.reg -> unit
+
+val ialu : t -> ?pred:Op.reg -> Op.reg list -> Op.reg
+val imul : t -> ?pred:Op.reg -> Op.reg list -> Op.reg
+val fadd : t -> ?pred:Op.reg -> Op.reg list -> Op.reg
+val fmul : t -> ?pred:Op.reg -> Op.reg list -> Op.reg
+val fmadd : t -> ?pred:Op.reg -> Op.reg list -> Op.reg
+val fdiv : t -> ?pred:Op.reg -> Op.reg list -> Op.reg
+(** Arithmetic ops: sources as given, fresh destination returned.
+    Register classes of sources must match the op (checked). *)
+
+val accumulate : t -> ?pred:Op.reg -> acc:Op.reg -> op:[ `Fadd | `Fmadd | `Ialu ] ->
+  Op.reg list -> unit
+(** Appends [acc <- op (acc :: srcs)] — the loop-carried reduction pattern
+    that creates a recurrence. *)
+
+val mov : t -> ?pred:Op.reg -> Op.reg -> Op.reg
+val sel : t -> pred:Op.reg -> Op.reg -> Op.reg -> Op.reg
+val cmp : t -> ?pred:Op.reg -> Op.reg list -> Op.reg
+(** Compare producing a predicate (an integer register usable as [~pred]). *)
+
+val call : t -> unit
+val early_exit : t -> pred:Op.reg -> unit
+(** Conditional exit out of the loop, guarded by [pred]. *)
+
+val mark_live_out : t -> Op.reg -> unit
+(** Declares a register live after the loop (reduction results). *)
+
+val finish : t -> Loop.t
+(** Appends induction update, trip-count compare and backward branch, then
+    validates.  Raises [Failure] with a diagnostic if validation fails. *)

@@ -1,0 +1,52 @@
+(** Dependence analysis over a loop body.
+
+    Produces the data-dependence graph used by the list scheduler, the
+    modulo scheduler (software pipelining) and feature extraction.  Nodes
+    are body positions; every edge carries a latency and an iteration
+    {e distance}: a scheduling constraint
+    [start dst >= start src + latency - II * distance].
+
+    Register dependences are exact (virtual registers, single reaching def
+    by position).  Memory dependences use the affine references: two direct
+    references to the same array with equal strides either never alias or
+    alias at a constant iteration distance; differing strides and indirect
+    references degrade to conservative edges — an indirect reference may
+    alias {e any} array, modelling unanalysable pointers. *)
+
+type kind =
+  | Reg_flow    (** true dependence through a register *)
+  | Reg_anti    (** write-after-read *)
+  | Reg_output  (** write-after-write *)
+  | Mem_flow    (** store → load *)
+  | Mem_anti    (** load → store *)
+  | Mem_output  (** store → store *)
+  | Control     (** ordering below an early-exit branch *)
+  | Serial      (** serialisation: calls, and op → backedge delimiting *)
+
+type edge = {
+  src : int;       (** body position of the source op *)
+  dst : int;       (** body position of the sink op *)
+  dkind : kind;
+  latency : int;
+  distance : int;  (** iterations separating src and dst (>= 0) *)
+}
+
+type t = {
+  n : int;                         (** number of ops *)
+  edges : edge list;
+  succs : edge list array;         (** outgoing edges per position *)
+  preds : edge list array;         (** incoming edges per position *)
+}
+
+val build : latency:(Op.t -> int) -> Loop.t -> t
+(** Builds the dependence graph.  [latency] maps an op to its result
+    latency on the target machine (so the IR stays machine-independent). *)
+
+val intra_iteration : t -> t
+(** Restriction to distance-0 edges — the per-iteration DAG consumed by
+    list scheduling and DAG statistics.  The distance-0 subgraph is acyclic
+    for any valid loop. *)
+
+val has_cycle_at_distance_zero : t -> bool
+(** Sanity check: true if the distance-0 subgraph contains a cycle (which
+    would indicate a malformed loop or an analysis bug). *)

@@ -1,0 +1,47 @@
+(** Textual format for loops.
+
+    The paper released its raw loop data so other researchers could apply
+    their own learning techniques; this module is that artifact for the
+    reproduction: every loop — hand-written, synthetic, or user-authored —
+    can be serialised to a small readable DSL and parsed back.  The CLI
+    uses it to export suites ([unroll-ml export]) and to compile loops a
+    user wrote by hand ([unroll-ml inspect-file]).
+
+    Grammar (one directive per line; [#] starts a comment):
+
+    {v
+loop NAME {
+  lang fortran            # c | fortran | fortran90
+  trip 256                # runtime trip count
+  trip_static unknown     # optional; 'unknown' or an integer (default: trip)
+  nest 2                  # optional, default 1
+  outer 8                 # optional, default 1
+  aliased true            # optional, default by language
+  exit_prob 0.001         # optional, default 0
+  array x 272 elem=8      # name, length, element size
+  reg f a                 # declare a live-in register: class f or i
+  f xv = load x [1*i+0]
+  f r  = fmadd a xv yv    # ops: ialu imul fadd fmul fmadd fdiv cmp sel mov
+  store y [1*i+0] r
+  i p  = cmp xv
+  (p) f z = fmul xv xv    # predication: guard with a previously-defined cmp
+  load! t [idx]           # '!' marks an indirect reference (addr operand)
+  exit p                  # early exit guarded by p
+  call
+  liveout r
+}
+    v}
+
+    The loop overhead (induction update, compare, backedge) is appended
+    automatically, as with {!Builder.finish}. *)
+
+val to_string : Loop.t -> string
+(** Serialise a loop.  Loops produced by {!Builder} (every loop in this
+    repository) round-trip: [parse (to_string l)] is structurally equal to
+    [l] up to register numbering. *)
+
+val parse : string -> (Loop.t, string) result
+(** Parse one loop definition.  Errors carry a line number and message. *)
+
+val parse_many : string -> (Loop.t list, string) result
+(** Parse a file of several loop definitions. *)

@@ -1,0 +1,7 @@
+(** Human-readable rendering of loops and dependence graphs. *)
+
+val pp_loop : Format.formatter -> Loop.t -> unit
+val loop_to_string : Loop.t -> string
+
+val pp_deps : Format.formatter -> Deps.t -> unit
+(** One line per edge: positions, kind, latency, distance. *)

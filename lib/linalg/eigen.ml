@@ -1,0 +1,66 @@
+let symmetric ?(max_sweeps = 64) ?(eps = 1e-12) a =
+  let n = Mat.rows a in
+  if Mat.cols a <> n then invalid_arg "Eigen.symmetric: non-square";
+  (* Work on a symmetrised copy so that only the lower triangle is trusted. *)
+  let m = Mat.init n n (fun i j -> if i >= j then Mat.get a i j else Mat.get a j i) in
+  let v = Mat.identity n in
+  let off_diag_norm () =
+    let acc = ref 0.0 in
+    for i = 0 to n - 1 do
+      for j = i + 1 to n - 1 do
+        let x = Mat.get m i j in
+        acc := !acc +. (x *. x)
+      done
+    done;
+    sqrt !acc
+  in
+  let rotate p q =
+    let apq = Mat.get m p q in
+    if Float.abs apq > 0.0 then begin
+      let app = Mat.get m p p and aqq = Mat.get m q q in
+      let theta = (aqq -. app) /. (2.0 *. apq) in
+      let t =
+        let s = if theta >= 0.0 then 1.0 else -1.0 in
+        s /. (Float.abs theta +. sqrt ((theta *. theta) +. 1.0))
+      in
+      let c = 1.0 /. sqrt ((t *. t) +. 1.0) in
+      let s = t *. c in
+      for k = 0 to n - 1 do
+        let mkp = Mat.get m k p and mkq = Mat.get m k q in
+        Mat.set m k p ((c *. mkp) -. (s *. mkq));
+        Mat.set m k q ((s *. mkp) +. (c *. mkq))
+      done;
+      for k = 0 to n - 1 do
+        let mpk = Mat.get m p k and mqk = Mat.get m q k in
+        Mat.set m p k ((c *. mpk) -. (s *. mqk));
+        Mat.set m q k ((s *. mpk) +. (c *. mqk))
+      done;
+      for k = 0 to n - 1 do
+        let vkp = Mat.get v k p and vkq = Mat.get v k q in
+        Mat.set v k p ((c *. vkp) -. (s *. vkq));
+        Mat.set v k q ((s *. vkp) +. (c *. vkq))
+      done
+    end
+  in
+  let sweeps = ref 0 in
+  while off_diag_norm () > eps && !sweeps < max_sweeps do
+    incr sweeps;
+    for p = 0 to n - 2 do
+      for q = p + 1 to n - 1 do
+        rotate p q
+      done
+    done
+  done;
+  let values = Array.init n (fun i -> Mat.get m i i) in
+  (* Sort eigenpairs by decreasing eigenvalue. *)
+  let order = Array.init n (fun i -> i) in
+  Array.sort (fun i j -> compare values.(j) values.(i)) order;
+  let sorted_values = Array.map (fun i -> values.(i)) order in
+  let sorted_vectors = Mat.init n n (fun i j -> Mat.get v i order.(j)) in
+  (sorted_values, sorted_vectors)
+
+let top_eigenvectors a k =
+  let _, vectors = symmetric a in
+  let n = Mat.rows a in
+  if k > n then invalid_arg "Eigen.top_eigenvectors: k too large";
+  Array.init k (fun j -> Array.init n (fun i -> Mat.get vectors i j))

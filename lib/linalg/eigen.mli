@@ -1,0 +1,18 @@
+(** Eigendecomposition of symmetric matrices (cyclic Jacobi).
+
+    Fisher LDA — used to project loop feature vectors to the plane for the
+    paper's Figures 1 and 2 — needs the leading eigenvectors of a symmetric
+    matrix.  Jacobi rotation is simple, unconditionally stable, and fast
+    enough for feature-space dimensions (≤ 38). *)
+
+val symmetric : ?max_sweeps:int -> ?eps:float -> Mat.t ->
+  float array * Mat.t
+(** [symmetric a] diagonalises symmetric [a], returning [(values, vectors)]
+    with eigenvalues sorted in decreasing order and the corresponding
+    eigenvectors as matrix {e columns}.  Only the lower triangle of [a] is
+    trusted.  [max_sweeps] (default 64) bounds the number of Jacobi sweeps;
+    [eps] (default 1e-12) is the off-diagonal convergence threshold. *)
+
+val top_eigenvectors : Mat.t -> int -> float array array
+(** [top_eigenvectors a k] returns the [k] eigenvectors of symmetric [a]
+    with largest eigenvalues, each as a row vector. *)

@@ -1,0 +1,101 @@
+type t = { r : int; c : int; a : float array }
+
+let create r c =
+  if r < 0 || c < 0 then invalid_arg "Mat.create";
+  { r; c; a = Array.make (r * c) 0.0 }
+
+let init r c f =
+  let m = create r c in
+  for i = 0 to r - 1 do
+    for j = 0 to c - 1 do
+      m.a.((i * c) + j) <- f i j
+    done
+  done;
+  m
+
+let of_rows rows =
+  let r = Array.length rows in
+  if r = 0 then create 0 0
+  else begin
+    let c = Array.length rows.(0) in
+    Array.iter (fun row -> if Array.length row <> c then invalid_arg "Mat.of_rows: ragged") rows;
+    init r c (fun i j -> rows.(i).(j))
+  end
+
+let identity n = init n n (fun i j -> if i = j then 1.0 else 0.0)
+
+let rows m = m.r
+let cols m = m.c
+
+let get m i j = m.a.((i * m.c) + j)
+let set m i j v = m.a.((i * m.c) + j) <- v
+
+let copy m = { m with a = Array.copy m.a }
+
+let row m i = Array.sub m.a (i * m.c) m.c
+
+let col m j = Array.init m.r (fun i -> get m i j)
+
+let transpose m = init m.c m.r (fun i j -> get m j i)
+
+let check_same m n =
+  if m.r <> n.r || m.c <> n.c then invalid_arg "Mat: dimension mismatch"
+
+let add m n =
+  check_same m n;
+  { m with a = Array.init (Array.length m.a) (fun i -> m.a.(i) +. n.a.(i)) }
+
+let sub m n =
+  check_same m n;
+  { m with a = Array.init (Array.length m.a) (fun i -> m.a.(i) -. n.a.(i)) }
+
+let scale s m = { m with a = Array.map (fun v -> s *. v) m.a }
+
+(* i-k-j loop order: the inner loop walks both matrices row-major. *)
+let mul m n =
+  if m.c <> n.r then invalid_arg "Mat.mul: inner dimensions";
+  let out = create m.r n.c in
+  for i = 0 to m.r - 1 do
+    for k = 0 to m.c - 1 do
+      let mik = m.a.((i * m.c) + k) in
+      if mik <> 0.0 then
+        for j = 0 to n.c - 1 do
+          out.a.((i * n.c) + j) <- out.a.((i * n.c) + j) +. (mik *. n.a.((k * n.c) + j))
+        done
+    done
+  done;
+  out
+
+let mul_vec m x =
+  if m.c <> Array.length x then invalid_arg "Mat.mul_vec: dimension";
+  Array.init m.r (fun i ->
+      let acc = ref 0.0 in
+      for j = 0 to m.c - 1 do
+        acc := !acc +. (m.a.((i * m.c) + j) *. x.(j))
+      done;
+      !acc)
+
+let add_diagonal m a =
+  let n = min m.r m.c in
+  for i = 0 to n - 1 do
+    m.a.((i * m.c) + i) <- m.a.((i * m.c) + i) +. a
+  done
+
+let equal ?(eps = 1e-9) m n =
+  m.r = n.r && m.c = n.c
+  &&
+  let ok = ref true in
+  for i = 0 to Array.length m.a - 1 do
+    if Float.abs (m.a.(i) -. n.a.(i)) > eps then ok := false
+  done;
+  !ok
+
+let pp fmt m =
+  for i = 0 to m.r - 1 do
+    Format.fprintf fmt "[";
+    for j = 0 to m.c - 1 do
+      if j > 0 then Format.fprintf fmt " ";
+      Format.fprintf fmt "%8.4f" (get m i j)
+    done;
+    Format.fprintf fmt "]@."
+  done

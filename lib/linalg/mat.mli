@@ -1,0 +1,41 @@
+(** Dense matrices stored row-major in a flat [float array].
+
+    The flat layout keeps the LS-SVM kernel matrix (N×N for N ≈ 2,500)
+    allocation- and cache-friendly. *)
+
+type t
+
+val create : int -> int -> t
+(** [create rows cols] is a zero matrix. *)
+
+val init : int -> int -> (int -> int -> float) -> t
+val of_rows : float array array -> t
+val identity : int -> t
+
+val rows : t -> int
+val cols : t -> int
+
+val get : t -> int -> int -> float
+val set : t -> int -> int -> float -> unit
+
+val copy : t -> t
+val row : t -> int -> float array
+val col : t -> int -> float array
+val transpose : t -> t
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val scale : float -> t -> t
+
+val mul : t -> t -> t
+(** Matrix product.  Inner dimensions must agree. *)
+
+val mul_vec : t -> Vec.t -> Vec.t
+(** Matrix–vector product. *)
+
+val add_diagonal : t -> float -> unit
+(** [add_diagonal m a] adds [a] to every diagonal entry in place — the ridge
+    term K + I/gamma of LS-SVM. *)
+
+val equal : ?eps:float -> t -> t -> bool
+val pp : Format.formatter -> t -> unit

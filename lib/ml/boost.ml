@@ -1,0 +1,78 @@
+type t = {
+  learners : (Decision_tree.t * float) list; (* tree, alpha *)
+  classes : int;
+}
+
+(* Weighted resampling: draw n examples proportionally to their boosting
+   weights, deterministically. *)
+let resample rng weights pairs =
+  let n = Array.length pairs in
+  let cumulative = Array.make n 0.0 in
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun i w ->
+      acc := !acc +. w;
+      cumulative.(i) <- !acc)
+    weights;
+  let total = !acc in
+  Array.init n (fun _ ->
+      let x = Rng.float rng total in
+      (* first index with cumulative >= x *)
+      let rec bisect lo hi =
+        if lo >= hi then lo
+        else
+          let mid = (lo + hi) / 2 in
+          if cumulative.(mid) < x then bisect (mid + 1) hi else bisect lo mid
+      in
+      pairs.(bisect 0 (n - 1)))
+
+let train ?(rounds = 20) ?(max_depth = 3) ?(seed = 1905) ~n_classes pairs =
+  if Array.length pairs = 0 then invalid_arg "Boost.train: empty data";
+  let rng = Rng.create seed in
+  let n = Array.length pairs in
+  let weights = Array.make n (1.0 /. float_of_int n) in
+  let learners = ref [] in
+  (try
+     for _ = 1 to rounds do
+       let sample = resample rng weights pairs in
+       let tree = Decision_tree.train ~max_depth ~n_classes sample in
+       let err = ref 0.0 in
+       Array.iteri
+         (fun i (x, y) -> if Decision_tree.predict tree x <> y then err := !err +. weights.(i))
+         pairs;
+       let err = Float.max !err 1e-10 in
+       if err >= 0.5 then raise Stdlib.Exit
+       else begin
+         let alpha = 0.5 *. log ((1.0 -. err) /. err) in
+         learners := (tree, alpha) :: !learners;
+         (* Reweight: mistakes up, hits down, renormalise. *)
+         let z = ref 0.0 in
+         Array.iteri
+           (fun i (x, y) ->
+             let correct = Decision_tree.predict tree x = y in
+             weights.(i) <- weights.(i) *. exp (if correct then -.alpha else alpha);
+             z := !z +. weights.(i))
+           pairs;
+         Array.iteri (fun i w -> weights.(i) <- w /. !z) weights;
+         if err < 1e-9 then raise Stdlib.Exit
+       end
+     done
+   with Stdlib.Exit -> ());
+  (* Always keep at least one learner. *)
+  let learners =
+    match !learners with
+    | [] -> [ (Decision_tree.train ~max_depth ~n_classes pairs, 1.0) ]
+    | l -> l
+  in
+  { learners; classes = n_classes }
+
+let predict t x =
+  let votes = Array.make t.classes 0.0 in
+  List.iter
+    (fun (tree, alpha) ->
+      let c = Decision_tree.predict tree x in
+      votes.(c) <- votes.(c) +. alpha)
+    t.learners;
+  Stats.max_index votes
+
+let rounds_used t = List.length t.learners

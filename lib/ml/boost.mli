@@ -1,0 +1,21 @@
+(** AdaBoost.M1 over depth-limited decision trees.
+
+    Monsifrot et al. — the closest related work the paper discusses in §9 —
+    predict the binary unroll/don't-unroll decision with {e boosted}
+    decision trees.  This implements the classic AdaBoost.M1 ensemble over
+    {!Decision_tree} weak learners (trained on weighted resamples drawn
+    with a deterministic RNG), so the related-work comparison can use the
+    actual algorithm rather than a single tree. *)
+
+type t
+
+val train :
+  ?rounds:int -> ?max_depth:int -> ?seed:int -> n_classes:int ->
+  (float array * int) array -> t
+(** [rounds] defaults to 20, [max_depth] (per weak learner) to 3.
+    Training stops early if a weak learner reaches zero weighted error. *)
+
+val predict : t -> float array -> int
+(** Weighted vote of the ensemble. *)
+
+val rounds_used : t -> int

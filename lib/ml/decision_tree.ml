@@ -1,0 +1,98 @@
+type node =
+  | Leaf of int
+  | Split of { feature : int; threshold : float; below : node; above : node }
+
+type t = { root : node }
+
+let majority n_classes pairs =
+  let counts = Array.make n_classes 0 in
+  Array.iter (fun (_, y) -> counts.(y) <- counts.(y) + 1) pairs;
+  Stats.max_index (Array.map float_of_int counts)
+
+let gini n_classes pairs =
+  let n = Array.length pairs in
+  if n = 0 then 0.0
+  else begin
+    let counts = Array.make n_classes 0 in
+    Array.iter (fun (_, y) -> counts.(y) <- counts.(y) + 1) pairs;
+    let acc = ref 1.0 in
+    Array.iter
+      (fun c ->
+        let p = float_of_int c /. float_of_int n in
+        acc := !acc -. (p *. p))
+      counts;
+    !acc
+  end
+
+let pure pairs =
+  Array.length pairs <= 1
+  ||
+  let y0 = snd pairs.(0) in
+  Array.for_all (fun (_, y) -> y = y0) pairs
+
+(* Best (feature, threshold) by weighted Gini, scanning midpoints of
+   consecutive distinct values. *)
+let best_split n_classes pairs =
+  let n = Array.length pairs in
+  let d = Array.length (fst pairs.(0)) in
+  let best = ref None in
+  for f = 0 to d - 1 do
+    let values = Array.map (fun (x, _) -> x.(f)) pairs in
+    let sorted = Array.copy values in
+    Array.sort compare sorted;
+    let thresholds = ref [] in
+    for i = 0 to n - 2 do
+      if sorted.(i) < sorted.(i + 1) then
+        thresholds := ((sorted.(i) +. sorted.(i + 1)) /. 2.0) :: !thresholds
+    done;
+    List.iter
+      (fun th ->
+        let below = Array.of_list (List.filter (fun (x, _) -> x.(f) <= th) (Array.to_list pairs)) in
+        let above = Array.of_list (List.filter (fun (x, _) -> x.(f) > th) (Array.to_list pairs)) in
+        if Array.length below > 0 && Array.length above > 0 then begin
+          let wb = float_of_int (Array.length below) /. float_of_int n in
+          let wa = float_of_int (Array.length above) /. float_of_int n in
+          let score = (wb *. gini n_classes below) +. (wa *. gini n_classes above) in
+          match !best with
+          | Some (s, _, _, _, _) when s <= score -> ()
+          | _ -> best := Some (score, f, th, below, above)
+        end)
+      !thresholds
+  done;
+  !best
+
+let train ?(max_depth = 6) ?(min_leaf = 4) ~n_classes pairs =
+  if Array.length pairs = 0 then invalid_arg "Decision_tree.train: empty data";
+  let rec grow depth pairs =
+    if depth >= max_depth || Array.length pairs < 2 * min_leaf || pure pairs then
+      Leaf (majority n_classes pairs)
+    else
+      match best_split n_classes pairs with
+      | None -> Leaf (majority n_classes pairs)
+      | Some (_, feature, threshold, below, above) ->
+        if Array.length below < min_leaf || Array.length above < min_leaf then
+          Leaf (majority n_classes pairs)
+        else
+          Split
+            { feature; threshold; below = grow (depth + 1) below; above = grow (depth + 1) above }
+  in
+  { root = grow 0 pairs }
+
+let rec predict_node node x =
+  match node with
+  | Leaf y -> y
+  | Split { feature; threshold; below; above } ->
+    if x.(feature) <= threshold then predict_node below x else predict_node above x
+
+let predict t x = predict_node t.root x
+
+let rec node_depth = function
+  | Leaf _ -> 1
+  | Split { below; above; _ } -> 1 + max (node_depth below) (node_depth above)
+
+let rec node_leaves = function
+  | Leaf _ -> 1
+  | Split { below; above; _ } -> node_leaves below + node_leaves above
+
+let depth t = node_depth t.root
+let leaves t = node_leaves t.root

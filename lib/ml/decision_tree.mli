@@ -1,0 +1,18 @@
+(** Depth-bounded CART decision tree.
+
+    Supports the related-work comparison with Monsifrot et al. (paper §9),
+    who predict the {e binary} unroll / don't-unroll decision with boosted
+    decision trees.  Splits minimise Gini impurity over axis-aligned
+    thresholds; also usable as a multi-class baseline. *)
+
+type t
+
+val train :
+  ?max_depth:int -> ?min_leaf:int -> n_classes:int ->
+  (float array * int) array -> t
+(** [max_depth] defaults to 6, [min_leaf] to 4. *)
+
+val predict : t -> float array -> int
+
+val depth : t -> int
+val leaves : t -> int

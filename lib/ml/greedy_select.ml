@@ -1,0 +1,71 @@
+let run ~n_features ~k ~error =
+  let chosen = ref [] in
+  let remaining = ref (List.init n_features (fun i -> i)) in
+  let picks = ref [] in
+  for _ = 1 to min k n_features do
+    let best = ref None in
+    List.iter
+      (fun f ->
+        let err = error (List.rev (f :: !chosen)) in
+        match !best with
+        | Some (_, e) when e <= err -> ()
+        | _ -> best := Some (f, err))
+      !remaining;
+    match !best with
+    | None -> ()
+    | Some (f, err) ->
+      chosen := f :: !chosen;
+      remaining := List.filter (fun g -> g <> f) !remaining;
+      picks := (f, err) :: !picks
+  done;
+  List.rev !picks
+
+let project (e : Dataset.example) subset =
+  Array.of_list (List.map (fun j -> e.Dataset.features.(j)) subset)
+
+let nn_training_error (ds : Dataset.t) subset =
+  let pts = Array.map (fun e -> (project e subset, e.Dataset.label)) ds.Dataset.examples in
+  if Array.length pts < 2 then 1.0
+  else begin
+    (* §7.2: for greedy selection the NN algorithm is modified to use the
+       single closest point.  Radius 0 makes every query fall through to
+       the 1-NN fallback. *)
+    let knn = Knn.train ~radius:0.0 ~n_classes:ds.Dataset.n_classes pts in
+    let preds = Knn.loo_predictions knn in
+    let errs = ref 0 in
+    Array.iteri (fun i p -> if p <> snd pts.(i) then incr errs) preds;
+    float_of_int !errs /. float_of_int (Array.length pts)
+  end
+
+let subsample (ds : Dataset.t) max_examples =
+  let n = Dataset.size ds in
+  if n <= max_examples then ds
+  else begin
+    (* Deterministic stride-based subsample preserving class mix. *)
+    let stride = float_of_int n /. float_of_int max_examples in
+    let keep =
+      List.init max_examples (fun i -> int_of_float (float_of_int i *. stride))
+    in
+    {
+      ds with
+      Dataset.examples = Array.of_list (List.map (fun i -> ds.Dataset.examples.(i)) keep);
+    }
+  end
+
+let svm_training_error ?(kernel = Kernel.Rbf 0.5) ?(gamma = 16.0) ?(max_examples = 400)
+    (ds : Dataset.t) subset =
+  let ds = subsample ds max_examples in
+  let pairs =
+    Array.map (fun e -> (project e subset, e.Dataset.label)) ds.Dataset.examples
+  in
+  if Array.length pairs < 2 then 1.0
+  else begin
+    let model =
+      Multiclass.train ~n_classes:ds.Dataset.n_classes ~kernel ~gamma pairs
+    in
+    let errs = ref 0 in
+    Array.iter
+      (fun (x, y) -> if Multiclass.predict model x <> y then incr errs)
+      pairs;
+    float_of_int !errs /. float_of_int (Array.length pairs)
+  end

@@ -1,0 +1,25 @@
+(** Greedy forward feature selection (paper §7.2).
+
+    Starting from the empty set, repeatedly add the feature that minimises
+    the training error of a given classifier on the training set, until [k]
+    features are chosen.  The classifier is abstracted as a function from a
+    feature-index subset to a training error, so the same driver serves the
+    1-NN variant the paper uses for near neighbors and the SVM variant. *)
+
+val run :
+  n_features:int -> k:int -> error:(int list -> float) -> (int * float) list
+(** [run ~n_features ~k ~error] returns the chosen features in selection
+    order, each with the training error achieved once it was added.
+    Deterministic: ties pick the lowest feature index. *)
+
+val nn_training_error : Dataset.t -> int list -> float
+(** Training error of single-nearest-neighbor classification restricted to
+    a feature subset — each example classified by its nearest other
+    example, as §7.2 describes for NN greedy selection. *)
+
+val svm_training_error :
+  ?kernel:Kernel.t -> ?gamma:float -> ?max_examples:int -> Dataset.t ->
+  int list -> float
+(** Training error of the one-vs-rest LS-SVM on a feature subset.  For
+    tractability at most [max_examples] (default 400) examples participate
+    (deterministic stratified subsample). *)

@@ -1,0 +1,32 @@
+type t = Linear | Rbf of float | Poly of { degree : int; bias : float }
+
+let apply t x y =
+  match t with
+  | Linear -> Vec.dot x y
+  | Rbf gamma -> exp (-.gamma *. Vec.dist2 x y)
+  | Poly { degree; bias } -> (Vec.dot x y +. bias) ** float_of_int degree
+
+let gram t points =
+  let n = Array.length points in
+  let m = Mat.create n n in
+  for i = 0 to n - 1 do
+    for j = 0 to i do
+      let v = apply t points.(i) points.(j) in
+      Mat.set m i j v;
+      Mat.set m j i v
+    done
+  done;
+  m
+
+let name = function
+  | Linear -> "linear"
+  | Rbf g -> Printf.sprintf "rbf(%g)" g
+  | Poly { degree; bias } -> Printf.sprintf "poly(%d,%g)" degree bias
+
+let of_string str =
+  if str = "linear" then Some Linear
+  else
+    try Scanf.sscanf str "rbf(%f)" (fun g -> Some (Rbf g))
+    with Scanf.Scan_failure _ | Failure _ | End_of_file -> (
+      try Scanf.sscanf str "poly(%d,%f)" (fun d b -> Some (Poly { degree = d; bias = b }))
+      with Scanf.Scan_failure _ | Failure _ | End_of_file -> None)

@@ -1,0 +1,20 @@
+(** Kernel functions for the LS-SVM.
+
+    The paper's SVM maps the feature space into a higher-dimensional space
+    with a non-linear function — a radial basis kernel in its Figure 2 —
+    where classes separate more easily. *)
+
+type t =
+  | Linear
+  | Rbf of float   (** gamma: k(x,y) = exp (-gamma * |x-y|²) *)
+  | Poly of { degree : int; bias : float }
+
+val apply : t -> float array -> float array -> float
+
+val gram : t -> float array array -> Mat.t
+(** Symmetric Gram matrix K with K[i][j] = k(x_i, x_j). *)
+
+val name : t -> string
+(** e.g. ["rbf(0.03)"]; parseable by {!of_string}. *)
+
+val of_string : string -> t option

@@ -1,0 +1,70 @@
+type t = {
+  points : float array array;
+  labels : int array;
+  radius : float;
+  classes : int;
+}
+
+let train ?(radius = 0.3) ~n_classes pairs =
+  if Array.length pairs = 0 then invalid_arg "Knn.train: empty training set";
+  {
+    points = Array.map fst pairs;
+    labels = Array.map snd pairs;
+    radius;
+    classes = n_classes;
+  }
+
+let n_classes t = t.classes
+let size t = Array.length t.points
+let radius t = t.radius
+
+(* RMS-per-dimension distance: Euclidean scaled by 1/sqrt d. *)
+let distance x y =
+  let d = Array.length x in
+  sqrt (Vec.dist2 x y /. float_of_int (max d 1))
+
+let classify ?(skip = -1) t x =
+  let votes = Array.make t.classes 0 in
+  let nearest = ref (-1) in
+  let nearest_d = ref infinity in
+  let in_radius = ref 0 in
+  Array.iteri
+    (fun i p ->
+      if i <> skip then begin
+        let d = distance x p in
+        if d < !nearest_d then begin
+          nearest_d := d;
+          nearest := i
+        end;
+        if d <= t.radius then begin
+          incr in_radius;
+          votes.(t.labels.(i)) <- votes.(t.labels.(i)) + 1
+        end
+      end)
+    t.points;
+  if !in_radius = 0 then ((if !nearest >= 0 then t.labels.(!nearest) else 0), 0.0)
+  else begin
+    let best = Stats.max_index (Array.map float_of_int votes) in
+    (best, float_of_int votes.(best) /. float_of_int !in_radius)
+  end
+
+let predict t x = fst (classify t x)
+let predict_confidence t x = classify t x
+
+let predict_1nn t x =
+  let nearest = ref 0 and nearest_d = ref infinity in
+  Array.iteri
+    (fun i p ->
+      let d = distance x p in
+      if d < !nearest_d then begin
+        nearest_d := d;
+        nearest := i
+      end)
+    t.points;
+  t.labels.(!nearest)
+
+let loo_predictions t =
+  Array.mapi (fun i p -> fst (classify ~skip:i t p)) t.points
+
+let export t =
+  (t.radius, t.classes, Array.mapi (fun i p -> (p, t.labels.(i))) t.points)

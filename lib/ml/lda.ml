@@ -1,0 +1,67 @@
+type t = { axes : float array array }
+
+let mean_of points idxs d =
+  let m = Array.make d 0.0 in
+  List.iter (fun i -> Array.iteri (fun j v -> m.(j) <- m.(j) +. v) points.(i)) idxs;
+  let n = float_of_int (List.length idxs) in
+  Array.map (fun v -> v /. n) m
+
+let fit ?(dims = 2) pairs =
+  let n = Array.length pairs in
+  if n = 0 then invalid_arg "Lda.fit: empty data";
+  let d = Array.length (fst pairs.(0)) in
+  let points = Array.map fst pairs in
+  let labels = Array.map snd pairs in
+  let classes = 1 + Array.fold_left max 0 labels in
+  let by_class =
+    Array.init classes (fun c ->
+        List.filteri (fun i _ -> labels.(i) = c) (List.init n (fun i -> i)))
+  in
+  let global_mean = mean_of points (List.init n (fun i -> i)) d in
+  let sw = Mat.create d d and sb = Mat.create d d in
+  Array.iter
+    (fun idxs ->
+      if idxs <> [] then begin
+        let mu = mean_of points idxs d in
+        List.iter
+          (fun i ->
+            let x = points.(i) in
+            for a = 0 to d - 1 do
+              for b = 0 to d - 1 do
+                Mat.set sw a b
+                  (Mat.get sw a b +. ((x.(a) -. mu.(a)) *. (x.(b) -. mu.(b))))
+              done
+            done)
+          idxs;
+        let nc = float_of_int (List.length idxs) in
+        for a = 0 to d - 1 do
+          for b = 0 to d - 1 do
+            Mat.set sb a b
+              (Mat.get sb a b
+              +. (nc *. (mu.(a) -. global_mean.(a)) *. (mu.(b) -. global_mean.(b))))
+          done
+        done
+      end)
+    by_class;
+  (* Ridge so Sw is invertible, then solve the symmetric generalised
+     eigenproblem via Sw^{-1/2} Sb Sw^{-1/2}. *)
+  Mat.add_diagonal sw (1e-6 *. float_of_int n);
+  let vals, vecs = Eigen.symmetric sw in
+  let inv_sqrt = Mat.init d d (fun i j ->
+      (* Sw^{-1/2} = V diag(1/sqrt(lambda)) V^T *)
+      let acc = ref 0.0 in
+      for k = 0 to d - 1 do
+        let lk = max vals.(k) 1e-9 in
+        acc := !acc +. (Mat.get vecs i k *. Mat.get vecs j k /. sqrt lk)
+      done;
+      !acc)
+  in
+  let m = Mat.mul inv_sqrt (Mat.mul sb inv_sqrt) in
+  let top = Eigen.top_eigenvectors m (min dims d) in
+  (* Back-transform: w = Sw^{-1/2} v. *)
+  let axes = Array.map (fun v -> Mat.mul_vec inv_sqrt v) top in
+  { axes }
+
+let project t x = Array.map (fun axis -> Vec.dot axis x) t.axes
+
+let axes t = t.axes

@@ -1,0 +1,20 @@
+(** Fisher linear discriminant analysis.
+
+    Used, as in the paper's Figures 1 and 2, to find a "good" plane onto
+    which high-dimensional loop data is projected for visualisation: the
+    projection maximises between-class scatter relative to within-class
+    scatter.  Axes of the projected plot are linear combinations of the
+    original features. *)
+
+type t
+
+val fit : ?dims:int -> (float array * int) array -> t
+(** Learn a [dims]-dimensional (default 2) discriminant projection.
+    Within-class scatter is regularised with a small ridge so the inverse
+    exists even with collinear features. *)
+
+val project : t -> float array -> float array
+(** Map a feature vector into the discriminant subspace. *)
+
+val axes : t -> float array array
+(** The projection vectors (one row per output dimension). *)

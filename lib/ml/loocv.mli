@@ -1,0 +1,39 @@
+(** Leave-one-out cross-validation (paper §4.2).
+
+    LOOCV iterates N times, removing one example, training on the other
+    N−1, and classifying the removed example; the generalization accuracy
+    is the fraction classified correctly.  The paper chose it because the
+    dataset is small and nearly every example can be used for training.
+
+    Fast paths exist for the classifiers that have them — {!Knn} excludes
+    a point from its own vote, {!Lssvm}/{!Multiclass} use the closed-form
+    residuals — so this module provides the {e generic} driver (train N
+    times) for classifiers without a shortcut, plus a grouped variant for
+    the leave-one-benchmark-out protocol of §6.1. *)
+
+val run :
+  train:((float array * int) array -> 'model) ->
+  predict:('model -> float array -> int) ->
+  (float array * int) array ->
+  int array
+(** [run ~train ~predict pairs] returns the LOO prediction for every
+    example.  O(N × training cost): use the classifier-specific shortcuts
+    when they exist. *)
+
+val accuracy :
+  train:((float array * int) array -> 'model) ->
+  predict:('model -> float array -> int) ->
+  (float array * int) array ->
+  float
+(** Convenience: LOO predictions scored against the labels. *)
+
+val grouped :
+  groups:string array ->
+  train:((float array * int) array -> 'model) ->
+  predict:('model -> float array -> int) ->
+  (float array * int) array ->
+  int array
+(** Leave-one-group-out: example [i]'s prediction comes from a model
+    trained on every example whose group differs from [groups.(i)] —
+    the compile-a-benchmark-you-never-saw protocol.  Trains once per
+    distinct group. *)

@@ -1,0 +1,68 @@
+let check_sizes a b name = if Array.length a <> Array.length b then invalid_arg name
+
+let accuracy ~pred ~truth =
+  check_sizes pred truth "Metrics.accuracy";
+  if Array.length pred = 0 then 0.0
+  else begin
+    let hits = ref 0 in
+    Array.iteri (fun i p -> if p = truth.(i) then incr hits) pred;
+    float_of_int !hits /. float_of_int (Array.length pred)
+  end
+
+let rank_distribution ~pred ~costs =
+  check_sizes pred costs "Metrics.rank_distribution";
+  let n_classes = Array.length costs.(0) in
+  let counts = Array.make n_classes 0 in
+  Array.iteri
+    (fun i p ->
+      let r = Stats.rank_of costs.(i) p in
+      counts.(r) <- counts.(r) + 1)
+    pred;
+  Array.map (fun c -> float_of_int c /. float_of_int (max 1 (Array.length pred))) counts
+
+let mean_cost_ratio ~pred ~costs =
+  check_sizes pred costs "Metrics.mean_cost_ratio";
+  if Array.length pred = 0 then 1.0
+  else begin
+    let acc = ref 0.0 in
+    Array.iteri
+      (fun i p ->
+        let best = costs.(i).(Stats.min_index costs.(i)) in
+        acc := !acc +. (costs.(i).(p) /. best))
+      pred;
+    !acc /. float_of_int (Array.length pred)
+  end
+
+let rank_cost_penalty ~costs =
+  if Array.length costs = 0 then [||]
+  else begin
+    let n_classes = Array.length costs.(0) in
+    let sums = Array.make n_classes 0.0 in
+    Array.iter
+      (fun cs ->
+        let sorted = Array.copy cs in
+        Array.sort compare sorted;
+        let best = sorted.(0) in
+        Array.iteri (fun r c -> sums.(r) <- sums.(r) +. (c /. best)) sorted)
+      costs;
+    Array.map (fun s -> s /. float_of_int (Array.length costs)) sums
+  end
+
+let confusion ~n_classes ~pred ~truth =
+  check_sizes pred truth "Metrics.confusion";
+  let m = Array.make_matrix n_classes n_classes 0 in
+  Array.iteri (fun i p -> m.(truth.(i)).(p) <- m.(truth.(i)).(p) + 1) pred;
+  m
+
+let within_of_optimal ~pred ~costs factor =
+  check_sizes pred costs "Metrics.within_of_optimal";
+  if Array.length pred = 0 then 0.0
+  else begin
+    let hits = ref 0 in
+    Array.iteri
+      (fun i p ->
+        let best = costs.(i).(Stats.min_index costs.(i)) in
+        if costs.(i).(p) <= best *. factor then incr hits)
+      pred;
+    float_of_int !hits /. float_of_int (Array.length pred)
+  end

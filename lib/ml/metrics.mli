@@ -1,0 +1,27 @@
+(** Evaluation metrics for unroll-factor prediction (paper Table 2).
+
+    Beyond plain accuracy, predictions are judged by the {e rank} of the
+    chosen factor among the measured per-class costs (optimal, second-best,
+    …, worst) and by the runtime penalty of mispredicting relative to the
+    optimal choice — the "Cost" column of Table 2. *)
+
+val accuracy : pred:int array -> truth:int array -> float
+
+val rank_distribution : pred:int array -> costs:float array array -> float array
+(** Element [r] is the fraction of predictions whose measured cost ranks
+    [r]-th best (0 = optimal) for that example. *)
+
+val mean_cost_ratio : pred:int array -> costs:float array array -> float
+(** Average of cost(prediction) / cost(optimal) — ≥ 1.0. *)
+
+val rank_cost_penalty : costs:float array array -> float array
+(** A property of the dataset, not of a predictor: element [r] is the
+    average over examples of cost(r-th best factor) / cost(optimal) — the
+    paper's Cost column (1x for rank 0, growing towards the worst rank). *)
+
+val confusion : n_classes:int -> pred:int array -> truth:int array -> int array array
+(** [confusion.(truth).(pred)] counts. *)
+
+val within_of_optimal : pred:int array -> costs:float array array -> float -> float
+(** Fraction of predictions whose cost is within the multiplicative factor
+    (e.g. 1.07 for "within 7% of optimal"). *)

@@ -1,0 +1,59 @@
+(* Equal-frequency binning: bin edges at quantiles, ties collapsed. *)
+let binize bins values =
+  let n = Array.length values in
+  let sorted = Array.copy values in
+  Array.sort compare sorted;
+  let edges =
+    List.init (bins - 1) (fun i ->
+        sorted.((i + 1) * n / bins))
+    |> List.sort_uniq compare
+  in
+  let edges = Array.of_list edges in
+  Array.map
+    (fun v ->
+      (* index of the first edge greater than v *)
+      let rec go i = if i >= Array.length edges || v < edges.(i) then i else go (i + 1) in
+      go 0)
+    values
+
+let score ?(bins = 10) values labels =
+  if Array.length values <> Array.length labels then invalid_arg "Mis.score: sizes";
+  let n = Array.length values in
+  if n = 0 then 0.0
+  else begin
+    let binned = binize bins values in
+    let n_bins = 1 + Array.fold_left max 0 binned in
+    let n_labels = 1 + Array.fold_left max 0 labels in
+    let joint = Array.make_matrix n_bins n_labels 0 in
+    let pf = Array.make n_bins 0 in
+    let pu = Array.make n_labels 0 in
+    Array.iteri
+      (fun i b ->
+        let y = labels.(i) in
+        joint.(b).(y) <- joint.(b).(y) + 1;
+        pf.(b) <- pf.(b) + 1;
+        pu.(y) <- pu.(y) + 1)
+      binned;
+    let fn = float_of_int n in
+    let acc = ref 0.0 in
+    for b = 0 to n_bins - 1 do
+      for y = 0 to n_labels - 1 do
+        if joint.(b).(y) > 0 then begin
+          let pxy = float_of_int joint.(b).(y) /. fn in
+          let px = float_of_int pf.(b) /. fn in
+          let py = float_of_int pu.(y) /. fn in
+          acc := !acc +. (pxy *. (log (pxy /. (px *. py)) /. log 2.0))
+        end
+      done
+    done;
+    !acc
+  end
+
+let rank ?bins (ds : Dataset.t) =
+  let labels = Dataset.labels ds in
+  let scored =
+    Array.init (Array.length ds.Dataset.feature_names) (fun j ->
+        (j, score ?bins (Dataset.feature_column ds j) labels))
+  in
+  Array.sort (fun (_, a) (_, b) -> compare b a) scored;
+  scored

@@ -1,0 +1,12 @@
+(** Mutual information score for feature selection (paper §7.1).
+
+    I(f; u) measures how much knowing feature [f] reduces uncertainty about
+    the best unroll factor [u].  Continuous features are discretised with
+    equal-frequency binning before the probability mass functions are
+    estimated, as in the paper. *)
+
+val score : ?bins:int -> float array -> int array -> float
+(** [score values labels] in bits ([bins] defaults to 10). *)
+
+val rank : ?bins:int -> Dataset.t -> (int * float) array
+(** Every feature with its MIS, sorted by decreasing score. *)

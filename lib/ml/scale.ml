@@ -1,0 +1,34 @@
+type t = { mean : float array; std : float array }
+
+let fit (ds : Dataset.t) =
+  let d = Array.length ds.Dataset.feature_names in
+  let mean = Array.make d 0.0 and std = Array.make d 0.0 in
+  for j = 0 to d - 1 do
+    let col = Dataset.feature_column ds j in
+    mean.(j) <- Stats.mean col;
+    std.(j) <- Stats.stddev col
+  done;
+  { mean; std }
+
+let transform t x =
+  if Array.length x <> Array.length t.mean then invalid_arg "Scale.transform: dimension";
+  Array.mapi
+    (fun j v -> if t.std.(j) > 1e-12 then (v -. t.mean.(j)) /. t.std.(j) else 0.0)
+    x
+
+let apply t (ds : Dataset.t) =
+  {
+    ds with
+    Dataset.examples =
+      Array.map
+        (fun e -> { e with Dataset.features = transform t e.Dataset.features })
+        ds.Dataset.examples;
+  }
+
+let dim t = Array.length t.mean
+
+let export t = (t.mean, t.std)
+
+let import ~mean ~std =
+  if Array.length mean <> Array.length std then invalid_arg "Scale.import";
+  { mean; std }

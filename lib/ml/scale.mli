@@ -1,0 +1,24 @@
+(** Feature normalisation.
+
+    The paper normalises feature vectors "to weigh all features equally" so
+    that large-valued features like trip count do not dominate the distance
+    metric (§5.1).  We use z-scoring: subtract the training mean, divide by
+    the training standard deviation (constant features map to 0). *)
+
+type t
+
+val fit : Dataset.t -> t
+(** Learn means and standard deviations from a dataset. *)
+
+val transform : t -> float array -> float array
+(** Normalise one feature vector with training statistics. *)
+
+val apply : t -> Dataset.t -> Dataset.t
+(** Normalise every example. *)
+
+val dim : t -> int
+
+val export : t -> float array * float array
+(** (means, standard deviations) — for persistence. *)
+
+val import : mean:float array -> std:float array -> t

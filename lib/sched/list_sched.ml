@@ -1,0 +1,126 @@
+(* Per-cycle resource tracking shared conceptually with the modulo
+   scheduler's reservation table, but indexed by absolute cycle here. *)
+type restable = {
+  machine : Machine.t;
+  mutable per_cycle : int array array; (* cycle -> [m; i; f; b; total] *)
+}
+
+let kind_index = function Machine.M -> 0 | Machine.I -> 1 | Machine.F -> 2 | Machine.B -> 3
+
+let avail m = [| m.Machine.m_units; m.Machine.i_units; m.Machine.f_units; m.Machine.b_units |]
+
+let make_restable machine = { machine; per_cycle = Array.init 32 (fun _ -> Array.make 5 0) }
+
+let ensure rt cycle =
+  let n = Array.length rt.per_cycle in
+  if cycle >= n then begin
+    let bigger = Array.init (max (cycle + 1) (2 * n)) (fun _ -> Array.make 5 0) in
+    Array.blit rt.per_cycle 0 bigger 0 n;
+    rt.per_cycle <- bigger
+  end
+
+(* Cycles an op occupies its unit: unpipelined divides block the unit. *)
+let occupancy m (op : Op.t) =
+  match op.Op.opcode with
+  | Op.Fdiv when m.Machine.fdiv_unpipelined -> m.Machine.lat_fdiv
+  | _ -> 1
+
+let fits rt op cycle =
+  let m = rt.machine in
+  let k = kind_index (Machine.unit_of op) in
+  let occ = occupancy m op in
+  let ok = ref true in
+  for c = cycle to cycle + occ - 1 do
+    ensure rt c;
+    let row = rt.per_cycle.(c) in
+    if row.(k) >= (avail m).(k) then ok := false;
+    (* Only the issue cycle consumes issue width. *)
+    if c = cycle && row.(4) >= m.Machine.issue_width then ok := false
+  done;
+  !ok
+
+let reserve rt op cycle =
+  let m = rt.machine in
+  let k = kind_index (Machine.unit_of op) in
+  let occ = occupancy m op in
+  for c = cycle to cycle + occ - 1 do
+    ensure rt c;
+    let row = rt.per_cycle.(c) in
+    row.(k) <- row.(k) + 1;
+    if c = cycle then row.(4) <- row.(4) + 1
+  done
+
+let schedule machine (loop : Loop.t) =
+  let body = loop.Loop.body in
+  let n = Array.length body in
+  let deps = Deps.build ~latency:(Machine.latency machine) loop in
+  let intra = Deps.intra_iteration deps in
+  (* Heights: latency-weighted longest path to a sink over distance-0 edges. *)
+  let height = Array.make n 0 in
+  let order =
+    (* reverse topological: process sinks first *)
+    let visited = Array.make n false in
+    let out = ref [] in
+    let rec visit v =
+      if not visited.(v) then begin
+        visited.(v) <- true;
+        List.iter (fun (e : Deps.edge) -> visit e.Deps.dst) intra.Deps.succs.(v);
+        out := v :: !out
+      end
+    in
+    for v = 0 to n - 1 do visit v done;
+    List.rev !out
+  in
+  List.iter
+    (fun v ->
+      let best = ref 0 in
+      List.iter
+        (fun (e : Deps.edge) -> best := max !best (height.(e.Deps.dst) + e.Deps.latency))
+        intra.Deps.succs.(v);
+      height.(v) <- !best)
+    order;
+  let unscheduled_preds = Array.make n 0 in
+  List.iter
+    (fun (e : Deps.edge) -> unscheduled_preds.(e.Deps.dst) <- unscheduled_preds.(e.Deps.dst) + 1)
+    intra.Deps.edges;
+  let assignment = Array.make n (-1) in
+  let earliest = Array.make n 0 in
+  let rt = make_restable machine in
+  let module Ready = Set.Make (struct
+    type t = int * int * int (* -height, body position asc for determinism *)
+    let compare = compare
+  end) in
+  let ready = ref Ready.empty in
+  for v = 0 to n - 1 do
+    if unscheduled_preds.(v) = 0 then ready := Ready.add (-height.(v), v, 0) !ready
+  done;
+  let scheduled = ref 0 in
+  while !scheduled < n do
+    (match Ready.min_elt_opt !ready with
+    | None -> failwith "List_sched: dependence cycle in distance-0 graph"
+    | Some ((_, v, _) as elt) ->
+      ready := Ready.remove elt !ready;
+      let cycle = ref earliest.(v) in
+      while not (fits rt body.(v) !cycle) do incr cycle done;
+      reserve rt body.(v) !cycle;
+      assignment.(v) <- !cycle;
+      incr scheduled;
+      List.iter
+        (fun (e : Deps.edge) ->
+          let d = e.Deps.dst in
+          earliest.(d) <- max earliest.(d) (!cycle + e.Deps.latency);
+          unscheduled_preds.(d) <- unscheduled_preds.(d) - 1;
+          if unscheduled_preds.(d) = 0 then ready := Ready.add (-height.(d), d, 0) !ready)
+        intra.Deps.succs.(v))
+  done;
+  let length = Array.fold_left (fun acc c -> max acc (c + 1)) 1 assignment in
+  {
+    Schedule.loop;
+    machine;
+    assignment;
+    length;
+    kind = Schedule.Straight;
+    spills = 0;
+    int_pressure = 0;
+    fp_pressure = 0;
+  }

@@ -1,0 +1,12 @@
+(** Resource-constrained list scheduling.
+
+    Classic critical-path list scheduling of one loop iteration on an
+    in-order EPIC machine: ops become ready when all distance-0 predecessors
+    have issued and their latencies have elapsed; the ready op with the
+    greatest height (latency-weighted longest path to any sink) issues at
+    the earliest cycle with a free slot of its unit class and spare issue
+    width.  Unpipelined divides occupy their unit for their full latency. *)
+
+val schedule : Machine.t -> Loop.t -> Schedule.t
+(** Always succeeds; register pressure fields are filled by
+    {!Regalloc.allocate}, so they are 0 here and [spills] is 0. *)

@@ -1,0 +1,270 @@
+let res_mii machine (loop : Loop.t) = Machine.res_cycles machine loop.Loop.body
+
+let usable_edges (deps : Deps.t) =
+  List.filter (fun (e : Deps.edge) -> e.Deps.dkind <> Deps.Serial) deps.Deps.edges
+
+(* Longest-path fixpoint with weights (lat - II*dist); divergence after n
+   rounds means a positive cycle, i.e. II is below RecMII. *)
+let feasible_ii n edges ii =
+  let dist = Array.make n 0 in
+  let changed = ref true in
+  let rounds = ref 0 in
+  while !changed && !rounds <= n + 1 do
+    changed := false;
+    incr rounds;
+    List.iter
+      (fun (e : Deps.edge) ->
+        let w = e.Deps.latency - (ii * e.Deps.distance) in
+        if dist.(e.Deps.src) + w > dist.(e.Deps.dst) then begin
+          dist.(e.Deps.dst) <- dist.(e.Deps.src) + w;
+          changed := true
+        end)
+      edges;
+  done;
+  not !changed
+
+let rec_mii machine (loop : Loop.t) =
+  let deps = Deps.build ~latency:(Machine.latency machine) loop in
+  let edges = usable_edges deps in
+  let n = deps.Deps.n in
+  let rec search lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if feasible_ii n edges mid then search lo mid else search (mid + 1) hi
+  in
+  search 1 256
+
+let kind_index = function Machine.M -> 0 | Machine.I -> 1 | Machine.F -> 2 | Machine.B -> 3
+
+let avail m = [| m.Machine.m_units; m.Machine.i_units; m.Machine.f_units; m.Machine.b_units |]
+
+let occupancy m (op : Op.t) =
+  match op.Op.opcode with
+  | Op.Fdiv when m.Machine.fdiv_unpipelined -> m.Machine.lat_fdiv
+  | _ -> 1
+
+(* Modulo reservation table: per modulo slot, per unit kind + issue total. *)
+type mrt = { ii : int; rows : int array array; machine : Machine.t }
+
+let mrt_create machine ii = { ii; rows = Array.init ii (fun _ -> Array.make 5 0); machine }
+
+let mrt_fits mrt op time =
+  let m = mrt.machine in
+  let k = kind_index (Machine.unit_of op) in
+  let occ = min (occupancy m op) mrt.ii in
+  let ok = ref true in
+  for d = 0 to occ - 1 do
+    let slot = (time + d) mod mrt.ii in
+    if mrt.rows.(slot).(k) >= (avail m).(k) then ok := false
+  done;
+  if mrt.rows.(time mod mrt.ii).(4) >= m.Machine.issue_width then ok := false;
+  !ok
+
+let mrt_change mrt op time delta =
+  let m = mrt.machine in
+  let k = kind_index (Machine.unit_of op) in
+  let occ = min (occupancy m op) mrt.ii in
+  for d = 0 to occ - 1 do
+    let slot = (time + d) mod mrt.ii in
+    mrt.rows.(slot).(k) <- mrt.rows.(slot).(k) + delta
+  done;
+  let islot = time mod mrt.ii in
+  mrt.rows.(islot).(4) <- mrt.rows.(islot).(4) + delta
+
+(* Height priorities for a given II: H(v) = max over outgoing edges of
+   H(dst) + lat - II*dist, iterated to fixpoint (II >= RecMII guarantees
+   convergence). *)
+let heights n edges ii =
+  let h = Array.make n 0 in
+  let changed = ref true in
+  let rounds = ref 0 in
+  while !changed && !rounds <= n + 1 do
+    changed := false;
+    incr rounds;
+    List.iter
+      (fun (e : Deps.edge) ->
+        let cand = h.(e.Deps.dst) + e.Deps.latency - (ii * e.Deps.distance) in
+        if cand > h.(e.Deps.src) then begin
+          h.(e.Deps.src) <- cand;
+          changed := true
+        end)
+      edges
+  done;
+  h
+
+(* Rotating-register requirement at a given schedule. *)
+let register_requirement (loop : Loop.t) edges assignment ii =
+  let body = loop.Loop.body in
+  let n = Array.length body in
+  let lifetime = Array.make n 0 in
+  List.iter
+    (fun (e : Deps.edge) ->
+      if e.Deps.dkind = Deps.Reg_flow then begin
+        let span = assignment.(e.Deps.dst) + (ii * e.Deps.distance) - assignment.(e.Deps.src) in
+        lifetime.(e.Deps.src) <- max lifetime.(e.Deps.src) span
+      end)
+    edges;
+  let int_req = ref 0 and fp_req = ref 0 in
+  for v = 0 to n - 1 do
+    match body.(v).Op.dst with
+    | Some { Op.cls; _ } ->
+      let l = max lifetime.(v) 1 in
+      let copies = (l + ii - 1) / ii in
+      (match cls with
+      | Op.Int -> int_req := !int_req + copies
+      | Op.Flt -> fp_req := !fp_req + copies)
+    | None -> ()
+  done;
+  (* Loop invariants each hold a register for the whole loop. *)
+  List.iter
+    (fun (r : Op.reg) ->
+      match r.Op.cls with
+      | Op.Int -> incr int_req
+      | Op.Flt -> incr fp_req)
+    (Loop.live_in_regs loop);
+  (!int_req, !fp_req)
+
+let try_ii machine (loop : Loop.t) edges ii =
+  let body = loop.Loop.body in
+  let n = Array.length body in
+  let preds = Array.make n [] in
+  let succs = Array.make n [] in
+  List.iter
+    (fun (e : Deps.edge) ->
+      preds.(e.Deps.dst) <- e :: preds.(e.Deps.dst);
+      succs.(e.Deps.src) <- e :: succs.(e.Deps.src))
+    edges;
+  let h = heights n edges ii in
+  let time = Array.make n (-1) in
+  let prev_time = Array.make n (-1) in
+  let mrt = mrt_create machine ii in
+  let module Q = Set.Make (struct
+    type t = int * int (* -height, position *)
+    let compare = compare
+  end) in
+  let queue = ref Q.empty in
+  for v = 0 to n - 1 do
+    queue := Q.add (-h.(v), v) !queue
+  done;
+  let unschedule v =
+    mrt_change mrt body.(v) time.(v) (-1);
+    time.(v) <- -1;
+    queue := Q.add (-h.(v), v) !queue
+  in
+  let budget = ref (n * 16) in
+  let failed = ref false in
+  while (not !failed) && not (Q.is_empty !queue) do
+    if !budget <= 0 then failed := true
+    else begin
+      decr budget;
+      let ((_, v) as elt) = Q.min_elt !queue in
+      queue := Q.remove elt !queue;
+      let estart =
+        List.fold_left
+          (fun acc (e : Deps.edge) ->
+            if time.(e.Deps.src) >= 0 then
+              max acc (time.(e.Deps.src) + e.Deps.latency - (ii * e.Deps.distance))
+            else acc)
+          0 preds.(v)
+      in
+      (* Find a resource-feasible slot in the II-wide window. *)
+      let slot = ref None in
+      (let t = ref estart in
+       while !slot = None && !t < estart + ii do
+         if mrt_fits mrt body.(v) !t then slot := Some !t;
+         incr t
+       done);
+      let t =
+        match !slot with
+        | Some t -> t
+        | None ->
+          (* Force placement, ensuring forward progress on re-placement. *)
+          let forced = max estart (prev_time.(v) + 1) in
+          (* Evict resource conflicts at the forced slot. *)
+          let victims = ref [] in
+          for u = 0 to n - 1 do
+            if u <> v && time.(u) >= 0 then begin
+              let same_issue = time.(u) mod ii = forced mod ii in
+              let same_kind = Machine.unit_of body.(u) = Machine.unit_of body.(v) in
+              let occ_u = min (occupancy machine body.(u)) ii in
+              let occ_v = min (occupancy machine body.(v)) ii in
+              let overlap =
+                let hits = Array.make ii false in
+                for d = 0 to occ_u - 1 do
+                  hits.((time.(u) + d) mod ii) <- true
+                done;
+                let any = ref false in
+                for d = 0 to occ_v - 1 do
+                  if hits.((forced + d) mod ii) then any := true
+                done;
+                !any
+              in
+              if (same_kind && overlap) || same_issue then victims := u :: !victims
+            end
+          done;
+          (* Evict until the op fits; victims in deterministic order. *)
+          let rec evict = function
+            | [] -> ()
+            | u :: rest ->
+              if mrt_fits mrt body.(v) forced then ()
+              else begin
+                unschedule u;
+                evict rest
+              end
+          in
+          evict (List.sort compare !victims);
+          if not (mrt_fits mrt body.(v) forced) then failed := true;
+          forced
+      in
+      if not !failed then begin
+        mrt_change mrt body.(v) t 1;
+        time.(v) <- t;
+        prev_time.(v) <- t;
+        (* Evict scheduled successors whose dependence the placement broke. *)
+        List.iter
+          (fun (e : Deps.edge) ->
+            let u = e.Deps.dst in
+            if u <> v && time.(u) >= 0 then
+              if time.(u) + (ii * e.Deps.distance) < t + e.Deps.latency then unschedule u)
+          succs.(v)
+      end
+    end
+  done;
+  if !failed then None else Some time
+
+let schedule ?(max_ii = 128) machine (loop : Loop.t) =
+  if Loop.has_call loop || Loop.has_early_exit loop then None
+  else begin
+    let deps = Deps.build ~latency:(Machine.latency machine) loop in
+    let edges = usable_edges deps in
+    let mii = max (res_mii machine loop) (rec_mii machine loop) in
+    let rec attempt ii =
+      if ii > max_ii then None
+      else
+        match try_ii machine loop edges ii with
+        | None -> attempt (ii + 1)
+        | Some time ->
+          let int_req, fp_req = register_requirement loop edges time ii in
+          if
+            int_req > machine.Machine.rot_int_regs
+            || fp_req > machine.Machine.rot_fp_regs
+          then attempt (ii + 1)
+          else begin
+            let span = Array.fold_left (fun acc t -> max acc (t + 1)) 1 time in
+            let stages = ((span + ii - 1) / ii) in
+            Some
+              {
+                Schedule.loop;
+                machine;
+                assignment = time;
+                length = span;
+                kind = Schedule.Pipelined { ii; stages };
+                spills = 0;
+                int_pressure = int_req;
+                fp_pressure = fp_req;
+              }
+          end
+    in
+    attempt mii
+  end

@@ -1,0 +1,25 @@
+(** Iterative modulo scheduling (software pipelining).
+
+    Implements Rau-style IMS: starting from
+    MII = max(ResMII, RecMII), ops are placed by priority into a modulo
+    reservation table, evicting conflicting ops with a bounded budget;
+    failure bumps the initiation interval.  A candidate II is also rejected
+    when the rotating-register requirement (sum over values of
+    ceil(lifetime / II), plus loop invariants) exceeds the machine's
+    register files — the way too-aggressive pipelining manifests as register
+    pressure on Itanium.
+
+    Loops containing calls or early exits are not pipelined (as in ORC);
+    [schedule] returns [None] and the caller falls back to list scheduling. *)
+
+val rec_mii : Machine.t -> Loop.t -> int
+(** Recurrence-constrained minimum II: the smallest II such that no
+    dependence cycle has positive slack (weights [latency - II * distance]).
+    Serial edges are excluded (the rotated branch is not a constraint). *)
+
+val res_mii : Machine.t -> Loop.t -> int
+(** Resource-constrained minimum II (see {!Machine.res_cycles}). *)
+
+val schedule : ?max_ii:int -> Machine.t -> Loop.t -> Schedule.t option
+(** Pipelines the loop, trying II from MII upwards to [max_ii] (default
+    128).  Returns [None] for loops that cannot or should not be pipelined. *)

@@ -1,0 +1,205 @@
+module RegSet = Set.Make (struct
+  type t = Op.reg
+  let compare = compare
+end)
+
+(* Loop-carried values: read at or before their first definition, or
+   live-out — these stay live across the whole iteration. *)
+let carried_regs (loop : Loop.t) =
+  let first_def = Hashtbl.create 16 in
+  let first_use = Hashtbl.create 16 in
+  Array.iteri
+    (fun i op ->
+      List.iter
+        (fun r -> if not (Hashtbl.mem first_use r) then Hashtbl.add first_use r i)
+        (Op.uses op);
+      (match op.Op.pred with
+      | Some p ->
+        let r = { Op.id = p; cls = Op.Int } in
+        if not (Hashtbl.mem first_use r) then Hashtbl.add first_use r i
+      | None -> ());
+      List.iter
+        (fun r -> if not (Hashtbl.mem first_def r) then Hashtbl.add first_def r i)
+        (Op.defs op))
+    loop.Loop.body;
+  let carried = ref RegSet.empty in
+  Hashtbl.iter
+    (fun r d ->
+      match Hashtbl.find_opt first_use r with
+      | Some u when u <= d -> carried := RegSet.add r !carried
+      | Some _ | None -> ())
+    first_def;
+  List.iter
+    (fun r -> if Hashtbl.mem first_def r then carried := RegSet.add r !carried)
+    loop.Loop.live_out;
+  !carried
+
+(* Per-register live interval in issue cycles, under a given schedule. *)
+let live_intervals (sched : Schedule.t) =
+  let loop = sched.Schedule.loop in
+  let body = loop.Loop.body in
+  let carried = carried_regs loop in
+  let horizon = max (sched.Schedule.length - 1) 0 in
+  let intervals = Hashtbl.create 32 in
+  let extend r lo hi =
+    match Hashtbl.find_opt intervals r with
+    | Some (lo', hi') -> Hashtbl.replace intervals r (min lo lo', max hi hi')
+    | None -> Hashtbl.replace intervals r (lo, hi)
+  in
+  List.iter (fun r -> extend r 0 horizon) (Loop.live_in_regs loop);
+  Array.iteri
+    (fun i op ->
+      let t = sched.Schedule.assignment.(i) in
+      List.iter
+        (fun r -> if RegSet.mem r carried then extend r 0 horizon else extend r t t)
+        (Op.defs op);
+      List.iter
+        (fun r -> if RegSet.mem r carried then extend r 0 horizon else extend r t t)
+        (Op.uses op);
+      match op.Op.pred with
+      | Some p ->
+        let r = { Op.id = p; cls = Op.Int } in
+        if RegSet.mem r carried then extend r 0 horizon else extend r t t
+      | None -> ())
+    body;
+  intervals
+
+let pressure (sched : Schedule.t) =
+  match sched.Schedule.kind with
+  | Schedule.Pipelined _ ->
+    (sched.Schedule.int_pressure, sched.Schedule.fp_pressure)
+  | Schedule.Straight ->
+    let intervals = live_intervals sched in
+    let len = max sched.Schedule.length 1 in
+    let int_live = Array.make len 0 in
+    let fp_live = Array.make len 0 in
+    Hashtbl.iter
+      (fun (r : Op.reg) (lo, hi) ->
+        let arr = match r.Op.cls with Op.Int -> int_live | Op.Flt -> fp_live in
+        for c = lo to min hi (len - 1) do
+          arr.(c) <- arr.(c) + 1
+        done)
+      intervals;
+    (Array.fold_left max 0 int_live, Array.fold_left max 0 fp_live)
+
+let spill_array_name = "$spill"
+
+let find_or_add_spill_array (loop : Loop.t) =
+  let arrays = loop.Loop.arrays in
+  let existing = ref None in
+  Array.iteri
+    (fun i a -> if a.Loop.aname = spill_array_name then existing := Some i)
+    arrays;
+  match !existing with
+  | Some i -> (loop, i)
+  | None ->
+    let top =
+      Array.fold_left
+        (fun acc (a : Loop.array_info) -> max acc (a.Loop.base + (a.Loop.elem_size * a.Loop.length)))
+        0x8000 arrays
+    in
+    let base = (top + 63) land lnot 63 in
+    let slot = { Loop.aname = spill_array_name; elem_size = 8; length = 64; base } in
+    ({ loop with Loop.arrays = Array.append arrays [| slot |] }, Array.length arrays)
+
+(* Count existing spill slots so repeated rounds use fresh offsets. *)
+let used_spill_slots (loop : Loop.t) spill_arr =
+  Array.fold_left
+    (fun acc op ->
+      match Op.mref op with
+      | Some { Op.array; offset; _ } when array = spill_arr -> max acc (offset + 1)
+      | _ -> acc)
+    0 loop.Loop.body
+
+(* Rewrite the loop so that [victim] lives in memory: store once after its
+   def, reload before each use. *)
+let spill_register (loop : Loop.t) (victim : Op.reg) =
+  let loop, spill_arr = find_or_add_spill_array loop in
+  let slot = used_spill_slots loop spill_arr in
+  let next_reg = ref (Loop.max_reg_id loop + 1) in
+  let fresh cls =
+    let id = !next_reg in
+    incr next_reg;
+    { Op.id; cls }
+  in
+  let out = ref [] in
+  let emit op = out := op :: !out in
+  Array.iter
+    (fun (op : Op.t) ->
+      let needs_reload =
+        List.mem victim op.Op.srcs
+        || (match op.Op.pred with
+           | Some p -> victim = { Op.id = p; cls = Op.Int }
+           | None -> false)
+      in
+      let op =
+        if not needs_reload then op
+        else begin
+          let reload = fresh victim.Op.cls in
+          emit
+            (Op.make ~uid:0 ~dst:reload
+               (Op.Load { Op.array = spill_arr; stride = 0; offset = slot; mkind = Op.Direct }));
+          let srcs = List.map (fun r -> if r = victim then reload else r) op.Op.srcs in
+          let pred =
+            match op.Op.pred with
+            | Some p when victim = { Op.id = p; cls = Op.Int } -> Some reload.Op.id
+            | other -> other
+          in
+          { op with Op.srcs; pred }
+        end
+      in
+      emit op;
+      if List.mem victim (Op.defs op) then
+        emit
+          (Op.make ~uid:0 ~srcs:[ victim ]
+             (Op.Store { Op.array = spill_arr; stride = 0; offset = slot; mkind = Op.Direct })))
+    loop.Loop.body;
+  let body = Array.of_list (List.rev !out) |> Array.mapi (fun i op -> { op with Op.uid = i }) in
+  { loop with Loop.body }
+
+let allocate ?(max_rounds = 6) ~sched (loop : Loop.t) =
+  let machine_limits (s : Schedule.t) =
+    (s.Schedule.machine.Machine.int_regs, s.Schedule.machine.Machine.fp_regs)
+  in
+  let rec go loop round spills =
+    let s = sched loop in
+    match s.Schedule.kind with
+    | Schedule.Pipelined _ -> { s with Schedule.spills }
+    | Schedule.Straight ->
+      let int_p, fp_p = pressure s in
+      let int_max, fp_max = machine_limits s in
+      let over_int = int_p > int_max and over_fp = fp_p > fp_max in
+      if (not (over_int || over_fp)) || round >= max_rounds then
+        { s with Schedule.spills; int_pressure = int_p; fp_pressure = fp_p }
+      else begin
+        let cls = if over_fp then Op.Flt else Op.Int in
+        let carried = carried_regs loop in
+        let intervals = live_intervals s in
+        (* Widest-live-range value of the over-subscribed class, excluding
+           carried values, invariants and values already reloaded from the
+           spill area. *)
+        let live_ins = RegSet.of_list (Loop.live_in_regs loop) in
+        let candidate = ref None in
+        Hashtbl.iter
+          (fun (r : Op.reg) (lo, hi) ->
+            if
+              r.Op.cls = cls
+              && (not (RegSet.mem r carried))
+              && not (RegSet.mem r live_ins)
+            then begin
+              let span = hi - lo in
+              let better =
+                match !candidate with
+                | None -> true
+                | Some (best_span, best_r) ->
+                  span > best_span || (span = best_span && compare r best_r < 0)
+              in
+              if better && span >= 1 then candidate := Some (span, r)
+            end)
+          intervals;
+        match !candidate with
+        | None -> { s with Schedule.spills; int_pressure = int_p; fp_pressure = fp_p }
+        | Some (_, victim) -> go (spill_register loop victim) (round + 1) (spills + 1)
+      end
+  in
+  go loop 0 0

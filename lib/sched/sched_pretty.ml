@@ -1,0 +1,89 @@
+let opcode_mnemonic (op : Op.t) =
+  match op.Op.opcode with
+  | Op.Ialu -> "ialu"
+  | Op.Imul -> "imul"
+  | Op.Fadd -> "fadd"
+  | Op.Fmul -> "fmul"
+  | Op.Fmadd -> "fma"
+  | Op.Fdiv -> "fdiv"
+  | Op.Load _ -> "ld"
+  | Op.Store _ -> "st"
+  | Op.Cmp -> "cmp"
+  | Op.Br _ -> "br"
+  | Op.Sel -> "sel"
+  | Op.Call -> "call"
+  | Op.Mov -> "mov"
+
+let unit_name = function
+  | Machine.M -> "M"
+  | Machine.I -> "I"
+  | Machine.F -> "F"
+  | Machine.B -> "B"
+
+let render (s : Schedule.t) =
+  let loop = s.Schedule.loop in
+  let window, header =
+    match s.Schedule.kind with
+    | Schedule.Straight -> (s.Schedule.length, Printf.sprintf "straight schedule, %d cycles" s.Schedule.length)
+    | Schedule.Pipelined { ii; stages } ->
+      (ii, Printf.sprintf "pipelined schedule, II=%d, %d stages" ii stages)
+  in
+  let rows = Array.make window [] in
+  Array.iteri
+    (fun pos time ->
+      let slot =
+        match s.Schedule.kind with
+        | Schedule.Straight -> time
+        | Schedule.Pipelined { ii; _ } -> time mod ii
+      in
+      let stage =
+        match s.Schedule.kind with
+        | Schedule.Straight -> ""
+        | Schedule.Pipelined { ii; _ } -> Printf.sprintf "/s%d" (time / ii)
+      in
+      if slot >= 0 && slot < window then
+        rows.(slot) <-
+          Printf.sprintf "%s:#%d.%s%s"
+            (unit_name (Machine.unit_of loop.Loop.body.(pos)))
+            pos
+            (opcode_mnemonic loop.Loop.body.(pos))
+            stage
+          :: rows.(slot))
+    s.Schedule.assignment;
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf header;
+  Buffer.add_char buf '\n';
+  Array.iteri
+    (fun c ops ->
+      Buffer.add_string buf
+        (Printf.sprintf "  c%-3d %s\n" c (String.concat "  " (List.rev ops))))
+    rows;
+  Buffer.contents buf
+
+let render_occupancy (s : Schedule.t) =
+  let m = s.Schedule.machine in
+  let window =
+    match s.Schedule.kind with
+    | Schedule.Straight -> max s.Schedule.length 1
+    | Schedule.Pipelined { ii; _ } -> ii
+  in
+  let counts = [| 0; 0; 0; 0 |] in
+  Array.iteri
+    (fun pos _time ->
+      let k =
+        match Machine.unit_of s.Schedule.loop.Loop.body.(pos) with
+        | Machine.M -> 0
+        | Machine.I -> 1
+        | Machine.F -> 2
+        | Machine.B -> 3
+      in
+      counts.(k) <- counts.(k) + 1)
+    s.Schedule.assignment;
+  let avail = [| m.Machine.m_units; m.Machine.i_units; m.Machine.f_units; m.Machine.b_units |] in
+  let names = [| "M"; "I"; "F"; "B" |] in
+  String.concat "\n"
+    (List.init 4 (fun k ->
+         let cap = avail.(k) * window in
+         Printf.sprintf "  %s: %d/%d slots (%.0f%%)" names.(k) counts.(k) cap
+           (100.0 *. float_of_int counts.(k) /. float_of_int (max cap 1))))
+  ^ "\n"

@@ -1,0 +1,14 @@
+(** Human-readable rendering of schedules.
+
+    Shows one row per cycle with the ops issued in each functional-unit
+    column — for pipelined schedules, one row per modulo slot with stage
+    annotations — which makes scheduler behaviour reviewable at a glance
+    in examples and failing tests. *)
+
+val render : Schedule.t -> string
+(** Multi-line rendering; ops appear as [#n] body positions followed by
+    their opcode mnemonic. *)
+
+val render_occupancy : Schedule.t -> string
+(** One line per unit class with utilisation percentages — how saturated
+    the machine is under this schedule. *)

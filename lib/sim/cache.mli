@@ -1,0 +1,23 @@
+(** Set-associative cache with LRU replacement.
+
+    Used for L1D, L1I and the unified L2.  Addresses are plain byte
+    addresses in the simulated address space. *)
+
+type t
+
+val create : Machine.cache_geom -> t
+
+val access : t -> int -> bool
+(** [access t addr] touches the line containing [addr]; returns [true] on a
+    hit.  On a miss the line is allocated, evicting the LRU way. *)
+
+val probe : t -> int -> bool
+(** Like {!access} but without allocating on a miss. *)
+
+val reset : t -> unit
+(** Invalidate everything. *)
+
+val lines : t -> int
+(** Total number of lines (capacity / line size). *)
+
+val line_bytes : t -> int

@@ -1,0 +1,24 @@
+let min_cycles_filter = 50_000
+
+let noisy_median ~rng ~noise ~runs f =
+  let exact = f () in
+  if noise <= 0.0 || runs <= 1 then exact
+  else begin
+    let samples =
+      Array.init runs (fun _ ->
+          let factor = 1.0 +. (noise *. Rng.gaussian rng) in
+          let factor = Float.max 0.5 factor in
+          float_of_int exact *. factor)
+    in
+    int_of_float (Float.round (Stats.median samples))
+  end
+
+let sweep ?(noise = 0.015) ?(runs = 30) ?max_sim_iters ~rng ~machine ~swp loop =
+  Array.init Unroll.max_factor (fun i ->
+      let u = i + 1 in
+      let exe = Simulator.compile machine ~swp loop u in
+      let state = Simulator.create_state machine in
+      (* Warm-up run: the paper measures loops inside live processes, so
+         steady-state measurements see warm caches. *)
+      ignore (Simulator.run ?max_sim_iters state exe);
+      noisy_median ~rng ~noise ~runs (fun () -> Simulator.run ?max_sim_iters state exe))

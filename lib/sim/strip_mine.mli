@@ -1,0 +1,33 @@
+(** Strip mining and tiling of the iteration space.
+
+    The paper's conclusion names loop tiling and strip mining as the next
+    heuristics its infrastructure could learn.  In this IR a loop is one
+    dimension plus an [outer_trip] re-entry count, so strip mining is a
+    partition of the trip count and {e tiling} is the classic reordering:
+    run every outer repetition of one strip before moving to the next
+    strip, so a strip that fits in cache is reused [outer] times while
+    hot.
+
+    [chunks] produces the (trips, phase) schedule-chunk list the simulator
+    executes (its executables already thread an explicit phase per chunk),
+    and [executable] packages a compiled loop in tiled order. *)
+
+val chunks : trip:int -> outer:int -> strip:int -> (int * int) list
+(** [(trips, phase)] pairs in tile-major order.  Phases partition
+    [0, trip); each strip appears [outer] times consecutively.  The final
+    strip may be short.  Raises [Invalid_argument] unless
+    [0 < strip] and [0 < outer]. *)
+
+val executable :
+  Machine.t -> swp:bool -> Loop.t -> strip:int -> unroll:int ->
+  Simulator.executable
+(** Compile [loop] at unroll factor [unroll] and lay its execution out in
+    tiled order with the given strip.  The result runs the same total
+    iteration count as the plain loop; only the traversal order (and hence
+    cache behaviour) changes. *)
+
+val best_strip :
+  Machine.t -> swp:bool -> Loop.t -> candidates:int list -> unroll:int ->
+  int * int
+(** Sweep candidate strips, returning (best strip, its cycles) — the
+    empirical label a strip-size heuristic would learn from. *)

@@ -1,0 +1,73 @@
+let needs_quote s =
+  String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') s
+
+let escape s =
+  if not (needs_quote s) then s
+  else
+    let buf = Buffer.create (String.length s + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+
+let write path rows =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      List.iter
+        (fun row ->
+          output_string oc (String.concat "," (List.map escape row));
+          output_char oc '\n')
+        rows)
+
+(* A small state machine over the whole file contents: quoted fields may
+   contain embedded newlines, so parsing cannot be line-by-line. *)
+let parse_string contents =
+  let rows = ref [] in
+  let fields = ref [] in
+  let buf = Buffer.create 32 in
+  let flush_field () =
+    fields := Buffer.contents buf :: !fields;
+    Buffer.clear buf
+  in
+  let flush_row () =
+    flush_field ();
+    rows := List.rev !fields :: !rows;
+    fields := []
+  in
+  let n = String.length contents in
+  let rec plain i =
+    if i >= n then (if Buffer.length buf > 0 || !fields <> [] then flush_row ())
+    else
+      match contents.[i] with
+      | ',' -> flush_field (); plain (i + 1)
+      | '\n' -> flush_row (); plain (i + 1)
+      | '\r' -> plain (i + 1)
+      | '"' when Buffer.length buf = 0 -> quoted (i + 1)
+      | c -> Buffer.add_char buf c; plain (i + 1)
+  and quoted i =
+    if i >= n then failwith "Csvio.read: unterminated quoted field"
+    else
+      match contents.[i] with
+      | '"' ->
+        if i + 1 < n && contents.[i + 1] = '"' then (
+          Buffer.add_char buf '"';
+          quoted (i + 2))
+        else plain (i + 1)
+      | c -> Buffer.add_char buf c; quoted (i + 1)
+  in
+  plain 0;
+  List.rev !rows
+
+let read path =
+  let ic = open_in_bin path in
+  let contents =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  parse_string contents

@@ -1,0 +1,17 @@
+(** Minimal CSV reading and writing.
+
+    Used to persist the labelled loop dataset (the paper released its raw
+    loop data; we do the same).  Only the subset of CSV we emit is supported:
+    fields are escaped with double quotes when they contain commas, quotes,
+    or newlines. *)
+
+val write : string -> string list list -> unit
+(** [write path rows] writes rows to [path], one record per line. *)
+
+val read : string -> string list list
+(** [read path] parses a file written by {!write} (also tolerates unquoted
+    simple CSV from other tools).  Raises [Sys_error] if the file cannot be
+    opened and [Failure] on malformed quoting. *)
+
+val escape : string -> string
+(** Quotes a single field if necessary. *)

@@ -1,0 +1,46 @@
+(** Deterministic pseudo-random number generation.
+
+    All stochastic components of the library (synthetic workload generation,
+    measurement-noise injection, tie breaking) draw from explicit generator
+    values so that every experiment is reproducible from its seed.  The
+    implementation is SplitMix64, which has a tiny state, passes BigCrush,
+    and supports cheap stream splitting. *)
+
+type t
+(** A mutable pseudo-random stream. *)
+
+val create : int -> t
+(** [create seed] returns a fresh stream determined entirely by [seed]. *)
+
+val copy : t -> t
+(** [copy t] duplicates the current state; the copy evolves independently. *)
+
+val split : t -> t
+(** [split t] derives a new, statistically independent stream from [t],
+    advancing [t].  Use to give sub-components their own streams so that
+    adding draws in one component does not perturb another. *)
+
+val int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in \[0, bound).  Requires [bound > 0]. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in \[0, bound). *)
+
+val bool : t -> bool
+(** Fair coin flip. *)
+
+val gaussian : t -> float
+(** Standard normal deviate (Box–Muller). *)
+
+val choice : t -> 'a array -> 'a
+(** Uniform choice from a non-empty array. *)
+
+val weighted_choice : t -> (float * 'a) array -> 'a
+(** [weighted_choice t items] picks an item with probability proportional to
+    its weight.  Weights must be non-negative with a positive sum. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)

@@ -1,0 +1,83 @@
+let mean xs =
+  assert (Array.length xs > 0);
+  Array.fold_left ( +. ) 0.0 xs /. float_of_int (Array.length xs)
+
+let geomean xs =
+  assert (Array.length xs > 0);
+  let acc = Array.fold_left (fun a x -> assert (x > 0.0); a +. log x) 0.0 xs in
+  exp (acc /. float_of_int (Array.length xs))
+
+let variance xs =
+  let n = Array.length xs in
+  if n < 2 then 0.0
+  else
+    let m = mean xs in
+    let acc = Array.fold_left (fun a x -> a +. ((x -. m) ** 2.0)) 0.0 xs in
+    acc /. float_of_int (n - 1)
+
+let stddev xs = sqrt (variance xs)
+
+let sorted_copy xs =
+  let ys = Array.copy xs in
+  Array.sort compare ys;
+  ys
+
+let median xs =
+  assert (Array.length xs > 0);
+  let ys = sorted_copy xs in
+  let n = Array.length ys in
+  if n mod 2 = 1 then ys.(n / 2) else (ys.((n / 2) - 1) +. ys.(n / 2)) /. 2.0
+
+let percentile xs p =
+  assert (Array.length xs > 0 && p >= 0.0 && p <= 100.0);
+  let ys = sorted_copy xs in
+  let n = Array.length ys in
+  if n = 1 then ys.(0)
+  else
+    let pos = p /. 100.0 *. float_of_int (n - 1) in
+    let lo = int_of_float (floor pos) in
+    let hi = min (lo + 1) (n - 1) in
+    let frac = pos -. float_of_int lo in
+    ys.(lo) +. (frac *. (ys.(hi) -. ys.(lo)))
+
+let min_index xs =
+  assert (Array.length xs > 0);
+  let best = ref 0 in
+  for i = 1 to Array.length xs - 1 do
+    if xs.(i) < xs.(!best) then best := i
+  done;
+  !best
+
+let max_index xs =
+  assert (Array.length xs > 0);
+  let best = ref 0 in
+  for i = 1 to Array.length xs - 1 do
+    if xs.(i) > xs.(!best) then best := i
+  done;
+  !best
+
+let histogram ~bins xs =
+  assert (bins > 0 && Array.length xs > 0);
+  let lo = Array.fold_left min xs.(0) xs in
+  let hi = Array.fold_left max xs.(0) xs in
+  let width = if hi > lo then (hi -. lo) /. float_of_int bins else 1.0 in
+  let counts = Array.make bins 0 in
+  Array.iter
+    (fun x ->
+      let b = int_of_float ((x -. lo) /. width) in
+      let b = if b >= bins then bins - 1 else b in
+      counts.(b) <- counts.(b) + 1)
+    xs;
+  Array.mapi
+    (fun i c ->
+      let l = lo +. (float_of_int i *. width) in
+      (l, l +. width, c))
+    counts
+
+let rank_of costs i =
+  assert (i >= 0 && i < Array.length costs);
+  let rank = ref 0 in
+  for j = 0 to Array.length costs - 1 do
+    if costs.(j) < costs.(i) || (costs.(j) = costs.(i) && j < i) then incr rank
+  done;
+  !rank

@@ -1,0 +1,37 @@
+(** Summary statistics used throughout measurement and evaluation. *)
+
+val mean : float array -> float
+(** Arithmetic mean.  Requires a non-empty array. *)
+
+val geomean : float array -> float
+(** Geometric mean.  Requires non-empty, strictly positive entries. *)
+
+val variance : float array -> float
+(** Unbiased sample variance (0 for arrays of length < 2). *)
+
+val stddev : float array -> float
+(** Square root of {!variance}. *)
+
+val median : float array -> float
+(** Median (average of middle two for even lengths).  Does not mutate the
+    argument.  Requires a non-empty array. *)
+
+val percentile : float array -> float -> float
+(** [percentile xs p] with [p] in \[0, 100\], linear interpolation between
+    order statistics.  Does not mutate the argument. *)
+
+val min_index : float array -> int
+(** Index of the smallest element (first on ties). *)
+
+val max_index : float array -> int
+(** Index of the largest element (first on ties). *)
+
+val histogram : bins:int -> float array -> (float * float * int) array
+(** [histogram ~bins xs] partitions the value range into [bins] equal-width
+    bins and returns [(lo, hi, count)] per bin. *)
+
+val rank_of : float array -> int -> int
+(** [rank_of costs i] is the 0-based rank of element [i] when [costs] is
+    sorted ascending (rank 0 = smallest).  Ties are resolved by index order,
+    so the reported rank of an element never exceeds the number of elements
+    strictly smaller plus the ties preceding it. *)

@@ -1,0 +1,184 @@
+type state = {
+  regs : (int, float) Hashtbl.t;
+  preds : (int, float) Hashtbl.t; (* predicate values live in the int regs too *)
+  memory : (int, float) Hashtbl.t;
+}
+
+let fresh_state () =
+  { regs = Hashtbl.create 64; preds = Hashtbl.create 8; memory = Hashtbl.create 256 }
+
+type outcome = { iterations_run : int; exited_early : bool }
+
+(* Exact, bounded mixing: IEEE remainder keeps magnitudes under the modulus
+   without rounding error, so identical dataflow yields identical floats. *)
+let modulus = 1021.0
+
+let bound x =
+  let r = Float.rem x modulus in
+  if Float.is_nan r then 0.0 else r
+
+let initial_reg_value id = bound ((float_of_int id *. 1.37) +. 5.0)
+let initial_mem_value addr = bound ((float_of_int addr *. 0.61) +. 11.0)
+
+let reg_value st (r : Op.reg) =
+  match Hashtbl.find_opt st.regs r.Op.id with
+  | Some v -> v
+  | None -> initial_reg_value r.Op.id
+
+let set_reg st (r : Op.reg) v = Hashtbl.replace st.regs r.Op.id v
+
+let mem_value st addr =
+  match Hashtbl.find_opt st.memory addr with
+  | Some v -> v
+  | None -> initial_mem_value addr
+
+(* Predicate truth: an arbitrary-but-deterministic threshold on the
+   defining compare's value. *)
+let pred_true v = Float.abs v > modulus /. 2.0
+
+(* Element address of a reference, shared convention with the simulator:
+   affine in the (phase-adjusted) iteration, wrapped to the array extent.
+   An explicit address operand overrides the index for indirect refs. *)
+let address (loop : Loop.t) (m : Op.mref) ~iter ~addr_value =
+  let a = loop.Loop.arrays.(m.Op.array) in
+  let len = max a.Loop.length 1 in
+  let idx =
+    match (m.Op.mkind, addr_value) with
+    | Op.Indirect, Some v -> int_of_float (Float.abs (v *. 7.0))
+    | (Op.Indirect | Op.Direct), _ -> (m.Op.stride * iter) + m.Op.offset
+  in
+  let idx = ((idx mod len) + len) mod len in
+  a.Loop.base + (a.Loop.elem_size * idx)
+
+exception Exit_loop
+
+let exec_op st loop ~iter (op : Op.t) =
+  let guarded =
+    match op.Op.pred with
+    | None -> true
+    | Some p -> pred_true (reg_value st { Op.id = p; cls = Op.Int })
+  in
+  if guarded then begin
+    let srcs = List.map (reg_value st) op.Op.srcs in
+    let sum = List.fold_left ( +. ) 0.0 (List.map bound srcs) in
+    let def v = match op.Op.dst with Some d -> set_reg st d v | None -> () in
+    match op.Op.opcode with
+    | Op.Ialu -> def (bound (sum +. 1.0))
+    | Op.Imul ->
+      let p = List.fold_left (fun acc v -> bound (acc *. bound v)) 1.0 srcs in
+      def (bound (p +. 2.0))
+    | Op.Fadd -> def (bound (sum +. 0.5))
+    | Op.Fmul ->
+      let p = List.fold_left (fun acc v -> bound (acc *. bound v)) 1.0 srcs in
+      def (bound (p +. 0.25))
+    | Op.Fmadd -> begin
+      match srcs with
+      | [ a; b; c ] -> def (bound ((bound (a *. b)) +. c +. 0.125))
+      | _ -> def (bound (sum +. 0.125))
+    end
+    | Op.Fdiv -> begin
+      match srcs with
+      | [ a; b ] ->
+        let d = if Float.abs b < 1.0 then 2.0 else b in
+        def (bound ((a /. d) +. 3.0))
+      | _ -> def (bound (sum +. 3.0))
+    end
+    | Op.Cmp -> def (bound ((sum *. 3.0) +. 7.0))
+    | Op.Sel -> begin
+      (* pred chooses between the two operands; the guard was consumed
+         above only for unpredicated sels. *)
+      match (op.Op.pred, srcs) with
+      | Some _, a :: _ -> def a
+      | None, a :: _ -> def a
+      | _, [] -> def 0.0
+    end
+    | Op.Mov -> def (match srcs with v :: _ -> v | [] -> 0.0)
+    | Op.Load m ->
+      let addr_value =
+        (* the value operand list for a load holds only the address *)
+        match srcs with v :: _ -> Some v | [] -> None
+      in
+      let addr = address loop m ~iter ~addr_value in
+      def (mem_value st addr)
+    | Op.Store m -> begin
+      match srcs with
+      | value :: rest ->
+        let addr_value = match rest with v :: _ -> Some v | [] -> None in
+        let addr = address loop m ~iter ~addr_value in
+        Hashtbl.replace st.memory addr value
+      | [] -> ()
+    end
+    | Op.Call -> ()
+    | Op.Br Op.Exit -> begin
+      match srcs with
+      | v :: _ -> if pred_true v then raise Exit_loop
+      | [] -> ()
+    end
+    | Op.Br (Op.Backedge | Op.Internal) -> ()
+  end
+
+(* Predicated selects need special care: when the guard is FALSE the sel
+   takes its second operand.  exec_op above skips guarded-false ops
+   entirely, which is right for every opcode except Sel, so Sel is handled
+   before the guard. *)
+let exec_sel st (op : Op.t) =
+  match (op.Op.opcode, op.Op.dst) with
+  | Op.Sel, Some d -> begin
+    let taken =
+      match op.Op.pred with
+      | Some p -> pred_true (reg_value st { Op.id = p; cls = Op.Int })
+      | None -> true
+    in
+    (match (op.Op.srcs, taken) with
+    | a :: _, true -> set_reg st d (reg_value st a)
+    | [ _; b ], false -> set_reg st d (reg_value st b)
+    | a :: _, false -> set_reg st d (reg_value st a)
+    | [], _ -> set_reg st d 0.0);
+    true
+  end
+  | _ -> false
+
+let run st (loop : Loop.t) ~trips ~phase =
+  let body = loop.Loop.body in
+  let iterations = ref 0 in
+  let exited = ref false in
+  (try
+     for i = 0 to trips - 1 do
+       let iter = phase + i in
+       Array.iter
+         (fun op -> if not (exec_sel st op) then exec_op st loop ~iter op)
+         body;
+       incr iterations
+     done
+   with Exit_loop ->
+     incr iterations;
+     exited := true);
+  { iterations_run = !iterations; exited_early = !exited }
+
+let run_unrolled st (u : Unroll.t) =
+  let k = run st u.Unroll.kernel ~trips:u.Unroll.kernel_trips ~phase:0 in
+  if k.exited_early then
+    { k with iterations_run = k.iterations_run }
+  else begin
+    match u.Unroll.remainder with
+    | None -> k
+    | Some r ->
+      let rem =
+        run st r ~trips:u.Unroll.remainder_trips
+          ~phase:(u.Unroll.kernel_trips * u.Unroll.factor)
+      in
+      {
+        iterations_run = k.iterations_run + rem.iterations_run;
+        exited_early = rem.exited_early;
+      }
+  end
+
+let register_value st r = reg_value st r
+
+let memory_image st =
+  Hashtbl.fold (fun addr v acc -> (addr, v) :: acc) st.memory []
+  |> List.sort compare
+
+let equivalent s1 s2 live_out =
+  memory_image s1 = memory_image s2
+  && List.for_all (fun r -> register_value s1 r = register_value s2 r) live_out

@@ -1,0 +1,51 @@
+(** Reference interpreter for loop semantics.
+
+    Executes a loop's dataflow — register reads and writes, memory loads
+    and stores, predication, early exits — over a concrete store, with a
+    fixed deterministic function per opcode.  The point is not numerical
+    meaning but {e observational equivalence}: a transformation is correct
+    iff the transformed loop produces the same final memory image and the
+    same live-out register values as the original, because it performs the
+    same dataflow.  Unrolling and redundant-load elimination are
+    property-tested against this interpreter.
+
+    Opcode semantics are bounded mixing functions (exact IEEE remainder by
+    a fixed modulus), so long executions neither overflow nor lose the
+    ability to compare exactly.  Memory cells are initialised as a
+    deterministic function of their address; indirect references take
+    their cell index from the address operand's value when one exists,
+    falling back to the affine formula otherwise — consistent across
+    unrolling either way. *)
+
+type state
+(** Registers, predicates and memory. *)
+
+val fresh_state : unit -> state
+
+type outcome = {
+  iterations_run : int;  (** iterations completed before trips or an exit *)
+  exited_early : bool;
+}
+
+val run :
+  state -> Loop.t -> trips:int -> phase:int -> outcome
+(** [run state loop ~trips ~phase] executes [trips] iterations (or fewer if
+    an early exit fires), reading memory addresses at original-iteration
+    offset [phase] (the unroller's remainder-loop convention; see
+    {!Simulator}).  The state persists across calls, so a kernel and its
+    remainder chain naturally. *)
+
+val run_unrolled : state -> Unroll.t -> outcome
+(** Executes an unrolled loop: kernel then remainder (remainder skipped if
+    the kernel exited early). *)
+
+val register_value : state -> Op.reg -> float
+(** Current value of a register (its deterministic initial value if never
+    written). *)
+
+val memory_image : state -> (int * float) list
+(** All written memory cells as (address, value), sorted by address. *)
+
+val equivalent : state -> state -> Op.reg list -> bool
+(** [equivalent s1 s2 live_out] — same memory image and same values for
+    every live-out register. *)

@@ -1,0 +1,130 @@
+type result = { loop : Loop.t; loads_eliminated : int; stores_eliminated : int }
+
+type key = { array : int; stride : int; offset : int }
+
+let key_of (m : Op.mref) = { array = m.Op.array; stride = m.Op.stride; offset = m.Op.offset }
+
+(* Two direct refs in the same iteration alias only at equal addresses:
+   equal key.  Same array with equal stride but different offsets are
+   provably distinct; differing strides may coincide.  Under C-style
+   aliasing, references to different arrays may coincide too. *)
+let may_alias_key ~aliased a b =
+  if a.array <> b.array then aliased
+  else a.stride <> b.stride || a.offset = b.offset
+
+let direct_unpredicated (op : Op.t) =
+  match (Op.mref op, op.Op.pred) with
+  | Some ({ Op.mkind = Op.Direct; _ } as m), None -> Some m
+  | _ -> None
+
+(* Forward pass: replace loads whose value is already in a register. *)
+let eliminate_loads ~aliased body =
+  let available : (key, Op.reg) Hashtbl.t = Hashtbl.create 16 in
+  let kill_may_alias k =
+    let doomed =
+      Hashtbl.fold (fun k' _ acc -> if may_alias_key ~aliased k k' then k' :: acc else acc)
+        available []
+    in
+    List.iter (Hashtbl.remove available) doomed
+  in
+  let kill_all () = Hashtbl.reset available in
+  let kill_array a =
+    let doomed =
+      Hashtbl.fold (fun k' _ acc -> if k'.array = a then k' :: acc else acc) available []
+    in
+    List.iter (Hashtbl.remove available) doomed
+  in
+  let eliminated = ref 0 in
+  let rewritten =
+    Array.map
+      (fun (op : Op.t) ->
+        match op.Op.opcode with
+        | Op.Load m -> begin
+          match direct_unpredicated op with
+          | Some m' -> begin
+            let k = key_of m' in
+            match Hashtbl.find_opt available k with
+            | Some r ->
+              incr eliminated;
+              { op with Op.opcode = Op.Mov; srcs = [ r ] }
+            | None ->
+              (match op.Op.dst with
+              | Some d -> Hashtbl.replace available k d
+              | None -> ());
+              op
+          end
+          | None ->
+            ignore m;
+            op
+        end
+        | Op.Store m -> begin
+          match (direct_unpredicated op, op.Op.srcs) with
+          | Some m', [ v ] ->
+            let k = key_of m' in
+            kill_may_alias k;
+            Hashtbl.replace available k v;
+            op
+          | _ ->
+            (* Indirect or predicated store: conservative. *)
+            (match m.Op.mkind with
+            | Op.Indirect -> kill_all ()
+            | Op.Direct -> if aliased then kill_all () else kill_array m.Op.array);
+            op
+        end
+        | Op.Call -> kill_all (); op
+        | _ -> op)
+      body
+  in
+  (rewritten, !eliminated)
+
+(* Backward pass: drop stores overwritten in the same iteration before any
+   possible read.  Early exits and calls make all pending overwrites
+   observable, so they clear the tracking set. *)
+let eliminate_dead_stores ~aliased body =
+  let overwritten : (key, unit) Hashtbl.t = Hashtbl.create 16 in
+  let clear_may_read k =
+    let doomed =
+      Hashtbl.fold (fun k' () acc -> if may_alias_key ~aliased k k' then k' :: acc else acc)
+        overwritten []
+    in
+    List.iter (Hashtbl.remove overwritten) doomed
+  in
+  let dead = Hashtbl.create 4 in
+  let n = Array.length body in
+  for i = n - 1 downto 0 do
+    let op = body.(i) in
+    match op.Op.opcode with
+    | Op.Store m -> begin
+      match direct_unpredicated op with
+      | Some m' ->
+        let k = key_of m' in
+        if Hashtbl.mem overwritten k then Hashtbl.replace dead i ()
+        else Hashtbl.replace overwritten k ()
+      | None ->
+        ignore m;
+        Hashtbl.reset overwritten
+    end
+    | Op.Load m -> begin
+      match m.Op.mkind with
+      | Op.Direct -> clear_may_read (key_of m)
+      | Op.Indirect -> Hashtbl.reset overwritten
+    end
+    | Op.Call | Op.Br Op.Exit -> Hashtbl.reset overwritten
+    | _ -> ()
+  done;
+  let kept = ref [] in
+  for i = n - 1 downto 0 do
+    if not (Hashtbl.mem dead i) then kept := body.(i) :: !kept
+  done;
+  (Array.of_list !kept, Hashtbl.length dead)
+
+let run (loop : Loop.t) =
+  let aliased = loop.Loop.aliased in
+  let body, loads_eliminated = eliminate_loads ~aliased loop.Loop.body in
+  let body, stores_eliminated = eliminate_dead_stores ~aliased body in
+  let body = Array.mapi (fun i op -> { op with Op.uid = i }) body in
+  let loop = { loop with Loop.body } in
+  (match Loop.validate loop with
+  | Ok () -> ()
+  | Error msg -> failwith ("Rle.run: invalid result: " ^ msg));
+  { loop; loads_eliminated; stores_eliminated }

@@ -1,0 +1,23 @@
+(** Redundant-load elimination and dead-store elimination over a loop body.
+
+    This is the scalar-replacement effect that unrolling enables (§3 of the
+    paper): after unrolling, adjacent iterations' references to the same
+    address become distinct ops in one straight-line body, so a later load
+    of an address already loaded — or just stored — in the same iteration
+    can be replaced by a register copy, and a store overwritten before any
+    intervening read can be dropped.
+
+    Only provably-identical direct references are touched; any potentially
+    aliasing intervening store (unknown or indirect) kills the available
+    value.  Predicated ops are left alone. *)
+
+type result = {
+  loop : Loop.t;
+  loads_eliminated : int;
+  stores_eliminated : int;
+}
+
+val run : Loop.t -> result
+(** Rewrites the body.  Eliminated loads become [Mov]s from the register
+    holding the value; dead stores are removed outright (uids are
+    renumbered). *)

@@ -1,0 +1,196 @@
+type t = {
+  kernel : Loop.t;
+  kernel_trips : int;
+  remainder : Loop.t option;
+  remainder_trips : int;
+  factor : int;
+  code_bytes : int;
+}
+
+let max_factor = 8
+
+module RegMap = Map.Make (struct
+  type t = Op.reg
+  let compare = compare
+end)
+
+module RegSet = Set.Make (struct
+  type t = Op.reg
+  let compare = compare
+end)
+
+(* The canonical loop overhead appended by [Builder.finish]: induction
+   update, trip compare, backward branch.  If a loop was built some other
+   way, fall back to treating only the backedge as overhead. *)
+let split_overhead (body : Op.t array) =
+  let n = Array.length body in
+  let is_iv_update (op : Op.t) =
+    match (op.Op.opcode, op.Op.dst, op.Op.srcs) with
+    | Op.Ialu, Some d, [ s ] -> d = s
+    | _ -> false
+  in
+  if
+    n >= 3
+    && is_iv_update body.(n - 3)
+    && (match body.(n - 2).Op.opcode with Op.Cmp -> true | _ -> false)
+  then (Array.sub body 0 (n - 3), Array.sub body (n - 3) 3)
+  else (Array.sub body 0 (n - 1), Array.sub body (n - 1) 1)
+
+(* Loop-carried registers: defined in the core and read at or before their
+   first definition (the read sees the previous iteration's value).  Live-out
+   registers defined in the core are treated the same way so that the final
+   replica writes back the architecturally-visible name. *)
+(* Registers written by a predicated op keep their old value when the guard
+   is false — a read-modify-write.  Renaming them per replica would expose
+   an undefined value on the false path, so they are pinned to their
+   original name in every replica (the resulting anti/output dependences
+   serialise the replicas through that register, which is also what a real
+   compiler pays). *)
+let pinned_regs core =
+  Array.fold_left
+    (fun acc (op : Op.t) ->
+      match (op.Op.pred, op.Op.dst) with
+      | Some _, Some d -> RegSet.add d acc
+      | _ -> acc)
+    RegSet.empty core
+
+let carried_regs core live_out =
+  let first_def = Hashtbl.create 16 in
+  let first_use = Hashtbl.create 16 in
+  Array.iteri
+    (fun i op ->
+      List.iter
+        (fun r -> if not (Hashtbl.mem first_use r) then Hashtbl.add first_use r i)
+        (Op.uses op);
+      (match op.Op.pred with
+      | Some p ->
+        let r = { Op.id = p; cls = Op.Int } in
+        if not (Hashtbl.mem first_use r) then Hashtbl.add first_use r i
+      | None -> ());
+      List.iter
+        (fun r -> if not (Hashtbl.mem first_def r) then Hashtbl.add first_def r i)
+        (Op.defs op))
+    core;
+  let carried = ref RegSet.empty in
+  Hashtbl.iter
+    (fun r d ->
+      match Hashtbl.find_opt first_use r with
+      | Some u when u <= d -> carried := RegSet.add r !carried
+      | Some _ | None -> ())
+    first_def;
+  List.iter
+    (fun r -> if Hashtbl.mem first_def r then carried := RegSet.add r !carried)
+    live_out;
+  !carried
+
+let run (loop : Loop.t) u =
+  if u < 1 || u > max_factor then
+    invalid_arg (Printf.sprintf "Unroll.run: factor %d out of [1, %d]" u max_factor);
+  if u = 1 then
+    {
+      kernel = loop;
+      kernel_trips = loop.Loop.trip_actual;
+      remainder = None;
+      remainder_trips = 0;
+      factor = 1;
+      code_bytes = Loop.code_bytes loop;
+    }
+  else begin
+    let core, overhead = split_overhead loop.Loop.body in
+    let carried = carried_regs core loop.Loop.live_out in
+    let pinned = pinned_regs core in
+    (* An early exit can leave the loop from any replica, so loop-carried
+       chains cannot be rotated through per-replica names — the
+       architectural register must hold the live value at every exit
+       point.  (This is one of the reasons ORC refuses to unroll such
+       loops; when we do it mechanically for measurement, it must at least
+       be correct.) *)
+    let pinned =
+      if Loop.has_early_exit loop then RegSet.union pinned carried else pinned
+    in
+    let stride_base = Loop.max_reg_id loop + 1 in
+    let def_name k (r : Op.reg) =
+      if RegSet.mem r pinned then r
+      else if RegSet.mem r carried then
+        if k = u - 1 then r else { r with Op.id = r.Op.id + ((k + 1) * stride_base) }
+      else if k = 0 then r
+      else { r with Op.id = r.Op.id + (k * stride_base) }
+    in
+    let current = Hashtbl.create 32 in
+    let rename r = Option.value (Hashtbl.find_opt current r) ~default:r in
+    let out = ref [] in
+    let emit op = out := op :: !out in
+    for k = 0 to u - 1 do
+      Array.iter
+        (fun (op : Op.t) ->
+          let srcs = List.map rename op.Op.srcs in
+          let pred =
+            Option.map
+              (fun p -> (rename { Op.id = p; cls = Op.Int }).Op.id)
+              op.Op.pred
+          in
+          let opcode =
+            match op.Op.opcode with
+            | Op.Load m ->
+              Op.Load
+                { m with Op.stride = m.Op.stride * u; offset = m.Op.offset + (m.Op.stride * k) }
+            | Op.Store m ->
+              Op.Store
+                { m with Op.stride = m.Op.stride * u; offset = m.Op.offset + (m.Op.stride * k) }
+            | other -> other
+          in
+          let dst = Option.map (def_name k) op.Op.dst in
+          Option.iter
+            (fun d -> Hashtbl.replace current (Option.get op.Op.dst) d)
+            dst;
+          emit { op with Op.opcode; dst; srcs; pred })
+        core
+    done;
+    (* Single merged copy of the loop overhead. *)
+    Array.iter (fun op -> emit op) overhead;
+    let body =
+      Array.of_list (List.rev !out)
+      |> Array.mapi (fun i op -> { op with Op.uid = i })
+    in
+    let trip = loop.Loop.trip_actual in
+    let kernel_trips = trip / u in
+    let remainder_trips = trip mod u in
+    let needs_remainder =
+      match loop.Loop.trip_static with None -> true | Some n -> n mod u <> 0
+    in
+    let kernel =
+      {
+        loop with
+        Loop.name = Printf.sprintf "%s#u%d" loop.Loop.name u;
+        body;
+        trip_static = Option.map (fun n -> n / u) loop.Loop.trip_static;
+        trip_actual = kernel_trips;
+      }
+    in
+    (match Loop.validate kernel with
+    | Ok () -> ()
+    | Error msg -> failwith ("Unroll.run: invalid kernel: " ^ msg));
+    let remainder =
+      if needs_remainder then
+        Some
+          {
+            loop with
+            Loop.name = Printf.sprintf "%s#rem%d" loop.Loop.name u;
+            trip_static = Option.map (fun n -> n mod u) loop.Loop.trip_static;
+            trip_actual = remainder_trips;
+          }
+      else None
+    in
+    let code_bytes =
+      Loop.code_bytes kernel
+      + (match remainder with Some r -> Loop.code_bytes r + 16 | None -> 0)
+    in
+    {
+      kernel;
+      kernel_trips;
+      remainder;
+      remainder_trips = (if needs_remainder then remainder_trips else 0);
+      factor = u;
+      code_bytes;
+    }
+  end

@@ -1,0 +1,33 @@
+(** Loop unrolling.
+
+    Unrolling by factor [u] replicates the body [u] times with register
+    renaming, rewrites affine memory references (replica [k] reads offset
+    [o + s*k]; the unrolled per-iteration stride becomes [s*u]), merges the
+    [u] copies of the loop overhead (induction update, compare, backward
+    branch) into one, and emits a remainder loop when the trip count is not
+    provably divisible by [u].
+
+    Renaming gives every replica fresh destination registers so that the
+    scheduler can overlap replicas, {e except} genuine loop-carried values
+    (used before defined), whose final replica writes back the original
+    name — a real recurrence stays a recurrence, which is why unrolling
+    cannot speed up reduction-bound loops.  Early-exit branches are
+    replicated per copy, so control flow dilutes the benefit exactly as the
+    paper describes. *)
+
+type t = {
+  kernel : Loop.t;        (** the unrolled loop *)
+  kernel_trips : int;     (** runtime iterations of the kernel *)
+  remainder : Loop.t option;
+  remainder_trips : int;  (** runtime iterations of the remainder loop *)
+  factor : int;
+  code_bytes : int;       (** total static code footprint, kernel + remainder *)
+}
+
+val max_factor : int
+(** 8, as in the paper (§4.3): larger factors are rejected. *)
+
+val run : Loop.t -> int -> t
+(** [run loop u] unrolls by [u] in \[1, {!max_factor}\].  [run loop 1]
+    returns the loop unchanged (no remainder).  Raises [Invalid_argument]
+    for factors out of range. *)

@@ -1,0 +1,365 @@
+type maker = name:string -> trip:int -> Loop.t
+
+let flt = Op.Flt
+let int = Op.Int
+
+(* Most kernels walk arrays sized to the trip count so that streaming
+   behaviour (and capacity misses) reflect the trip. *)
+let arr b ?(elem = 8) ~trip name = Builder.add_array b ~elem_size:elem ~length:(trip + 16) name
+
+let daxpy ~name ~trip =
+  let b = Builder.create ~lang:Loop.Fortran ~name ~trip () in
+  let x = arr b ~trip "x" and y = arr b ~trip "y" in
+  let a = Builder.freg b in
+  let xv = Builder.load b ~cls:flt ~array:x ~stride:1 ~offset:0 () in
+  let yv = Builder.load b ~cls:flt ~array:y ~stride:1 ~offset:0 () in
+  let r = Builder.fmadd b [ a; xv; yv ] in
+  Builder.store b ~array:y ~stride:1 ~offset:0 r;
+  Builder.finish b
+
+let ddot ~name ~trip =
+  let b = Builder.create ~lang:Loop.Fortran ~name ~trip () in
+  let x = arr b ~trip "x" and y = arr b ~trip "y" in
+  let acc = Builder.freg b in
+  let xv = Builder.load b ~cls:flt ~array:x ~stride:1 ~offset:0 () in
+  let yv = Builder.load b ~cls:flt ~array:y ~stride:1 ~offset:0 () in
+  let p = Builder.fmul b [ xv; yv ] in
+  Builder.accumulate b ~acc ~op:`Fadd [ p ];
+  Builder.mark_live_out b acc;
+  Builder.finish b
+
+let dscal ~name ~trip =
+  let b = Builder.create ~lang:Loop.Fortran ~name ~trip () in
+  let x = arr b ~trip "x" in
+  let a = Builder.freg b in
+  let xv = Builder.load b ~cls:flt ~array:x ~stride:1 ~offset:0 () in
+  let r = Builder.fmul b [ a; xv ] in
+  Builder.store b ~array:x ~stride:1 ~offset:0 r;
+  Builder.finish b
+
+let dcopy ~name ~trip =
+  let b = Builder.create ~lang:Loop.C ~name ~trip () in
+  let x = arr b ~trip "src" and y = arr b ~trip "dst" in
+  let v = Builder.load b ~cls:flt ~array:x ~stride:1 ~offset:0 () in
+  Builder.store b ~array:y ~stride:1 ~offset:0 v;
+  Builder.finish b
+
+let daxpy_unknown_trip ~name ~trip =
+  let b = Builder.create ~lang:Loop.C ~trip_static:None ~name ~trip () in
+  let x = arr b ~trip "x" and y = arr b ~trip "y" in
+  let a = Builder.freg b in
+  let xv = Builder.load b ~cls:flt ~array:x ~stride:1 ~offset:0 () in
+  let yv = Builder.load b ~cls:flt ~array:y ~stride:1 ~offset:0 () in
+  let r = Builder.fmadd b [ a; xv; yv ] in
+  Builder.store b ~array:y ~stride:1 ~offset:0 r;
+  Builder.finish b
+
+let stencil3 ~name ~trip =
+  let b = Builder.create ~lang:Loop.Fortran ~name ~trip ~nest_level:2 ~outer_trip:4 () in
+  let a = arr b ~trip "a" and out = arr b ~trip "b" in
+  let third = Builder.freg b in
+  let l = Builder.load b ~cls:flt ~array:a ~stride:1 ~offset:0 () in
+  let c = Builder.load b ~cls:flt ~array:a ~stride:1 ~offset:1 () in
+  let r = Builder.load b ~cls:flt ~array:a ~stride:1 ~offset:2 () in
+  let s1 = Builder.fadd b [ l; c ] in
+  let s2 = Builder.fadd b [ s1; r ] in
+  let v = Builder.fmul b [ s2; third ] in
+  Builder.store b ~array:out ~stride:1 ~offset:1 v;
+  Builder.finish b
+
+let stencil5 ~name ~trip =
+  let b = Builder.create ~lang:Loop.Fortran90 ~name ~trip ~nest_level:2 ~outer_trip:4 () in
+  let a = arr b ~trip "a" and out = arr b ~trip "b" in
+  let w = Builder.freg b in
+  let v0 = Builder.load b ~cls:flt ~array:a ~stride:1 ~offset:0 () in
+  let v1 = Builder.load b ~cls:flt ~array:a ~stride:1 ~offset:1 () in
+  let v2 = Builder.load b ~cls:flt ~array:a ~stride:1 ~offset:2 () in
+  let v3 = Builder.load b ~cls:flt ~array:a ~stride:1 ~offset:3 () in
+  let v4 = Builder.load b ~cls:flt ~array:a ~stride:1 ~offset:4 () in
+  let s1 = Builder.fadd b [ v0; v1 ] in
+  let s2 = Builder.fadd b [ v2; v3 ] in
+  let s3 = Builder.fadd b [ s1; s2 ] in
+  let s4 = Builder.fadd b [ s3; v4 ] in
+  let r = Builder.fmul b [ s4; w ] in
+  Builder.store b ~array:out ~stride:1 ~offset:2 r;
+  Builder.finish b
+
+let fir8 ~name ~trip =
+  let b = Builder.create ~lang:Loop.C ~name ~trip ~nest_level:1 () in
+  let x = arr b ~trip "x" and out = arr b ~trip "y" in
+  let coeffs = Array.init 8 (fun _ -> Builder.freg b) in
+  let acc = ref None in
+  Array.iteri
+    (fun tap c ->
+      let v = Builder.load b ~cls:flt ~array:x ~stride:1 ~offset:tap () in
+      let term = Builder.fmul b [ c; v ] in
+      acc :=
+        Some
+          (match !acc with
+          | None -> term
+          | Some a -> Builder.fadd b [ a; term ]))
+    coeffs;
+  Builder.store b ~array:out ~stride:1 ~offset:0 (Option.get !acc);
+  Builder.finish b
+
+let saxpy_strided ~name ~trip =
+  let b = Builder.create ~lang:Loop.C ~name ~trip () in
+  let x = Builder.add_array b ~elem_size:8 ~length:((trip * 4) + 16) "x" in
+  let y = Builder.add_array b ~elem_size:8 ~length:((trip * 4) + 16) "y" in
+  let a = Builder.freg b in
+  let xv = Builder.load b ~cls:flt ~array:x ~stride:4 ~offset:0 () in
+  let yv = Builder.load b ~cls:flt ~array:y ~stride:4 ~offset:0 () in
+  let r = Builder.fmadd b [ a; xv; yv ] in
+  Builder.store b ~array:y ~stride:4 ~offset:0 r;
+  Builder.finish b
+
+let gather ~name ~trip =
+  let b = Builder.create ~lang:Loop.C ~name ~trip () in
+  let idx = arr b ~elem:4 ~trip "idx" in
+  let tbl = Builder.add_array b ~elem_size:8 ~length:8192 "table" in
+  let out = arr b ~trip "y" in
+  let i = Builder.load b ~cls:int ~array:idx ~stride:1 ~offset:0 () in
+  let v = Builder.load b ~cls:flt ~mkind:Op.Indirect ~addr:i ~array:tbl ~stride:0 ~offset:0 () in
+  Builder.store b ~array:out ~stride:1 ~offset:0 v;
+  Builder.finish b
+
+let scatter ~name ~trip =
+  let b = Builder.create ~lang:Loop.C ~name ~trip () in
+  let idx = arr b ~elem:4 ~trip "idx" in
+  let x = arr b ~trip "x" in
+  let tbl = Builder.add_array b ~elem_size:8 ~length:8192 "table" in
+  let i = Builder.load b ~cls:int ~array:idx ~stride:1 ~offset:0 () in
+  let v = Builder.load b ~cls:flt ~array:x ~stride:1 ~offset:0 () in
+  Builder.store b ~mkind:Op.Indirect ~addr:i ~array:tbl ~stride:0 ~offset:0 v;
+  Builder.finish b
+
+let pointer_chase ~name ~trip =
+  let b = Builder.create ~lang:Loop.C ~name ~trip () in
+  let nodes = Builder.add_array b ~elem_size:8 ~length:4096 "nodes" in
+  (* p = *p: an indirect load feeding itself is modelled as an indirect
+     load whose result is accumulated — a serial int recurrence. *)
+  let p = Builder.ireg b in
+  let v = Builder.load b ~cls:int ~mkind:Op.Indirect ~addr:p ~array:nodes ~stride:0 ~offset:0 () in
+  Builder.accumulate b ~acc:p ~op:`Ialu [ v ];
+  Builder.mark_live_out b p;
+  Builder.finish b
+
+let int_sum ~name ~trip =
+  let b = Builder.create ~lang:Loop.C ~name ~trip () in
+  let x = arr b ~elem:4 ~trip "x" in
+  let acc = Builder.ireg b in
+  let v = Builder.load b ~cls:int ~array:x ~stride:1 ~offset:0 () in
+  Builder.accumulate b ~acc ~op:`Ialu [ v ];
+  Builder.mark_live_out b acc;
+  Builder.finish b
+
+let int_histogram ~name ~trip =
+  let b = Builder.create ~lang:Loop.C ~name ~trip () in
+  let key = arr b ~elem:4 ~trip "key" in
+  let counts = Builder.add_array b ~elem_size:4 ~length:1024 "counts" in
+  let k = Builder.load b ~cls:int ~array:key ~stride:1 ~offset:0 () in
+  let c = Builder.load b ~cls:int ~mkind:Op.Indirect ~addr:k ~array:counts ~stride:0 ~offset:0 () in
+  let c' = Builder.ialu b [ c ] in
+  Builder.store b ~mkind:Op.Indirect ~addr:k ~array:counts ~stride:0 ~offset:0 c';
+  Builder.finish b
+
+let memset_like ~name ~trip =
+  let b = Builder.create ~lang:Loop.C ~name ~trip () in
+  let dst = arr b ~elem:4 ~trip "dst" in
+  let v = Builder.ireg b in
+  Builder.store b ~array:dst ~stride:1 ~offset:0 v;
+  Builder.finish b
+
+let memcpy_like ~name ~trip =
+  let b = Builder.create ~lang:Loop.C ~name ~trip () in
+  let src = arr b ~elem:4 ~trip "src" and dst = arr b ~elem:4 ~trip "dst" in
+  let v = Builder.load b ~cls:int ~array:src ~stride:1 ~offset:0 () in
+  Builder.store b ~array:dst ~stride:1 ~offset:0 v;
+  Builder.finish b
+
+let fp_divide ~name ~trip =
+  let b = Builder.create ~lang:Loop.Fortran ~name ~trip () in
+  let x = arr b ~trip "x" and y = arr b ~trip "y" and q = arr b ~trip "q" in
+  let xv = Builder.load b ~cls:flt ~array:x ~stride:1 ~offset:0 () in
+  let yv = Builder.load b ~cls:flt ~array:y ~stride:1 ~offset:0 () in
+  let r = Builder.fdiv b [ xv; yv ] in
+  Builder.store b ~array:q ~stride:1 ~offset:0 r;
+  Builder.finish b
+
+let sqrt_newton ~name ~trip =
+  let b = Builder.create ~lang:Loop.Fortran ~name ~trip () in
+  let x = arr b ~trip "x" and out = arr b ~trip "r" in
+  let half = Builder.freg b in
+  let v = Builder.load b ~cls:flt ~array:x ~stride:1 ~offset:0 () in
+  (* Two Newton steps: g = g*(1.5 - 0.5*x*g*g), seeded from x. *)
+  let g0 = Builder.fmul b [ v; half ] in
+  let t1 = Builder.fmul b [ g0; g0 ] in
+  let t2 = Builder.fmul b [ t1; v ] in
+  let t3 = Builder.fmadd b [ t2; half; half ] in
+  let g1 = Builder.fmul b [ g0; t3 ] in
+  let s1 = Builder.fmul b [ g1; g1 ] in
+  let s2 = Builder.fmul b [ s1; v ] in
+  let s3 = Builder.fmadd b [ s2; half; half ] in
+  let g2 = Builder.fmul b [ g1; s3 ] in
+  Builder.store b ~array:out ~stride:1 ~offset:0 g2;
+  Builder.finish b
+
+let complex_mul ~name ~trip =
+  let b = Builder.create ~lang:Loop.Fortran ~name ~trip () in
+  let a = Builder.add_array b ~elem_size:8 ~length:((trip * 2) + 16) "a" in
+  let c = Builder.add_array b ~elem_size:8 ~length:((trip * 2) + 16) "c" in
+  let out = Builder.add_array b ~elem_size:8 ~length:((trip * 2) + 16) "o" in
+  let ar = Builder.load b ~cls:flt ~array:a ~stride:2 ~offset:0 () in
+  let ai = Builder.load b ~cls:flt ~array:a ~stride:2 ~offset:1 () in
+  let cr = Builder.load b ~cls:flt ~array:c ~stride:2 ~offset:0 () in
+  let ci = Builder.load b ~cls:flt ~array:c ~stride:2 ~offset:1 () in
+  let rr1 = Builder.fmul b [ ar; cr ] in
+  let rr2 = Builder.fmul b [ ai; ci ] in
+  let re = Builder.fadd b [ rr1; rr2 ] in
+  let ii1 = Builder.fmul b [ ar; ci ] in
+  let ii2 = Builder.fmul b [ ai; cr ] in
+  let im = Builder.fadd b [ ii1; ii2 ] in
+  Builder.store b ~array:out ~stride:2 ~offset:0 re;
+  Builder.store b ~array:out ~stride:2 ~offset:1 im;
+  Builder.finish b
+
+let dot_stride0 ~name ~trip =
+  let b = Builder.create ~lang:Loop.C ~name ~trip () in
+  let x = arr b ~trip "x" in
+  let accm = Builder.add_array b ~elem_size:8 ~length:64 "acc" in
+  let v = Builder.load b ~cls:flt ~array:x ~stride:1 ~offset:0 () in
+  let cur = Builder.load b ~cls:flt ~array:accm ~stride:0 ~offset:0 () in
+  let s = Builder.fadd b [ cur; v ] in
+  Builder.store b ~array:accm ~stride:0 ~offset:0 s;
+  Builder.finish b
+
+let early_exit_search ~name ~trip =
+  let b = Builder.create ~lang:Loop.C ~name ~trip ~exit_prob:0.002 () in
+  let x = arr b ~elem:4 ~trip "x" in
+  let needle = Builder.ireg b in
+  let v = Builder.load b ~cls:int ~array:x ~stride:1 ~offset:0 () in
+  let p = Builder.cmp b [ v; needle ] in
+  Builder.early_exit b ~pred:p;
+  Builder.finish b
+
+let predicated_max ~name ~trip =
+  let b = Builder.create ~lang:Loop.C ~name ~trip () in
+  let x = arr b ~trip "x" in
+  let best = Builder.freg b in
+  let v = Builder.load b ~cls:flt ~array:x ~stride:1 ~offset:0 () in
+  let p = Builder.cmp b [ v; best ] in
+  (* Track the max via a predicated select feeding the carried register. *)
+  let chosen = Builder.sel b ~pred:p v best in
+  Builder.accumulate b ~acc:best ~op:`Fadd [ chosen ];
+  Builder.mark_live_out b best;
+  Builder.finish b
+
+let call_in_loop ~name ~trip =
+  let b = Builder.create ~lang:Loop.C ~name ~trip () in
+  let x = arr b ~trip "x" and y = arr b ~trip "y" in
+  let v = Builder.load b ~cls:flt ~array:x ~stride:1 ~offset:0 () in
+  Builder.call b;
+  let r = Builder.fmul b [ v; v ] in
+  Builder.store b ~array:y ~stride:1 ~offset:0 r;
+  Builder.finish b
+
+let matvec_row ~name ~trip =
+  let b = Builder.create ~lang:Loop.Fortran ~name ~trip ~nest_level:2 ~outer_trip:8 () in
+  let a = Builder.add_array b ~elem_size:8 ~length:(trip + 16) "arow" in
+  let x = arr b ~trip "x" in
+  let acc = Builder.freg b in
+  let av = Builder.load b ~cls:flt ~array:a ~stride:1 ~offset:0 () in
+  let xv = Builder.load b ~cls:flt ~array:x ~stride:1 ~offset:0 () in
+  Builder.accumulate b ~acc ~op:`Fmadd [ av; xv ] ;
+  Builder.mark_live_out b acc;
+  Builder.finish b
+
+let prefix_sum ~name ~trip =
+  let b = Builder.create ~lang:Loop.C ~name ~trip () in
+  let s = arr b ~trip "s" and x = arr b ~trip "x" in
+  let prev = Builder.load b ~cls:flt ~array:s ~stride:1 ~offset:0 () in
+  let v = Builder.load b ~cls:flt ~array:x ~stride:1 ~offset:1 () in
+  let next = Builder.fadd b [ prev; v ] in
+  Builder.store b ~array:s ~stride:1 ~offset:1 next;
+  Builder.finish b
+
+let wide_independent ~name ~trip =
+  let b = Builder.create ~lang:Loop.Fortran90 ~name ~trip () in
+  let xs = Array.init 4 (fun i -> arr b ~trip (Printf.sprintf "x%d" i)) in
+  let os = Array.init 4 (fun i -> arr b ~trip (Printf.sprintf "o%d" i)) in
+  let c = Builder.freg b in
+  Array.iteri
+    (fun i x ->
+      let v = Builder.load b ~cls:flt ~array:x ~stride:1 ~offset:0 () in
+      let r1 = Builder.fmul b [ v; c ] in
+      let r2 = Builder.fadd b [ r1; v ] in
+      Builder.store b ~array:os.(i) ~stride:1 ~offset:0 r2)
+    xs;
+  Builder.finish b
+
+let mixed_int_fp ~name ~trip =
+  let b = Builder.create ~lang:Loop.C ~name ~trip () in
+  let x = arr b ~trip "x" and k = arr b ~elem:4 ~trip "k" and out = arr b ~trip "o" in
+  let scale = Builder.freg b in
+  let kv = Builder.load b ~cls:int ~array:k ~stride:1 ~offset:0 () in
+  let k2 = Builder.imul b [ kv; kv ] in
+  let k3 = Builder.ialu b [ k2 ] in
+  let _ = k3 in
+  let xv = Builder.load b ~cls:flt ~array:x ~stride:1 ~offset:0 () in
+  let r = Builder.fmadd b [ xv; scale; xv ] in
+  Builder.store b ~array:out ~stride:1 ~offset:0 r;
+  Builder.finish b
+
+let long_latency_chain ~name ~trip =
+  let b = Builder.create ~lang:Loop.Fortran ~name ~trip () in
+  let x = arr b ~trip "x" and out = arr b ~trip "o" in
+  let v = Builder.load b ~cls:flt ~array:x ~stride:1 ~offset:0 () in
+  let rec chain v n = if n = 0 then v else chain (Builder.fmul b [ v; v ]) (n - 1) in
+  let r = chain v 5 in
+  Builder.store b ~array:out ~stride:1 ~offset:0 r;
+  Builder.finish b
+
+let small_trip ~name ~trip:_ =
+  let trip = 6 in
+  let b = Builder.create ~lang:Loop.C ~name ~trip ~outer_trip:512 () in
+  let x = Builder.add_array b ~elem_size:8 ~length:64 "x" in
+  let y = Builder.add_array b ~elem_size:8 ~length:64 "y" in
+  let a = Builder.freg b in
+  let xv = Builder.load b ~cls:flt ~array:x ~stride:1 ~offset:0 () in
+  let r = Builder.fmul b [ a; xv ] in
+  Builder.store b ~array:y ~stride:1 ~offset:0 r;
+  Builder.finish b
+
+let all =
+  [
+    ("daxpy", daxpy);
+    ("ddot", ddot);
+    ("dscal", dscal);
+    ("dcopy", dcopy);
+    ("daxpy_unknown_trip", daxpy_unknown_trip);
+    ("stencil3", stencil3);
+    ("stencil5", stencil5);
+    ("fir8", fir8);
+    ("saxpy_strided", saxpy_strided);
+    ("gather", gather);
+    ("scatter", scatter);
+    ("pointer_chase", pointer_chase);
+    ("int_sum", int_sum);
+    ("int_histogram", int_histogram);
+    ("memset_like", memset_like);
+    ("memcpy_like", memcpy_like);
+    ("fp_divide", fp_divide);
+    ("sqrt_newton", sqrt_newton);
+    ("complex_mul", complex_mul);
+    ("dot_stride0", dot_stride0);
+    ("early_exit_search", early_exit_search);
+    ("predicated_max", predicated_max);
+    ("call_in_loop", call_in_loop);
+    ("matvec_row", matvec_row);
+    ("prefix_sum", prefix_sum);
+    ("wide_independent", wide_independent);
+    ("mixed_int_fp", mixed_int_fp);
+    ("long_latency_chain", long_latency_chain);
+    ("small_trip", small_trip);
+  ]
+  @ Kernels2.all

@@ -1,0 +1,96 @@
+(** Hand-written kernel loops.
+
+    Around thirty classic innermost loops — BLAS-1/2 style vector code,
+    stencils, reductions, filters, table lookups, pointer chasing — written
+    against {!Builder}.  They anchor the workload suite in recognisable
+    code and are reused by the examples and tests.
+
+    Each constructor takes the runtime trip count (and sensible defaults),
+    so suites can instantiate the same kernel at different scales. *)
+
+type maker = name:string -> trip:int -> Loop.t
+(** A kernel family: instantiate with a name and trip count. *)
+
+val daxpy : maker
+(** y[i] += a * x[i] — the canonical stream kernel. *)
+
+val ddot : maker
+(** dot += x[i]*y[i] — FP reduction (recurrence-bound). *)
+
+val dscal : maker
+val dcopy : maker
+val daxpy_unknown_trip : maker
+(** daxpy with a compile-time-unknown trip count (remainder always needed). *)
+
+val stencil3 : maker
+(** b[i] = (a[i-1] + a[i] + a[i+1]) / 3-ish — neighbouring reuse that
+    redundant-load elimination exploits after unrolling. *)
+
+val stencil5 : maker
+val fir8 : maker
+(** 8-tap FIR filter: heavy reuse, wide parallelism. *)
+
+val saxpy_strided : maker
+(** Stride-4 accesses — poor spatial locality. *)
+
+val gather : maker
+(** y[i] = t[idx[i]] — indirect load (unanalysable). *)
+
+val scatter : maker
+(** t[idx[i]] = x[i] — indirect store kills disambiguation. *)
+
+val pointer_chase : maker
+(** p = next[p] — serial indirect recurrence; unrolling is useless. *)
+
+val int_sum : maker
+(** Integer reduction. *)
+
+val int_histogram : maker
+(** counts[key[i]]++ — indirect read-modify-write. *)
+
+val memset_like : maker
+val memcpy_like : maker
+val fp_divide : maker
+(** q[i] = x[i] / y[i] — unpipelined divider saturates immediately. *)
+
+val sqrt_newton : maker
+(** Newton iteration step per element: long dependence chains per
+    computation but independent across iterations. *)
+
+val complex_mul : maker
+(** Interleaved re/im arrays: 4 muls, 2 adds per element. *)
+
+val dot_stride0 : maker
+(** acc accumulated into memory each iteration (stride-0 store). *)
+
+val early_exit_search : maker
+(** Linear search with a conditional exit each iteration. *)
+
+val predicated_max : maker
+(** max reduction via compare + select (if-converted). *)
+
+val call_in_loop : maker
+(** Loop with an opaque call — never software-pipelined. *)
+
+val matvec_row : maker
+(** One row of y = A*x: dot-product against a strided matrix row. *)
+
+val prefix_sum : maker
+(** s[i] = s[i-1] + x[i] — loop-carried memory recurrence (distance 1). *)
+
+val wide_independent : maker
+(** Many independent FP computations per iteration — ILP-rich, unrolling
+    saturates resources quickly. *)
+
+val mixed_int_fp : maker
+val long_latency_chain : maker
+(** One serial fmul chain per iteration, independent across iterations —
+    unrolling overlaps chains and wins big. *)
+
+val small_trip : maker
+(** A loop whose trip count is tiny; high factors are wasted on the
+    remainder. *)
+
+val all : (string * maker) list
+(** Name → maker for every kernel family above, plus the second bank in
+    {!Kernels2} (~60 families in total). *)

@@ -1,0 +1,431 @@
+(* Second bank of kernel loops: linear-algebra inner loops, image/DSP rows,
+   and integer/table code.  Kept in a separate module only to keep file
+   sizes reviewable; [Kernels.all] re-exports everything. *)
+
+type maker = name:string -> trip:int -> Loop.t
+
+let flt = Op.Flt
+let int = Op.Int
+
+let arr b ?(elem = 8) ?(mult = 1) ~trip name =
+  Builder.add_array b ~elem_size:elem ~length:((trip * mult) + 32) name
+
+(* --- scientific inner loops --- *)
+
+let gaxpy2 ~name ~trip =
+  (* two simultaneous axpys sharing x: y += a*x, z += b*x *)
+  let b = Builder.create ~lang:Loop.Fortran ~name ~trip ~nest_level:2 ~outer_trip:8 () in
+  let x = arr b ~trip "x" and y = arr b ~trip "y" and z = arr b ~trip "z" in
+  let a = Builder.freg b and c = Builder.freg b in
+  let xv = Builder.load b ~cls:flt ~array:x ~stride:1 ~offset:0 () in
+  let yv = Builder.load b ~cls:flt ~array:y ~stride:1 ~offset:0 () in
+  let zv = Builder.load b ~cls:flt ~array:z ~stride:1 ~offset:0 () in
+  Builder.store b ~array:y ~stride:1 ~offset:0 (Builder.fmadd b [ a; xv; yv ]);
+  Builder.store b ~array:z ~stride:1 ~offset:0 (Builder.fmadd b [ c; xv; zv ]);
+  Builder.finish b
+
+let back_subst_inner ~name ~trip =
+  (* acc -= U[k][j] * x[j]: the dot-product core of back substitution *)
+  let b = Builder.create ~lang:Loop.Fortran ~name ~trip ~nest_level:2 ~outer_trip:32 () in
+  let u = arr b ~trip "urow" and x = arr b ~trip "x" in
+  let acc = Builder.freg b in
+  let uv = Builder.load b ~cls:flt ~array:u ~stride:1 ~offset:0 () in
+  let xv = Builder.load b ~cls:flt ~array:x ~stride:1 ~offset:0 () in
+  Builder.accumulate b ~acc ~op:`Fmadd [ uv; xv ];
+  Builder.mark_live_out b acc;
+  Builder.finish b
+
+let jacobi2d_row ~name ~trip =
+  let b = Builder.create ~lang:Loop.Fortran ~name ~trip ~nest_level:2 ~outer_trip:16 () in
+  let g = arr b ~mult:3 ~trip "grid" and out = arr b ~trip "out" in
+  let w = Builder.freg b in
+  let n = Builder.load b ~cls:flt ~array:g ~stride:1 ~offset:0 () in
+  let west = Builder.load b ~cls:flt ~array:g ~stride:1 ~offset:(trip + 31) () in
+  let e = Builder.load b ~cls:flt ~array:g ~stride:1 ~offset:(trip + 33) () in
+  let s = Builder.load b ~cls:flt ~array:g ~stride:1 ~offset:(2 * (trip + 32)) () in
+  let s1 = Builder.fadd b [ n; s ] in
+  let s2 = Builder.fadd b [ west; e ] in
+  let s3 = Builder.fadd b [ s1; s2 ] in
+  Builder.store b ~array:out ~stride:1 ~offset:0 (Builder.fmul b [ s3; w ]);
+  Builder.finish b
+
+let tridiag_solve ~name ~trip =
+  (* x[i] = (d[i] - l[i]*x[i-1]) / u[i] — serial memory recurrence with a
+     divide: unrolling is hopeless, exactly the kind of loop that must be
+     left alone. *)
+  let b = Builder.create ~lang:Loop.Fortran ~name ~trip () in
+  let l = arr b ~trip "l" and u = arr b ~trip "u" and d = arr b ~trip "d" in
+  let x = arr b ~trip "x" in
+  let prev = Builder.load b ~cls:flt ~array:x ~stride:1 ~offset:0 () in
+  let lv = Builder.load b ~cls:flt ~array:l ~stride:1 ~offset:0 () in
+  let dv = Builder.load b ~cls:flt ~array:d ~stride:1 ~offset:0 () in
+  let uv = Builder.load b ~cls:flt ~array:u ~stride:1 ~offset:0 () in
+  let t = Builder.fmul b [ lv; prev ] in
+  let num = Builder.fadd b [ dv; t ] in
+  let q = Builder.fdiv b [ num; uv ] in
+  Builder.store b ~array:x ~stride:1 ~offset:1 q;
+  Builder.finish b
+
+let horner ~name ~trip =
+  (* acc = acc * x + c[i] — fused-multiply-add recurrence *)
+  let b = Builder.create ~lang:Loop.Fortran ~name ~trip () in
+  let c = arr b ~trip "coef" in
+  let x = Builder.freg b in
+  let acc = Builder.freg b in
+  let cv = Builder.load b ~cls:flt ~array:c ~stride:1 ~offset:0 () in
+  Builder.accumulate b ~acc ~op:`Fmadd [ x; cv ];
+  Builder.mark_live_out b acc;
+  Builder.finish b
+
+let norm2 ~name ~trip =
+  let b = Builder.create ~lang:Loop.Fortran ~name ~trip () in
+  let x = arr b ~trip "x" in
+  let acc = Builder.freg b in
+  let xv = Builder.load b ~cls:flt ~array:x ~stride:1 ~offset:0 () in
+  Builder.accumulate b ~acc ~op:`Fmadd [ xv; xv ];
+  Builder.mark_live_out b acc;
+  Builder.finish b
+
+let givens_rotate ~name ~trip =
+  let b = Builder.create ~lang:Loop.Fortran ~name ~trip () in
+  let x = arr b ~trip "x" and y = arr b ~trip "y" in
+  let c = Builder.freg b and s = Builder.freg b in
+  let xv = Builder.load b ~cls:flt ~array:x ~stride:1 ~offset:0 () in
+  let yv = Builder.load b ~cls:flt ~array:y ~stride:1 ~offset:0 () in
+  let cx = Builder.fmul b [ c; xv ] in
+  let nx = Builder.fmadd b [ s; yv; cx ] in
+  let cy = Builder.fmul b [ c; yv ] in
+  let sx = Builder.fmul b [ s; xv ] in
+  let ny = Builder.fadd b [ cy; sx ] in
+  Builder.store b ~array:x ~stride:1 ~offset:0 nx;
+  Builder.store b ~array:y ~stride:1 ~offset:0 ny;
+  Builder.finish b
+
+let lerp ~name ~trip =
+  (* y[i] = a[i] + t*(b[i] - a[i]) *)
+  let b = Builder.create ~lang:Loop.C ~aliased:false ~name ~trip () in
+  let a = arr b ~trip "a" and bb = arr b ~trip "b" and y = arr b ~trip "y" in
+  let t = Builder.freg b in
+  let av = Builder.load b ~cls:flt ~array:a ~stride:1 ~offset:0 () in
+  let bv = Builder.load b ~cls:flt ~array:bb ~stride:1 ~offset:0 () in
+  let d = Builder.fadd b [ bv; av ] in
+  Builder.store b ~array:y ~stride:1 ~offset:0 (Builder.fmadd b [ t; d; av ]);
+  Builder.finish b
+
+let conv3x3_row ~name ~trip =
+  let b = Builder.create ~lang:Loop.C ~aliased:false ~name ~trip ~nest_level:2 ~outer_trip:16 () in
+  let img = arr b ~mult:3 ~trip "img" and out = arr b ~trip "out" in
+  let ks = Array.init 9 (fun _ -> Builder.freg b) in
+  let row = trip + 32 in
+  let acc = ref None in
+  Array.iteri
+    (fun t k ->
+      let offset = ((t / 3) * row) + (t mod 3) in
+      let v = Builder.load b ~cls:flt ~array:img ~stride:1 ~offset () in
+      acc :=
+        Some
+          (match !acc with
+          | None -> Builder.fmul b [ k; v ]
+          | Some a -> Builder.fmadd b [ k; v; a ]))
+    ks;
+  Builder.store b ~array:out ~stride:1 ~offset:0 (Option.get !acc);
+  Builder.finish b
+
+let csr_spmv_inner ~name ~trip =
+  (* acc += val[k] * x[col[k]] — the classic sparse gather-reduce *)
+  let b = Builder.create ~lang:Loop.C ~name ~trip () in
+  let vals = arr b ~trip "vals" in
+  let cols = arr b ~elem:4 ~trip "cols" in
+  let x = Builder.add_array b ~elem_size:8 ~length:8192 "x" in
+  let acc = Builder.freg b in
+  let v = Builder.load b ~cls:flt ~array:vals ~stride:1 ~offset:0 () in
+  let c = Builder.load b ~cls:int ~array:cols ~stride:1 ~offset:0 () in
+  let xv = Builder.load b ~cls:flt ~mkind:Op.Indirect ~addr:c ~array:x ~stride:0 ~offset:0 () in
+  Builder.accumulate b ~acc ~op:`Fmadd [ v; xv ];
+  Builder.mark_live_out b acc;
+  Builder.finish b
+
+let fft_butterfly ~name ~trip =
+  let b = Builder.create ~lang:Loop.C ~aliased:false ~name ~trip () in
+  let re = arr b ~mult:2 ~trip "re" and im = arr b ~mult:2 ~trip "im" in
+  let wr = Builder.freg b and wi = Builder.freg b in
+  let ar = Builder.load b ~cls:flt ~array:re ~stride:2 ~offset:0 () in
+  let ai = Builder.load b ~cls:flt ~array:im ~stride:2 ~offset:0 () in
+  let br = Builder.load b ~cls:flt ~array:re ~stride:2 ~offset:1 () in
+  let bi = Builder.load b ~cls:flt ~array:im ~stride:2 ~offset:1 () in
+  let tr1 = Builder.fmul b [ wr; br ] in
+  let tr = Builder.fmadd b [ wi; bi; tr1 ] in
+  let ti1 = Builder.fmul b [ wr; bi ] in
+  let ti = Builder.fmadd b [ wi; br; ti1 ] in
+  Builder.store b ~array:re ~stride:2 ~offset:0 (Builder.fadd b [ ar; tr ]);
+  Builder.store b ~array:im ~stride:2 ~offset:0 (Builder.fadd b [ ai; ti ]);
+  Builder.store b ~array:re ~stride:2 ~offset:1 (Builder.fadd b [ ar; tr ]);
+  Builder.store b ~array:im ~stride:2 ~offset:1 (Builder.fadd b [ ai; ti ]);
+  Builder.finish b
+
+let gauss_seidel_row ~name ~trip =
+  (* in-place stencil: reads its own freshly-written west neighbour — a
+     distance-1 memory recurrence that caps the achievable overlap *)
+  let b = Builder.create ~lang:Loop.Fortran ~name ~trip ~nest_level:2 ~outer_trip:8 () in
+  let g = arr b ~trip "g" in
+  let w = Builder.freg b in
+  let west = Builder.load b ~cls:flt ~array:g ~stride:1 ~offset:0 () in
+  let e = Builder.load b ~cls:flt ~array:g ~stride:1 ~offset:2 () in
+  let s = Builder.fadd b [ west; e ] in
+  Builder.store b ~array:g ~stride:1 ~offset:1 (Builder.fmul b [ s; w ]);
+  Builder.finish b
+
+let quantize ~name ~trip =
+  let b = Builder.create ~lang:Loop.C ~aliased:false ~name ~trip () in
+  let x = arr b ~trip "x" and q = arr b ~trip "q" in
+  let step = Builder.freg b in
+  let xv = Builder.load b ~cls:flt ~array:x ~stride:1 ~offset:0 () in
+  Builder.store b ~array:q ~stride:1 ~offset:0 (Builder.fdiv b [ xv; step ]);
+  Builder.finish b
+
+(* --- image / DSP rows --- *)
+
+let rgb2yuv ~name ~trip =
+  let b = Builder.create ~lang:Loop.C ~aliased:false ~name ~trip () in
+  let rgb = arr b ~mult:3 ~trip "rgb" in
+  let yuv = arr b ~mult:3 ~trip "yuv" in
+  let cs = Array.init 9 (fun _ -> Builder.freg b) in
+  let r = Builder.load b ~cls:flt ~array:rgb ~stride:3 ~offset:0 () in
+  let g = Builder.load b ~cls:flt ~array:rgb ~stride:3 ~offset:1 () in
+  let bl = Builder.load b ~cls:flt ~array:rgb ~stride:3 ~offset:2 () in
+  let plane k0 k1 k2 off =
+    let t1 = Builder.fmul b [ cs.(k0); r ] in
+    let t2 = Builder.fmadd b [ cs.(k1); g; t1 ] in
+    let y = Builder.fmadd b [ cs.(k2); bl; t2 ] in
+    Builder.store b ~array:yuv ~stride:3 ~offset:off y
+  in
+  plane 0 1 2 0;
+  plane 3 4 5 1;
+  plane 6 7 8 2;
+  Builder.finish b
+
+let alpha_blend ~name ~trip =
+  let b = Builder.create ~lang:Loop.C ~aliased:false ~name ~trip () in
+  let fg = arr b ~mult:4 ~trip "fg" and bg = arr b ~mult:4 ~trip "bg" in
+  let out = arr b ~mult:4 ~trip "out" in
+  let alpha = Builder.freg b in
+  for ch = 0 to 3 do
+    let f = Builder.load b ~cls:flt ~array:fg ~stride:4 ~offset:ch () in
+    let g = Builder.load b ~cls:flt ~array:bg ~stride:4 ~offset:ch () in
+    let d = Builder.fadd b [ f; g ] in
+    Builder.store b ~array:out ~stride:4 ~offset:ch (Builder.fmadd b [ alpha; d; g ])
+  done;
+  Builder.finish b
+
+let sad8 ~name ~trip =
+  (* sum of absolute differences: compare + select implements abs *)
+  let b = Builder.create ~lang:Loop.C ~name ~trip () in
+  let a = arr b ~elem:4 ~trip "a" and c = arr b ~elem:4 ~trip "c" in
+  let acc = Builder.ireg b in
+  let av = Builder.load b ~cls:int ~array:a ~stride:1 ~offset:0 () in
+  let cv = Builder.load b ~cls:int ~array:c ~stride:1 ~offset:0 () in
+  let d1 = Builder.ialu b [ av; cv ] in
+  let d2 = Builder.ialu b [ cv; av ] in
+  let p = Builder.cmp b [ d1 ] in
+  let abs = Builder.sel b ~pred:p d1 d2 in
+  Builder.accumulate b ~acc ~op:`Ialu [ abs ];
+  Builder.mark_live_out b acc;
+  Builder.finish b
+
+let max_pool4 ~name ~trip =
+  let b = Builder.create ~lang:Loop.C ~aliased:false ~name ~trip () in
+  let x = arr b ~mult:4 ~trip "x" and out = arr b ~trip "out" in
+  let v0 = Builder.load b ~cls:flt ~array:x ~stride:4 ~offset:0 () in
+  let v1 = Builder.load b ~cls:flt ~array:x ~stride:4 ~offset:1 () in
+  let v2 = Builder.load b ~cls:flt ~array:x ~stride:4 ~offset:2 () in
+  let v3 = Builder.load b ~cls:flt ~array:x ~stride:4 ~offset:3 () in
+  let p1 = Builder.cmp b [ v0; v1 ] in
+  let m1 = Builder.sel b ~pred:p1 v0 v1 in
+  let p2 = Builder.cmp b [ v2; v3 ] in
+  let m2 = Builder.sel b ~pred:p2 v2 v3 in
+  let p3 = Builder.cmp b [ m1; m2 ] in
+  Builder.store b ~array:out ~stride:1 ~offset:0 (Builder.sel b ~pred:p3 m1 m2);
+  Builder.finish b
+
+let clip8 ~name ~trip =
+  let b = Builder.create ~lang:Loop.C ~aliased:false ~name ~trip () in
+  let x = arr b ~elem:4 ~trip "x" and out = arr b ~elem:4 ~trip "out" in
+  let hi = Builder.ireg b and lo = Builder.ireg b in
+  let v = Builder.load b ~cls:int ~array:x ~stride:1 ~offset:0 () in
+  let p1 = Builder.cmp b [ v; hi ] in
+  let c1 = Builder.sel b ~pred:p1 hi v in
+  let p2 = Builder.cmp b [ c1; lo ] in
+  Builder.store b ~array:out ~stride:1 ~offset:0 (Builder.sel b ~pred:p2 lo c1);
+  Builder.finish b
+
+let yuv_downsample ~name ~trip =
+  let b = Builder.create ~lang:Loop.C ~aliased:false ~name ~trip () in
+  let src = arr b ~mult:2 ~trip "src" and dst = arr b ~trip "dst" in
+  let half = Builder.freg b in
+  let a = Builder.load b ~cls:flt ~array:src ~stride:2 ~offset:0 () in
+  let c = Builder.load b ~cls:flt ~array:src ~stride:2 ~offset:1 () in
+  let s = Builder.fadd b [ a; c ] in
+  Builder.store b ~array:dst ~stride:1 ~offset:0 (Builder.fmul b [ s; half ]);
+  Builder.finish b
+
+(* --- integer / table code --- *)
+
+let crc_byte ~name ~trip =
+  let b = Builder.create ~lang:Loop.C ~name ~trip () in
+  let data = arr b ~elem:4 ~trip "data" in
+  let table = Builder.add_array b ~elem_size:4 ~length:256 "crc_table" in
+  let crc = Builder.ireg b in
+  let byte = Builder.load b ~cls:int ~array:data ~stride:1 ~offset:0 () in
+  let idx = Builder.ialu b [ crc; byte ] in
+  let t = Builder.load b ~cls:int ~mkind:Op.Indirect ~addr:idx ~array:table ~stride:0 ~offset:0 () in
+  let shifted = Builder.ialu b [ crc ] in
+  Builder.accumulate b ~acc:crc ~op:`Ialu [ t ];
+  let _ = shifted in
+  Builder.mark_live_out b crc;
+  Builder.finish b
+
+let hash_mix ~name ~trip =
+  (* serial integer recurrence through multiply: h = h*33 + x[i] *)
+  let b = Builder.create ~lang:Loop.C ~name ~trip () in
+  let x = arr b ~elem:4 ~trip "x" in
+  let h = Builder.ireg b in
+  let c = Builder.ireg b in
+  let v = Builder.load b ~cls:int ~array:x ~stride:1 ~offset:0 () in
+  let hm = Builder.imul b [ h; c ] in
+  let _ = hm in
+  Builder.accumulate b ~acc:h ~op:`Ialu [ v ];
+  Builder.mark_live_out b h;
+  Builder.finish b
+
+let strcmp_like ~name ~trip =
+  let b = Builder.create ~lang:Loop.C ~name ~trip ~exit_prob:0.004 () in
+  let a = arr b ~elem:4 ~trip "a" and c = arr b ~elem:4 ~trip "b" in
+  let av = Builder.load b ~cls:int ~array:a ~stride:1 ~offset:0 () in
+  let cv = Builder.load b ~cls:int ~array:c ~stride:1 ~offset:0 () in
+  let p = Builder.cmp b [ av; cv ] in
+  Builder.early_exit b ~pred:p;
+  Builder.finish b
+
+let run_length ~name ~trip =
+  (* predicated store: only emit when the value changed *)
+  let b = Builder.create ~lang:Loop.C ~name ~trip () in
+  let x = arr b ~elem:4 ~trip "x" and out = arr b ~elem:4 ~trip "out" in
+  let v = Builder.load b ~cls:int ~array:x ~stride:1 ~offset:0 () in
+  let prev = Builder.load b ~cls:int ~array:x ~stride:1 ~offset:1 () in
+  let p = Builder.cmp b [ v; prev ] in
+  Builder.store b ~pred:p ~array:out ~stride:1 ~offset:0 v;
+  Builder.finish b
+
+let bitcount ~name ~trip =
+  let b = Builder.create ~lang:Loop.C ~name ~trip () in
+  let x = arr b ~elem:4 ~trip "x" in
+  let acc = Builder.ireg b in
+  let v = Builder.load b ~cls:int ~array:x ~stride:1 ~offset:0 () in
+  let t1 = Builder.ialu b [ v ] in
+  let t2 = Builder.ialu b [ t1 ] in
+  let t3 = Builder.ialu b [ t2 ] in
+  let t4 = Builder.ialu b [ t3 ] in
+  Builder.accumulate b ~acc ~op:`Ialu [ t4 ];
+  Builder.mark_live_out b acc;
+  Builder.finish b
+
+let table_interp ~name ~trip =
+  let b = Builder.create ~lang:Loop.C ~name ~trip () in
+  let idx = arr b ~elem:4 ~trip "idx" in
+  let table = Builder.add_array b ~elem_size:8 ~length:4096 "table" in
+  let out = arr b ~trip "out" in
+  let frac = Builder.freg b in
+  let i = Builder.load b ~cls:int ~array:idx ~stride:1 ~offset:0 () in
+  let lo = Builder.load b ~cls:flt ~mkind:Op.Indirect ~addr:i ~array:table ~stride:0 ~offset:0 () in
+  let hi = Builder.load b ~cls:flt ~mkind:Op.Indirect ~addr:i ~array:table ~stride:0 ~offset:1 () in
+  let d = Builder.fadd b [ hi; lo ] in
+  Builder.store b ~array:out ~stride:1 ~offset:0 (Builder.fmadd b [ frac; d; lo ]);
+  Builder.finish b
+
+let bubble_inner ~name ~trip =
+  (* compare-and-swap of adjacent elements via predicated selects *)
+  let b = Builder.create ~lang:Loop.C ~name ~trip () in
+  let a = arr b ~elem:4 ~trip "a" in
+  let x = Builder.load b ~cls:int ~array:a ~stride:1 ~offset:0 () in
+  let y = Builder.load b ~cls:int ~array:a ~stride:1 ~offset:1 () in
+  let p = Builder.cmp b [ x; y ] in
+  let lo = Builder.sel b ~pred:p y x in
+  let hi = Builder.sel b ~pred:p x y in
+  Builder.store b ~array:a ~stride:1 ~offset:0 lo;
+  Builder.store b ~array:a ~stride:1 ~offset:1 hi;
+  Builder.finish b
+
+let strided_gather8 ~name ~trip =
+  let b = Builder.create ~lang:Loop.C ~name ~trip () in
+  let x = arr b ~mult:8 ~trip "x" and out = arr b ~trip "out" in
+  let v = Builder.load b ~cls:flt ~array:x ~stride:8 ~offset:0 () in
+  let w = Builder.fmul b [ v; v ] in
+  Builder.store b ~array:out ~stride:1 ~offset:0 w;
+  Builder.finish b
+
+let memmove_reverse ~name ~trip =
+  (* descending copy: negative stride *)
+  let b = Builder.create ~lang:Loop.C ~name ~trip () in
+  let src = arr b ~elem:4 ~trip "src" and dst = arr b ~elem:4 ~trip "dst" in
+  let v = Builder.load b ~cls:int ~array:src ~stride:(-1) ~offset:(trip - 1) () in
+  Builder.store b ~array:dst ~stride:(-1) ~offset:(trip - 1) v;
+  Builder.finish b
+
+let checksum_2way ~name ~trip =
+  let b = Builder.create ~lang:Loop.C ~name ~trip () in
+  let x = arr b ~elem:4 ~mult:2 ~trip "x" in
+  let a1 = Builder.ireg b and a2 = Builder.ireg b in
+  let v1 = Builder.load b ~cls:int ~array:x ~stride:2 ~offset:0 () in
+  let v2 = Builder.load b ~cls:int ~array:x ~stride:2 ~offset:1 () in
+  Builder.accumulate b ~acc:a1 ~op:`Ialu [ v1 ];
+  Builder.accumulate b ~acc:a2 ~op:`Ialu [ v2 ];
+  Builder.mark_live_out b a1;
+  Builder.mark_live_out b a2;
+  Builder.finish b
+
+let viterbi_inner ~name ~trip =
+  (* min-plus update with selects, int flavoured *)
+  let b = Builder.create ~lang:Loop.C ~name ~trip () in
+  let costs = arr b ~elem:4 ~trip "costs" and out = arr b ~elem:4 ~trip "out" in
+  let trans0 = Builder.ireg b and trans1 = Builder.ireg b in
+  let c0 = Builder.load b ~cls:int ~array:costs ~stride:1 ~offset:0 () in
+  let c1 = Builder.load b ~cls:int ~array:costs ~stride:1 ~offset:1 () in
+  let p0 = Builder.ialu b [ c0; trans0 ] in
+  let p1 = Builder.ialu b [ c1; trans1 ] in
+  let p = Builder.cmp b [ p0; p1 ] in
+  Builder.store b ~array:out ~stride:1 ~offset:0 (Builder.sel b ~pred:p p0 p1);
+  Builder.finish b
+
+let all =
+  [
+    ("gaxpy2", gaxpy2);
+    ("back_subst_inner", back_subst_inner);
+    ("jacobi2d_row", jacobi2d_row);
+    ("tridiag_solve", tridiag_solve);
+    ("horner", horner);
+    ("norm2", norm2);
+    ("givens_rotate", givens_rotate);
+    ("lerp", lerp);
+    ("conv3x3_row", conv3x3_row);
+    ("csr_spmv_inner", csr_spmv_inner);
+    ("fft_butterfly", fft_butterfly);
+    ("gauss_seidel_row", gauss_seidel_row);
+    ("quantize", quantize);
+    ("rgb2yuv", rgb2yuv);
+    ("alpha_blend", alpha_blend);
+    ("sad8", sad8);
+    ("max_pool4", max_pool4);
+    ("clip8", clip8);
+    ("yuv_downsample", yuv_downsample);
+    ("crc_byte", crc_byte);
+    ("hash_mix", hash_mix);
+    ("strcmp_like", strcmp_like);
+    ("run_length", run_length);
+    ("bitcount", bitcount);
+    ("table_interp", table_interp);
+    ("bubble_inner", bubble_inner);
+    ("strided_gather8", strided_gather8);
+    ("memmove_reverse", memmove_reverse);
+    ("checksum_2way", checksum_2way);
+    ("viterbi_inner", viterbi_inner);
+  ]

@@ -1,0 +1,14 @@
+(** Second bank of hand-written kernel loops.
+
+    Thirty further loop families — linear-algebra inner loops
+    (gaxpy, back-substitution, Jacobi/Gauss–Seidel rows, tridiagonal
+    solve, Horner, Givens rotation, 3x3 convolution, sparse mat-vec, FFT
+    butterfly), image/DSP rows (RGB↔YUV, alpha blend, SAD, max-pool,
+    clipping, downsampling) and integer/table code (CRC, hashing, string
+    compare with exits, run-length with predicated stores, bit counting,
+    table interpolation, compare-and-swap, reverse copy, checksums,
+    Viterbi updates).  All are re-exported through {!Kernels.all}. *)
+
+type maker = name:string -> trip:int -> Loop.t
+
+val all : (string * maker) list

@@ -1,0 +1,286 @@
+type profile = {
+  pname : string;
+  fp_ratio : float;
+  loads_per_comp : float;
+  comps_min : int;
+  comps_max : int;
+  chain_min : int;
+  chain_max : int;
+  reduction_prob : float;
+  stencil_prob : float;
+  indirect_prob : float;
+  store_prob : float;
+  div_prob : float;
+  pred_prob : float;
+  early_exit_prob : float;
+  call_prob : float;
+  unknown_trip_prob : float;
+  trip_log_min : float;
+  trip_log_max : float;
+  outer_max : int;
+  nest_max : int;
+  big_array_prob : float;
+  strides : (float * int) array;
+  langs : (float * Loop.lang) array;
+}
+
+let fp_numeric =
+  {
+    pname = "fp_numeric";
+    fp_ratio = 0.9;
+    loads_per_comp = 2.1;
+    comps_min = 2;
+    comps_max = 6;
+    chain_min = 2;
+    chain_max = 6;
+    reduction_prob = 0.25;
+    stencil_prob = 0.35;
+    indirect_prob = 0.03;
+    store_prob = 0.75;
+    div_prob = 0.06;
+    pred_prob = 0.05;
+    early_exit_prob = 0.02;
+    call_prob = 0.01;
+    unknown_trip_prob = 0.45;
+    trip_log_min = log 6.0;
+    trip_log_max = log 600.0;
+    outer_max = 8192;
+    nest_max = 4;
+    big_array_prob = 0.2;
+    strides = [| (0.75, 1); (0.12, 2); (0.08, 4); (0.05, 8) |];
+    langs = [| (0.7, Loop.Fortran); (0.2, Loop.Fortran90); (0.1, Loop.C) |];
+  }
+
+let int_pointer =
+  {
+    pname = "int_pointer";
+    fp_ratio = 0.1;
+    loads_per_comp = 1.5;
+    comps_min = 1;
+    comps_max = 4;
+    chain_min = 1;
+    chain_max = 5;
+    reduction_prob = 0.3;
+    stencil_prob = 0.1;
+    indirect_prob = 0.25;
+    store_prob = 0.55;
+    div_prob = 0.01;
+    pred_prob = 0.15;
+    early_exit_prob = 0.2;
+    call_prob = 0.08;
+    unknown_trip_prob = 0.7;
+    trip_log_min = log 4.0;
+    trip_log_max = log 200.0;
+    outer_max = 16384;
+    nest_max = 3;
+    big_array_prob = 0.15;
+    strides = [| (0.8, 1); (0.1, 2); (0.1, 4) |];
+    langs = [| (1.0, Loop.C) |];
+  }
+
+let media =
+  {
+    pname = "media";
+    fp_ratio = 0.45;
+    loads_per_comp = 1.8;
+    comps_min = 2;
+    comps_max = 8;
+    chain_min = 1;
+    chain_max = 5;
+    reduction_prob = 0.2;
+    stencil_prob = 0.45;
+    indirect_prob = 0.08;
+    store_prob = 0.7;
+    div_prob = 0.02;
+    pred_prob = 0.2;
+    early_exit_prob = 0.05;
+    call_prob = 0.02;
+    unknown_trip_prob = 0.15;
+    trip_log_min = log 8.0;
+    trip_log_max = log 128.0;
+    outer_max = 16384;
+    nest_max = 3;
+    big_array_prob = 0.05;
+    strides = [| (0.6, 1); (0.25, 2); (0.1, 3); (0.05, 4) |];
+    langs = [| (1.0, Loop.C) |];
+  }
+
+let scientific_c =
+  {
+    fp_numeric with
+    pname = "scientific_c";
+    indirect_prob = 0.08;
+    unknown_trip_prob = 0.45;
+    early_exit_prob = 0.06;
+    call_prob = 0.03;
+    langs = [| (1.0, Loop.C) |];
+  }
+
+let log_uniform rng lo hi =
+  let x = lo +. Rng.float rng (hi -. lo) in
+  max 1 (int_of_float (Float.round (exp x)))
+
+(* Real trip counts are rarely arbitrary: problem sizes, unroll-friendly
+   block factors and screen/table dimensions make most of them round.
+   Snapping a majority of trips to multiples of 4/8/10 or powers of two is
+   what gives even unroll factors their remainder-free advantage (the paper
+   observes non-power-of-two factors are rarely optimal). *)
+let snap_trip rng trip =
+  if Rng.float rng 1.0 < 0.2 then trip
+  else
+    match Rng.int rng 5 with
+    | 0 | 1 -> max 8 (trip / 8 * 8)
+    | 2 -> max 4 (trip / 4 * 4)
+    | 3 -> max 16 (trip / 16 * 16)
+    | _ ->
+      let rec pow2 p = if p * 2 > trip then p else pow2 (p * 2) in
+      max 8 (pow2 1)
+
+let generate rng profile ~name =
+  (* Compile-time-unknown trips are typically input-sized dimensions, i.e.
+     long; short loops tend to have literal bounds. *)
+  let unknown_trip = Rng.float rng 1.0 < profile.unknown_trip_prob in
+  let trip =
+    let lo =
+      if unknown_trip then (profile.trip_log_min +. profile.trip_log_max) /. 2.0
+      else profile.trip_log_min
+    in
+    let hi =
+      if unknown_trip then profile.trip_log_max +. 0.7 else profile.trip_log_max
+    in
+    snap_trip rng (log_uniform rng lo hi)
+  in
+  let nest_level = 1 + Rng.int rng profile.nest_max in
+  (* Outer trip count derives from a total work budget: a small inner loop
+     inside a hot nest is re-entered many times, which is exactly when
+     per-entry costs (remainder iterations, code refetch) matter. *)
+  let outer_trip =
+    (* Re-entry count grows with nesting depth (a visible feature), times a
+       program-hotness multiplier.  Hotness scales every entry equally, so
+       it moves a loop's total runtime (and the >= 50k-cycle filter)
+       without moving its optimal unroll factor. *)
+    let base = 4.0 ** float_of_int (nest_level - 1) in
+    let hotness = float_of_int (log_uniform rng (log 8.0) (log 512.0)) in
+    let jitter = exp (0.5 *. Rng.gaussian rng) in
+    max 1 (min profile.outer_max (int_of_float (Float.round (base *. hotness *. jitter))))
+  in
+  let lang = Rng.weighted_choice rng profile.langs in
+  let has_exit = Rng.float rng 1.0 < profile.early_exit_prob in
+  let exit_prob = if has_exit then 0.0005 +. Rng.float rng 0.004 else 0.0 in
+  let trip_static = if unknown_trip then None else Some trip in
+  (* For C loops, points-to analysis sometimes proves arrays distinct
+     (restrict, locals); Fortran array semantics always do. *)
+  let aliased =
+    match lang with
+    | Loop.Fortran | Loop.Fortran90 -> false
+    | Loop.C -> Rng.float rng 1.0 >= 0.35
+  in
+  let b =
+    Builder.create ~nest_level ~lang ~trip_static ~aliased ~outer_trip ~exit_prob ~name
+      ~trip ()
+  in
+  let max_stride = Array.fold_left (fun acc (_, s) -> max acc s) 1 profile.strides in
+  let array_length big =
+    if big then 40_000 + Rng.int rng 80_000 else (trip * max_stride) + 16
+  in
+  let n_in = 1 + Rng.int rng 3 in
+  let n_out = 1 + Rng.int rng 2 in
+  let mk_arr tag i =
+    let big = Rng.float rng 1.0 < profile.big_array_prob in
+    let elem = if Rng.float rng 1.0 < 0.7 then 8 else 4 in
+    Builder.add_array b ~elem_size:elem ~length:(array_length big) (Printf.sprintf "%s%d" tag i)
+  in
+  let ins = Array.init n_in (mk_arr "in") in
+  let outs = Array.init n_out (mk_arr "out") in
+  let invariants =
+    Array.init (1 + Rng.int rng 2) (fun _ ->
+        if Rng.float rng 1.0 < profile.fp_ratio then Builder.freg b else Builder.ireg b)
+  in
+  let pick_invariant cls =
+    let matching = Array.to_list invariants |> List.filter (fun (r : Op.reg) -> r.Op.cls = cls) in
+    match matching with [] -> None | l -> Some (List.nth l (Rng.int rng (List.length l)))
+  in
+  let comps = profile.comps_min + Rng.int rng (profile.comps_max - profile.comps_min + 1) in
+  (* Shared predicate for predicated computations, defined once per body. *)
+  let shared_pred = ref None in
+  let get_pred v =
+    match !shared_pred with
+    | Some p -> p
+    | None ->
+      let p = Builder.cmp b [ v ] in
+      shared_pred := Some p;
+      p
+  in
+  for c = 0 to comps - 1 do
+    let is_fp = Rng.float rng 1.0 < profile.fp_ratio in
+    let cls = if is_fp then Op.Flt else Op.Int in
+    let n_loads =
+      let base = int_of_float profile.loads_per_comp in
+      let frac = profile.loads_per_comp -. float_of_int base in
+      max 1 (base + if Rng.float rng 1.0 < frac then 1 else 0)
+    in
+    let stencil = Rng.float rng 1.0 < profile.stencil_prob in
+    let arrays_used = ref [] in
+    let loads =
+      List.init n_loads (fun l ->
+          let array = ins.(Rng.int rng n_in) in
+          let indirect = Rng.float rng 1.0 < profile.indirect_prob in
+          if indirect then
+            Builder.load b ~mkind:Op.Indirect ~cls ~array ~stride:0 ~offset:0 ()
+          else begin
+            let stride = Rng.weighted_choice rng profile.strides in
+            let offset = if stencil then l else Rng.int rng 2 in
+            arrays_used := array :: !arrays_used;
+            Builder.load b ~cls ~array ~stride ~offset ()
+          end)
+    in
+    let predicated = Rng.float rng 1.0 < profile.pred_prob in
+    let pred = if predicated then Some (get_pred (List.hd loads)) else None in
+    let chain_len =
+      profile.chain_min + Rng.int rng (profile.chain_max - profile.chain_min + 1)
+    in
+    let combine acc v =
+      if is_fp then
+        if Rng.float rng 1.0 < profile.div_prob then Builder.fdiv b ?pred [ acc; v ]
+        else if Rng.bool rng then Builder.fmul b ?pred [ acc; v ]
+        else Builder.fadd b ?pred [ acc; v ]
+      else if Rng.bool rng then Builder.imul b ?pred [ acc; v ]
+      else Builder.ialu b ?pred [ acc; v ]
+    in
+    let seed = List.hd loads in
+    let after_loads = List.fold_left combine seed (List.tl loads) in
+    let value = ref after_loads in
+    for _ = 1 to chain_len do
+      let operand =
+        match pick_invariant cls with
+        | Some inv when Rng.bool rng -> inv
+        | _ -> !value
+      in
+      value := combine !value operand
+    done;
+    let reduce = Rng.float rng 1.0 < profile.reduction_prob in
+    if reduce then begin
+      let acc = if is_fp then Builder.freg b else Builder.ireg b in
+      Builder.accumulate b ~acc ~op:(if is_fp then `Fadd else `Ialu) [ !value ];
+      Builder.mark_live_out b acc
+    end;
+    if (not reduce) || Rng.float rng 1.0 < profile.store_prob then
+      if Rng.float rng 1.0 < profile.store_prob then begin
+        let array = outs.(Rng.int rng n_out) in
+        let indirect = Rng.float rng 1.0 < profile.indirect_prob in
+        if indirect then
+          Builder.store b ~mkind:Op.Indirect ~array ~stride:0 ~offset:0 !value
+        else
+          let stride = Rng.weighted_choice rng profile.strides in
+          Builder.store b ~array ~stride ~offset:(Rng.int rng 2) !value
+      end;
+    ignore c
+  done;
+  if Rng.float rng 1.0 < profile.call_prob then Builder.call b;
+  if has_exit then begin
+    (* Exit condition computed from a fresh load so it has a real input. *)
+    let v = Builder.load b ~cls:Op.Int ~array:ins.(0) ~stride:1 ~offset:0 () in
+    let p = Builder.cmp b [ v ] in
+    Builder.early_exit b ~pred:p
+  end;
+  Builder.finish b

@@ -1,0 +1,63 @@
+(** Profile-driven synthetic loop generation.
+
+    The paper draws 2,500+ unrollable innermost loops from 72 benchmarks
+    across SPEC, Mediabench, Perfect and kernel suites.  Without those
+    sources, this generator produces loops from the same structural
+    distribution: per-suite profiles control floating-point density, memory
+    intensity, stencil-style neighbouring references, reductions, indirect
+    accesses, control flow, calls, predication, trip-count ranges and array
+    footprints.  Generation is fully deterministic given the RNG stream.
+
+    What matters for the learning experiments is the {e joint} distribution
+    of loop characteristics and optimal unroll factors; the profiles are
+    chosen so that structure, not noise, determines the label — small
+    bodies want high factors until resources, register pressure or code
+    growth push back; recurrences and serial chains cap the benefit;
+    indirect references and calls disable it. *)
+
+type profile = {
+  pname : string;
+  fp_ratio : float;         (** probability a computation is floating point *)
+  loads_per_comp : float;   (** average loads feeding each computation *)
+  comps_min : int;          (** computations per body, inclusive range *)
+  comps_max : int;
+  chain_min : int;          (** arithmetic chain length per computation *)
+  chain_max : int;
+  reduction_prob : float;   (** computation accumulates into a carried reg *)
+  stencil_prob : float;     (** loads reuse a neighbouring offset *)
+  indirect_prob : float;    (** a load/store is indirect *)
+  store_prob : float;       (** computation result is stored *)
+  div_prob : float;         (** a chain op is a divide *)
+  pred_prob : float;        (** computation is predicated *)
+  early_exit_prob : float;  (** loop has a conditional exit *)
+  call_prob : float;        (** loop contains an opaque call *)
+  unknown_trip_prob : float;
+  trip_log_min : float;     (** ln of minimum trip count *)
+  trip_log_max : float;
+  outer_max : int;          (** outer-trip upper bound (log-uniform) *)
+  nest_max : int;
+  big_array_prob : float;   (** arrays sized beyond L2 (streaming misses) *)
+  strides : (float * int) array;  (** weighted stride choices *)
+  langs : (float * Loop.lang) array;
+}
+
+val fp_numeric : profile
+(** Fortran-style scientific code: FP-dense, regular strides, stencils and
+    reductions, long trips. *)
+
+val int_pointer : profile
+(** C-style integer code: short bodies, indirect references, early exits,
+    calls, unknown trips. *)
+
+val media : profile
+(** Media/DSP code: fixed trip counts, interleaved strides, wide ILP. *)
+
+val scientific_c : profile
+(** C scientific code: like {!fp_numeric} with pointer-flavoured noise. *)
+
+val generate : Rng.t -> profile -> name:string -> Loop.t
+(** One synthetic loop.  Always validates. *)
+
+val snap_trip : Rng.t -> int -> int
+(** Rounds most trip counts to realistic "nice" values (multiples of 4, 8,
+    16, or powers of two), keeping ~30% arbitrary. *)

@@ -1,0 +1,5 @@
+import re,sys
+t=open('/root/repo/bench_output.txt').read()
+# pull the summary table rows
+m=re.search(r'Summary: paper claim vs this reproduction.*?\n(\+.*?\n\+[-+]*\+\n)', t, re.S)
+print(t[t.find('Summary: paper claim'):t.find('Summary: paper claim')+2000] if 'Summary' in t else 'no summary yet')

@@ -1,0 +1,15 @@
+let machine = Machine.itanium2
+let () =
+  let b = Builder.create ~lang:Loop.Fortran ~name:"sm_best" ~trip:4096 ~nest_level:2
+      ~outer_trip:32 () in
+  let x = Builder.add_array b ~length:4112 "x" in
+  let v = Builder.load b ~cls:Op.Flt ~array:x ~stride:1 ~offset:0 () in
+  Builder.store b ~array:x ~stride:1 ~offset:0 (Builder.fmul b [ v; v ]);
+  let loop = Builder.finish b in
+  List.iter (fun strip ->
+    let exe = Strip_mine.executable machine ~swp:false loop ~strip ~unroll:4 in
+    let st = Simulator.create_state machine in
+    ignore (Simulator.run st exe);
+    Printf.printf "strip %d: %d (chunks=%d extra=%d)\n" strip (Simulator.run st exe)
+      (List.length exe.Simulator.schedules) exe.Simulator.entry_extra_cycles)
+    [256; 512; 1024; 2048; 4096]

@@ -1,0 +1,135 @@
+(* Semantic equivalence: the reference interpreter checks that unrolling
+   (at every factor) and redundant-load/dead-store elimination preserve a
+   loop's observable behaviour — final memory image and live-out register
+   values.  This is the strongest correctness statement in the repository:
+   it exercises register renaming, loop-carried value threading, remainder
+   phase arithmetic, memory-offset rewriting and RLE's alias reasoning all
+   at once. *)
+
+let run_original loop =
+  let st = Interp.fresh_state () in
+  let out = Interp.run st loop ~trips:loop.Loop.trip_actual ~phase:0 in
+  (st, out)
+
+let check_equiv name (loop : Loop.t) transformed_state =
+  let original_state, _ = run_original loop in
+  if not (Interp.equivalent original_state transformed_state loop.Loop.live_out) then
+    Alcotest.failf "%s: transformed loop is not observationally equivalent" name
+
+let test_unroll_preserves_kernels () =
+  List.iter
+    (fun (name, maker) ->
+      List.iter
+        (fun trip ->
+          let loop = maker ~name ~trip in
+          List.iter
+            (fun f ->
+              let u = Unroll.run loop f in
+              let st = Interp.fresh_state () in
+              ignore (Interp.run_unrolled st u);
+              check_equiv (Printf.sprintf "%s trip=%d u=%d" name trip f) loop st)
+            [ 2; 3; 5; 8 ])
+        [ 5; 16; 33 ])
+    Kernels.all
+
+let test_rle_preserves_kernels () =
+  List.iter
+    (fun (name, maker) ->
+      let loop = maker ~name ~trip:24 in
+      List.iter
+        (fun f ->
+          let u = Unroll.run loop f in
+          let r = Rle.run u.Unroll.kernel in
+          let u' = { u with Unroll.kernel = r.Rle.loop } in
+          let st = Interp.fresh_state () in
+          ignore (Interp.run_unrolled st u');
+          check_equiv (Printf.sprintf "%s rle u=%d" name f) loop st)
+        [ 2; 4; 8 ])
+    Kernels.all
+
+let test_interp_deterministic () =
+  let loop = Kernels.stencil5 ~name:"i_det" ~trip:40 in
+  let s1, o1 = run_original loop in
+  let s2, o2 = run_original loop in
+  Alcotest.(check bool) "same outcome" true (o1 = o2);
+  Alcotest.(check bool) "same state" true
+    (Interp.equivalent s1 s2 loop.Loop.live_out)
+
+let test_interp_writes_memory () =
+  let loop = Kernels.dcopy ~name:"i_mem" ~trip:10 in
+  let st, out = run_original loop in
+  Alcotest.(check int) "ran all trips" 10 out.Interp.iterations_run;
+  Alcotest.(check bool) "not exited" false out.Interp.exited_early;
+  Alcotest.(check int) "one store per iteration" 10 (List.length (Interp.memory_image st))
+
+let test_interp_early_exit () =
+  (* With a deterministic threshold some iteration eventually fires the
+     exit; both the original and every unrolled version must agree on the
+     final state. *)
+  let loop = Kernels.early_exit_search ~name:"i_exit" ~trip:500 in
+  let _, out = run_original loop in
+  if out.Interp.exited_early then begin
+    List.iter
+      (fun f ->
+        let u = Unroll.run loop f in
+        let st = Interp.fresh_state () in
+        let out' = Interp.run_unrolled st u in
+        Alcotest.(check bool) "unrolled also exits" true out'.Interp.exited_early;
+        check_equiv (Printf.sprintf "exit u=%d" f) loop st)
+      [ 2; 4; 8 ]
+  end
+
+let test_interp_reduction_value_flows () =
+  let loop = Kernels.ddot ~name:"i_red" ~trip:20 in
+  let acc = List.hd loop.Loop.live_out in
+  let st, _ = run_original loop in
+  let v_orig = Interp.register_value st acc in
+  let u = Unroll.run loop 4 in
+  let st' = Interp.fresh_state () in
+  ignore (Interp.run_unrolled st' u);
+  Alcotest.(check (float 0.0)) "accumulator identical" v_orig
+    (Interp.register_value st' acc)
+
+(* Property test over random synthetic loops: the full transformation
+   pipeline (unroll + RLE) is observationally equivalent to the original.
+   Trip counts are capped so each case runs in microseconds. *)
+let gen =
+  QCheck.Gen.(
+    let* seed = 0 -- 60000 in
+    let* f = 1 -- 8 in
+    let rng = Rng.create seed in
+    let profile =
+      match seed mod 4 with
+      | 0 -> Synth.fp_numeric
+      | 1 -> Synth.int_pointer
+      | 2 -> Synth.media
+      | _ -> Synth.scientific_c
+    in
+    let l = Synth.generate rng profile ~name:(Printf.sprintf "qi%d" seed) in
+    let trip = 1 + (seed mod 41) in
+    let l = { l with Loop.trip_actual = trip; trip_static = Option.map (fun _ -> trip) l.Loop.trip_static } in
+    return (l, f))
+
+let prop_pipeline_equivalent =
+  QCheck.Test.make ~count:300 ~name:"unroll + RLE observationally equivalent"
+    (QCheck.make gen)
+    (fun (loop, f) ->
+      let u = Unroll.run loop f in
+      let r = Rle.run u.Unroll.kernel in
+      let u = { u with Unroll.kernel = r.Rle.loop } in
+      let st_orig = Interp.fresh_state () in
+      ignore (Interp.run st_orig loop ~trips:loop.Loop.trip_actual ~phase:0);
+      let st_new = Interp.fresh_state () in
+      ignore (Interp.run_unrolled st_new u);
+      Interp.equivalent st_orig st_new loop.Loop.live_out)
+
+let suite =
+  [
+    ("interp deterministic", `Quick, test_interp_deterministic);
+    ("interp writes memory", `Quick, test_interp_writes_memory);
+    ("interp early exit", `Quick, test_interp_early_exit);
+    ("interp reduction flows", `Quick, test_interp_reduction_value_flows);
+    ("unroll preserves kernels", `Quick, test_unroll_preserves_kernels);
+    ("rle preserves kernels", `Quick, test_rle_preserves_kernels);
+    QCheck_alcotest.to_alcotest prop_pipeline_equivalent;
+  ]

@@ -1,0 +1,63 @@
+(* Tests for machine models: unit mapping, latencies, resource bounds. *)
+
+let m = Machine.itanium2
+
+let mk ?dst ?(srcs = []) opcode = Op.make ~uid:0 ?dst ~srcs opcode
+
+let test_unit_of () =
+  let mref = { Op.array = 0; stride = 1; offset = 0; mkind = Op.Direct } in
+  Alcotest.(check bool) "load -> M" true (Machine.unit_of (mk (Op.Load mref)) = Machine.M);
+  Alcotest.(check bool) "store -> M" true (Machine.unit_of (mk (Op.Store mref)) = Machine.M);
+  Alcotest.(check bool) "ialu -> I" true (Machine.unit_of (mk Op.Ialu) = Machine.I);
+  Alcotest.(check bool) "cmp -> I" true (Machine.unit_of (mk Op.Cmp) = Machine.I);
+  Alcotest.(check bool) "fmadd -> F" true (Machine.unit_of (mk Op.Fmadd) = Machine.F);
+  Alcotest.(check bool) "br -> B" true (Machine.unit_of (mk (Op.Br Op.Backedge)) = Machine.B);
+  Alcotest.(check bool) "call -> B" true (Machine.unit_of (mk Op.Call) = Machine.B)
+
+let test_latency_values () =
+  Alcotest.(check int) "ialu" m.Machine.lat_ialu (Machine.latency m (mk Op.Ialu));
+  Alcotest.(check int) "fmul" m.Machine.lat_fmul (Machine.latency m (mk Op.Fmul));
+  Alcotest.(check int) "fdiv" m.Machine.lat_fdiv (Machine.latency m (mk Op.Fdiv));
+  Alcotest.(check bool) "fdiv is long" true (m.Machine.lat_fdiv > m.Machine.lat_fmul)
+
+let test_res_cycles_issue_bound () =
+  (* 12 integer ops on 2 I units: bound 6. *)
+  let ops = Array.init 12 (fun i -> Op.make ~uid:i Op.Ialu) in
+  Alcotest.(check int) "I-bound" 6 (Machine.res_cycles m ops)
+
+let test_res_cycles_width_bound () =
+  (* 7 ops spread across units still need ceil(7/6) = 2 cycles. *)
+  let mref = { Op.array = 0; stride = 1; offset = 0; mkind = Op.Direct } in
+  let ops =
+    [|
+      mk (Op.Load mref); mk (Op.Load mref); mk Op.Ialu; mk Op.Ialu; mk Op.Fadd;
+      mk Op.Fadd; mk (Op.Br Op.Backedge);
+    |]
+  in
+  Alcotest.(check int) "width bound" 2 (Machine.res_cycles m ops)
+
+let test_res_cycles_fdiv_unpipelined () =
+  let ops = [| mk Op.Fdiv; mk Op.Fdiv |] in
+  (* two divides of latency L on 2 F units: each blocks a unit for L *)
+  Alcotest.(check int) "divides block" m.Machine.lat_fdiv (Machine.res_cycles m ops)
+
+let test_by_name () =
+  Alcotest.(check bool) "itanium2 found" true (Machine.by_name "itanium2" <> None);
+  Alcotest.(check bool) "bogus missing" true (Machine.by_name "pdp11" = None);
+  Alcotest.(check int) "three machines" 3 (List.length Machine.all)
+
+let test_machines_distinct () =
+  let names = List.map (fun mm -> mm.Machine.mach_name) Machine.all in
+  Alcotest.(check int) "unique names" (List.length names)
+    (List.length (List.sort_uniq compare names))
+
+let suite =
+  [
+    ("unit_of", `Quick, test_unit_of);
+    ("latency values", `Quick, test_latency_values);
+    ("res_cycles issue bound", `Quick, test_res_cycles_issue_bound);
+    ("res_cycles width bound", `Quick, test_res_cycles_width_bound);
+    ("res_cycles fdiv", `Quick, test_res_cycles_fdiv_unpipelined);
+    ("by_name", `Quick, test_by_name);
+    ("machines distinct", `Quick, test_machines_distinct);
+  ]

@@ -1,0 +1,19 @@
+(* Test entry point: one alcotest suite per library. *)
+
+let () =
+  Alcotest.run "unroll-ml"
+    [
+      ("support", Test_support.suite);
+      ("linalg", Test_linalg.suite);
+      ("ir", Test_ir.suite);
+      ("machine", Test_machine.suite);
+      ("transform", Test_transform.suite);
+      ("interp", Test_interp.suite);
+      ("loop_text", Test_loop_text.suite);
+      ("sched", Test_sched.suite);
+      ("sim", Test_sim.suite);
+      ("workloads", Test_workloads.suite);
+      ("ml", Test_ml.suite);
+      ("core", Test_core.suite);
+      ("extensions", Test_extensions.suite);
+    ]

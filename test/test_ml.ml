@@ -1,0 +1,500 @@
+(* Tests for the machine-learning substrate: datasets, scaling, NN, LS-SVM,
+   output codes, metrics, MIS, greedy selection, LDA, decision trees. *)
+
+let rng = Rng.create 808
+
+(* Two well-separated Gaussian blobs per class in 2-D. *)
+let blobs ~classes ~per_class =
+  Array.init (classes * per_class) (fun i ->
+      let c = i mod classes in
+      let cx = 6.0 *. float_of_int c in
+      let x = [| cx +. Rng.gaussian rng; Rng.gaussian rng |] in
+      (x, c))
+
+let mk_example ?(group = "g") ?(tag = "t") features label costs =
+  { Dataset.features; label; tag; group; costs }
+
+let tiny_dataset () =
+  Dataset.create
+    ~feature_names:[| "f0"; "f1" |]
+    ~n_classes:2
+    [
+      mk_example ~tag:"a" ~group:"g1" [| 0.0; 1.0 |] 0 [| 1.0; 2.0 |];
+      mk_example ~tag:"b" ~group:"g1" [| 1.0; 3.0 |] 1 [| 3.0; 1.5 |];
+      mk_example ~tag:"c" ~group:"g2" [| 2.0; 5.0 |] 1 [| 4.0; 2.0 |];
+    ]
+
+(* --- Dataset --- *)
+
+let test_dataset_create_checks () =
+  Alcotest.(check bool) "wrong feature arity rejected" true
+    (try
+       ignore
+         (Dataset.create ~feature_names:[| "a" |] ~n_classes:2
+            [ mk_example [| 1.0; 2.0 |] 0 [| 1.0; 1.0 |] ]);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "label range checked" true
+    (try
+       ignore
+         (Dataset.create ~feature_names:[| "a" |] ~n_classes:2
+            [ mk_example [| 1.0 |] 5 [| 1.0; 1.0 |] ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_dataset_select_features () =
+  let ds = tiny_dataset () in
+  let sel = Dataset.select_features ds [| 1 |] in
+  Alcotest.(check (array string)) "names" [| "f1" |] sel.Dataset.feature_names;
+  Alcotest.(check (array (float 0.0))) "column" [| 1.0; 3.0; 5.0 |]
+    (Dataset.feature_column sel 0)
+
+let test_dataset_groups () =
+  let ds = tiny_dataset () in
+  Alcotest.(check (list string)) "groups in order" [ "g1"; "g2" ] (Dataset.groups ds);
+  let without = Dataset.without_group ds "g1" in
+  Alcotest.(check int) "g1 dropped" 1 (Dataset.size without)
+
+let test_dataset_csv_roundtrip () =
+  let ds = tiny_dataset () in
+  let path = Filename.temp_file "unrollml_ds" ".csv" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Dataset.to_csv ds path;
+      let ds' = Dataset.of_csv path in
+      Alcotest.(check int) "size" (Dataset.size ds) (Dataset.size ds');
+      Alcotest.(check (array string)) "names" ds.Dataset.feature_names ds'.Dataset.feature_names;
+      Array.iteri
+        (fun i (e : Dataset.example) ->
+          let e' = ds'.Dataset.examples.(i) in
+          Alcotest.(check string) "tag" e.Dataset.tag e'.Dataset.tag;
+          Alcotest.(check int) "label" e.Dataset.label e'.Dataset.label;
+          Alcotest.(check (array (float 1e-9))) "features" e.Dataset.features e'.Dataset.features)
+        ds.Dataset.examples)
+
+(* --- Scale --- *)
+
+let test_scale_zscore () =
+  let ds = tiny_dataset () in
+  let s = Scale.fit ds in
+  let scaled = Scale.apply s ds in
+  for j = 0 to 1 do
+    let col = Dataset.feature_column scaled j in
+    Alcotest.(check (float 1e-9)) "zero mean" 0.0 (Stats.mean col);
+    Alcotest.(check (float 1e-9)) "unit std" 1.0 (Stats.stddev col)
+  done
+
+let test_scale_constant_feature () =
+  let ds =
+    Dataset.create ~feature_names:[| "c" |] ~n_classes:2
+      [
+        mk_example [| 7.0 |] 0 [| 1.0; 1.0 |];
+        mk_example [| 7.0 |] 1 [| 1.0; 1.0 |];
+      ]
+  in
+  let s = Scale.fit ds in
+  Alcotest.(check (array (float 1e-9))) "constant maps to 0" [| 0.0 |]
+    (Scale.transform s [| 7.0 |])
+
+(* --- Knn --- *)
+
+let test_knn_separable () =
+  let pairs = blobs ~classes:3 ~per_class:30 in
+  let knn = Knn.train ~radius:0.8 ~n_classes:3 pairs in
+  let errors = ref 0 in
+  Array.iteri
+    (fun i p -> if p <> snd pairs.(i) then incr errors)
+    (Knn.loo_predictions knn);
+  Alcotest.(check bool) "high accuracy on blobs" true
+    (float_of_int !errors /. float_of_int (Array.length pairs) < 0.05)
+
+let test_knn_1nn_fallback () =
+  (* Radius 0 forces the fallback; nearest neighbor decides. *)
+  let pairs = [| ([| 0.0 |], 0); ([| 10.0 |], 1) |] in
+  let knn = Knn.train ~radius:0.0 ~n_classes:2 pairs in
+  Alcotest.(check int) "nearest wins" 0 (Knn.predict knn [| 1.0 |]);
+  Alcotest.(check int) "other side" 1 (Knn.predict knn [| 9.0 |])
+
+let test_knn_confidence () =
+  let pairs = [| ([| 0.0 |], 0); ([| 0.1 |], 0); ([| 0.2 |], 0); ([| 10.0 |], 1) |] in
+  let knn = Knn.train ~radius:1.0 ~n_classes:2 pairs in
+  let pred, conf = Knn.predict_confidence knn [| 0.1 |] in
+  Alcotest.(check int) "majority" 0 pred;
+  Alcotest.(check (float 1e-9)) "unanimous" 1.0 conf;
+  let _, conf_far = Knn.predict_confidence knn [| 100.0 |] in
+  Alcotest.(check (float 1e-9)) "fallback confidence 0" 0.0 conf_far
+
+let test_knn_majority_vote () =
+  let pairs = [| ([| 0.0 |], 1); ([| 0.2 |], 1); ([| 0.4 |], 0) |] in
+  let knn = Knn.train ~radius:2.0 ~n_classes:2 pairs in
+  Alcotest.(check int) "2-1 vote" 1 (Knn.predict knn [| 0.2 |])
+
+(* --- Kernel --- *)
+
+let test_kernel_values () =
+  Alcotest.(check (float 1e-9)) "rbf self" 1.0 (Kernel.apply (Kernel.Rbf 0.7) [| 1.; 2. |] [| 1.; 2. |]);
+  Alcotest.(check (float 1e-9)) "linear" 11.0 (Kernel.apply Kernel.Linear [| 1.; 2. |] [| 3.; 4. |]);
+  Alcotest.(check (float 1e-9)) "poly" 16.0
+    (Kernel.apply (Kernel.Poly { degree = 2; bias = 1.0 }) [| 1.; 1. |] [| 1.; 2. |])
+
+let test_kernel_gram_symmetric () =
+  let pts = Array.init 10 (fun _ -> [| Rng.gaussian rng; Rng.gaussian rng |]) in
+  let g = Kernel.gram (Kernel.Rbf 0.5) pts in
+  Alcotest.(check bool) "symmetric" true (Mat.equal g (Mat.transpose g))
+
+(* --- Lssvm --- *)
+
+let test_lssvm_separable () =
+  let pairs = blobs ~classes:2 ~per_class:25 in
+  let points = Array.map fst pairs in
+  let targets = Array.map (fun (_, y) -> if y = 0 then -1.0 else 1.0) pairs in
+  let model = Lssvm.train ~kernel:(Kernel.Rbf 0.5) ~gamma:10.0 points targets in
+  let errors = ref 0 in
+  Array.iteri
+    (fun i (x, _) ->
+      let d = Lssvm.decision model x in
+      if (d >= 0.0) <> (targets.(i) > 0.0) then incr errors)
+    pairs;
+  Alcotest.(check int) "separates blobs" 0 !errors
+
+let test_lssvm_loo_matches_brute_force () =
+  (* The closed-form LOO residual must equal actually retraining without
+     each example. *)
+  let pairs = blobs ~classes:2 ~per_class:8 in
+  let points = Array.map fst pairs in
+  let targets = Array.map (fun (_, y) -> if y = 0 then -1.0 else 1.0) pairs in
+  let kernel = Kernel.Rbf 0.3 and gamma = 5.0 in
+  let loo = (Lssvm.loo_decisions ~kernel ~gamma points [| targets |]).(0) in
+  let n = Array.length points in
+  for i = 0 to n - 1 do
+    let keep j = j <> i in
+    let pts' = Array.of_list (List.filteri (fun j _ -> keep j) (Array.to_list points)) in
+    let tgt' = Array.of_list (List.filteri (fun j _ -> keep j) (Array.to_list targets)) in
+    let model = Lssvm.train ~kernel ~gamma pts' tgt' in
+    let direct = Lssvm.decision model points.(i) in
+    Alcotest.(check (float 1e-6))
+      (Printf.sprintf "loo decision %d" i)
+      direct loo.(i)
+  done
+
+let test_lssvm_decision_batch () =
+  let pairs = blobs ~classes:2 ~per_class:10 in
+  let points = Array.map fst pairs in
+  let t1 = Array.map (fun (_, y) -> if y = 0 then -1.0 else 1.0) pairs in
+  let t2 = Array.map (fun t -> -.t) t1 in
+  let ms = Lssvm.train_multi ~kernel:(Kernel.Rbf 0.5) ~gamma:4.0 points [| t1; t2 |] in
+  let q = [| 0.5; 0.5 |] in
+  let batch = Lssvm.decision_batch ms q in
+  Alcotest.(check (float 1e-9)) "batch = individual 0" (Lssvm.decision ms.(0) q) batch.(0);
+  Alcotest.(check (float 1e-9)) "batch = individual 1" (Lssvm.decision ms.(1) q) batch.(1)
+
+let test_lssvm_gamma_positive () =
+  Alcotest.(check bool) "gamma must be positive" true
+    (try
+       ignore (Lssvm.train ~kernel:Kernel.Linear ~gamma:0.0 [| [| 1.0 |] |] [| 1.0 |]);
+       false
+     with Invalid_argument _ -> true)
+
+(* --- Multiclass --- *)
+
+let test_multiclass_blobs () =
+  let pairs = blobs ~classes:4 ~per_class:20 in
+  let model = Multiclass.train ~n_classes:4 ~kernel:(Kernel.Rbf 0.3) ~gamma:10.0 pairs in
+  let errors = ref 0 in
+  Array.iter (fun (x, y) -> if Multiclass.predict model x <> y then incr errors) pairs;
+  Alcotest.(check bool) "trains on 4 classes" true
+    (float_of_int !errors /. float_of_int (Array.length pairs) < 0.05)
+
+let test_multiclass_codewords () =
+  let pairs = blobs ~classes:3 ~per_class:5 in
+  let model = Multiclass.train ~n_classes:3 ~kernel:Kernel.Linear ~gamma:1.0 pairs in
+  Alcotest.(check (array int)) "one-vs-rest codeword" [| 1; -1; -1 |]
+    (Multiclass.codeword model 0);
+  Alcotest.(check int) "decision per class" 3
+    (Array.length (Multiclass.decision_values model [| 0.0; 0.0 |]))
+
+let test_multiclass_loo_matches_brute_force () =
+  let pairs = blobs ~classes:3 ~per_class:6 in
+  let kernel = Kernel.Rbf 0.3 and gamma = 5.0 in
+  let loo = Multiclass.loo_predictions ~n_classes:3 ~kernel ~gamma pairs in
+  Array.iteri
+    (fun i (x, _) ->
+      let rest =
+        Array.of_list (List.filteri (fun j _ -> j <> i) (Array.to_list pairs))
+      in
+      let model = Multiclass.train ~n_classes:3 ~kernel ~gamma rest in
+      Alcotest.(check int) (Printf.sprintf "loo pred %d" i) (Multiclass.predict model x)
+        loo.(i))
+    pairs
+
+let test_multiclass_ecoc () =
+  let pairs = blobs ~classes:4 ~per_class:15 in
+  let model =
+    Multiclass.train ~code:(Multiclass.Dense_random { bits = 8; seed = 3 }) ~n_classes:4
+      ~kernel:(Kernel.Rbf 0.3) ~gamma:10.0 pairs
+  in
+  let errors = ref 0 in
+  Array.iter (fun (x, y) -> if Multiclass.predict model x <> y then incr errors) pairs;
+  Alcotest.(check bool) "ECOC works too" true
+    (float_of_int !errors /. float_of_int (Array.length pairs) < 0.1)
+
+(* --- Metrics --- *)
+
+let test_metrics_accuracy () =
+  Alcotest.(check (float 1e-9)) "accuracy" 0.75
+    (Metrics.accuracy ~pred:[| 0; 1; 2; 0 |] ~truth:[| 0; 1; 2; 1 |])
+
+let test_metrics_rank_distribution () =
+  let costs = [| [| 10.0; 20.0; 30.0 |]; [| 30.0; 10.0; 20.0 |] |] in
+  let d = Metrics.rank_distribution ~pred:[| 0; 2 |] ~costs in
+  Alcotest.(check (array (float 1e-9))) "half optimal half second" [| 0.5; 0.5; 0.0 |] d
+
+let test_metrics_rank_cost_penalty () =
+  let costs = [| [| 10.0; 20.0 |]; [| 40.0; 20.0 |] |] in
+  let p = Metrics.rank_cost_penalty ~costs in
+  Alcotest.(check (float 1e-9)) "rank0 = 1x" 1.0 p.(0);
+  Alcotest.(check (float 1e-9)) "rank1 = 2x" 2.0 p.(1)
+
+let test_metrics_cost_ratio () =
+  let costs = [| [| 10.0; 15.0 |] |] in
+  Alcotest.(check (float 1e-9)) "ratio" 1.5 (Metrics.mean_cost_ratio ~pred:[| 1 |] ~costs)
+
+let test_metrics_within () =
+  let costs = [| [| 100.0; 106.0 |]; [| 100.0; 120.0 |] |] in
+  Alcotest.(check (float 1e-9)) "within 7%" 0.5
+    (Metrics.within_of_optimal ~pred:[| 1; 1 |] ~costs 1.07)
+
+let test_metrics_confusion () =
+  let m = Metrics.confusion ~n_classes:2 ~pred:[| 0; 1; 1 |] ~truth:[| 0; 0; 1 |] in
+  Alcotest.(check int) "tp class0" 1 m.(0).(0);
+  Alcotest.(check int) "confused" 1 m.(0).(1);
+  Alcotest.(check int) "tp class1" 1 m.(1).(1)
+
+(* --- Mis --- *)
+
+let test_mis_informative () =
+  let labels = Array.init 200 (fun i -> i mod 2) in
+  let perfect = Array.map float_of_int labels in
+  let constant = Array.make 200 1.0 in
+  let noise = Array.init 200 (fun _ -> Rng.gaussian rng) in
+  Alcotest.(check (float 1e-6)) "perfect feature = 1 bit" 1.0 (Mis.score perfect labels);
+  Alcotest.(check (float 1e-9)) "constant = 0 bits" 0.0 (Mis.score constant labels);
+  Alcotest.(check bool) "noise near 0" true (Mis.score noise labels < 0.25)
+
+let test_mis_rank_order () =
+  let labels = Array.init 100 (fun i -> i mod 2) in
+  let ds =
+    Dataset.create ~feature_names:[| "noise"; "perfect" |] ~n_classes:2
+      (List.init 100 (fun i ->
+           mk_example
+             [| Rng.gaussian rng; float_of_int (i mod 2) |]
+             labels.(i) [| 1.0; 1.0 |]))
+  in
+  let ranked = Mis.rank ds in
+  Alcotest.(check int) "perfect feature first" 1 (fst ranked.(0))
+
+(* --- Greedy selection --- *)
+
+let test_greedy_finds_informative () =
+  let ds =
+    Dataset.create ~feature_names:[| "noise"; "perfect"; "constant" |] ~n_classes:2
+      (List.init 60 (fun i ->
+           let y = i mod 2 in
+           mk_example
+             [| Rng.gaussian rng; (6.0 *. float_of_int y) +. (0.1 *. Rng.gaussian rng); 1.0 |]
+             y [| 1.0; 1.0 |]))
+  in
+  let picks =
+    Greedy_select.run ~n_features:3 ~k:2 ~error:(Greedy_select.nn_training_error ds)
+  in
+  Alcotest.(check int) "first pick is the informative feature" 1 (fst (List.hd picks));
+  Alcotest.(check bool) "error drops" true (snd (List.hd picks) < 0.2)
+
+let test_greedy_error_monotone_interface () =
+  (* run reports the error at each accepted step; the first is the best
+     single feature. *)
+  let errs = Hashtbl.create 4 in
+  Hashtbl.replace errs [ 0 ] 0.5;
+  Hashtbl.replace errs [ 1 ] 0.3;
+  Hashtbl.replace errs [ 1; 0 ] 0.2;
+  let error subset = Option.value (Hashtbl.find_opt errs subset) ~default:0.9 in
+  let picks = Greedy_select.run ~n_features:2 ~k:2 ~error in
+  Alcotest.(check (list (pair int (float 1e-9)))) "greedy order" [ (1, 0.3); (0, 0.2) ] picks
+
+(* --- Lda --- *)
+
+let test_lda_separates () =
+  let pairs = blobs ~classes:2 ~per_class:40 in
+  let lda = Lda.fit pairs in
+  (* The first discriminant axis must separate the two blobs almost
+     perfectly: project and threshold at the midpoint of class means. *)
+  let proj = Array.map (fun (x, y) -> ((Lda.project lda x).(0), y)) pairs in
+  let mean c =
+    let vs = Array.to_list proj |> List.filter (fun (_, y) -> y = c) |> List.map fst in
+    List.fold_left ( +. ) 0.0 vs /. float_of_int (List.length vs)
+  in
+  let m0 = mean 0 and m1 = mean 1 in
+  let mid = (m0 +. m1) /. 2.0 in
+  let errors = ref 0 in
+  Array.iter
+    (fun (v, y) ->
+      let side = if (v -. mid) *. (m1 -. m0) > 0.0 then 1 else 0 in
+      if side <> y then incr errors)
+    proj;
+  Alcotest.(check bool) "projection separates" true
+    (float_of_int !errors /. float_of_int (Array.length proj) < 0.05)
+
+let test_lda_dims () =
+  let pairs = blobs ~classes:3 ~per_class:10 in
+  let lda = Lda.fit ~dims:2 pairs in
+  Alcotest.(check int) "two axes" 2 (Array.length (Lda.axes lda));
+  Alcotest.(check int) "projection is 2-D" 2 (Array.length (Lda.project lda (fst pairs.(0))))
+
+(* --- Decision tree --- *)
+
+let test_tree_learns_threshold () =
+  let pairs =
+    Array.init 100 (fun i ->
+        let y = if i < 50 then 0 else 1 in
+        ([| (if y = 0 then 1.0 else 5.0) +. (0.3 *. Rng.gaussian rng) |], y))
+  in
+  let tree = Decision_tree.train ~n_classes:2 pairs in
+  Alcotest.(check int) "left" 0 (Decision_tree.predict tree [| 1.0 |]);
+  Alcotest.(check int) "right" 1 (Decision_tree.predict tree [| 5.0 |]);
+  Alcotest.(check bool) "small tree" true (Decision_tree.leaves tree <= 4)
+
+let test_tree_depth_bound () =
+  let pairs = blobs ~classes:4 ~per_class:30 in
+  let tree = Decision_tree.train ~max_depth:3 ~n_classes:4 pairs in
+  Alcotest.(check bool) "depth bounded" true (Decision_tree.depth tree <= 4)
+
+(* --- QCheck --- *)
+
+let prop_scale_inverse_consistent =
+  QCheck.Test.make ~count:50 ~name:"scaled columns are z-scored"
+    QCheck.(list_of_size Gen.(3 -- 20) (pair (float_bound_exclusive 10.0) bool))
+    (fun rows ->
+      let ds =
+        Dataset.create ~feature_names:[| "x" |] ~n_classes:2
+          (List.map
+             (fun (v, b) -> mk_example [| v |] (if b then 1 else 0) [| 1.0; 1.0 |])
+             rows)
+      in
+      let scaled = Scale.apply (Scale.fit ds) ds in
+      let col = Dataset.feature_column scaled 0 in
+      Float.abs (Stats.mean col) < 1e-6)
+
+let prop_knn_predicts_training_label_radius0 =
+  QCheck.Test.make ~count:50 ~name:"1-NN classifies a training point as itself"
+    QCheck.(list_of_size Gen.(2 -- 20) (pair (float_bound_exclusive 100.0) (0 -- 3)))
+    (fun rows ->
+      (* Distinct points: de-duplicate by x. *)
+      let rows = List.sort_uniq (fun (a, _) (b, _) -> compare a b) rows in
+      if List.length rows < 2 then true
+      else begin
+        let pairs = Array.of_list (List.map (fun (x, y) -> ([| x |], y)) rows) in
+        let knn = Knn.train ~radius:0.0 ~n_classes:4 pairs in
+        Array.for_all (fun (x, y) -> Knn.predict knn x = y) pairs
+      end)
+
+let base_tests =
+  [
+    ("dataset create checks", `Quick, test_dataset_create_checks);
+    ("dataset select features", `Quick, test_dataset_select_features);
+    ("dataset groups", `Quick, test_dataset_groups);
+    ("dataset csv roundtrip", `Quick, test_dataset_csv_roundtrip);
+    ("scale zscore", `Quick, test_scale_zscore);
+    ("scale constant", `Quick, test_scale_constant_feature);
+    ("knn separable", `Quick, test_knn_separable);
+    ("knn 1nn fallback", `Quick, test_knn_1nn_fallback);
+    ("knn confidence", `Quick, test_knn_confidence);
+    ("knn majority", `Quick, test_knn_majority_vote);
+    ("kernel values", `Quick, test_kernel_values);
+    ("kernel gram", `Quick, test_kernel_gram_symmetric);
+    ("lssvm separable", `Quick, test_lssvm_separable);
+    ("lssvm loo = brute force", `Quick, test_lssvm_loo_matches_brute_force);
+    ("lssvm batch", `Quick, test_lssvm_decision_batch);
+    ("lssvm gamma", `Quick, test_lssvm_gamma_positive);
+    ("multiclass blobs", `Quick, test_multiclass_blobs);
+    ("multiclass codewords", `Quick, test_multiclass_codewords);
+    ("multiclass loo = brute force", `Quick, test_multiclass_loo_matches_brute_force);
+    ("multiclass ecoc", `Quick, test_multiclass_ecoc);
+    ("metrics accuracy", `Quick, test_metrics_accuracy);
+    ("metrics rank distribution", `Quick, test_metrics_rank_distribution);
+    ("metrics rank cost penalty", `Quick, test_metrics_rank_cost_penalty);
+    ("metrics cost ratio", `Quick, test_metrics_cost_ratio);
+    ("metrics within", `Quick, test_metrics_within);
+    ("metrics confusion", `Quick, test_metrics_confusion);
+    ("mis informative", `Quick, test_mis_informative);
+    ("mis rank order", `Quick, test_mis_rank_order);
+    ("greedy informative", `Quick, test_greedy_finds_informative);
+    ("greedy interface", `Quick, test_greedy_error_monotone_interface);
+    ("lda separates", `Quick, test_lda_separates);
+    ("lda dims", `Quick, test_lda_dims);
+    ("tree threshold", `Quick, test_tree_learns_threshold);
+    ("tree depth bound", `Quick, test_tree_depth_bound);
+    QCheck_alcotest.to_alcotest prop_scale_inverse_consistent;
+    QCheck_alcotest.to_alcotest prop_knn_predicts_training_label_radius0;
+  ]
+
+let _ = ()
+
+(* --- Loocv (generic driver) --- *)
+
+let test_loocv_generic_matches_knn_fast_path () =
+  let pairs = blobs ~classes:2 ~per_class:10 in
+  let fast = Knn.loo_predictions (Knn.train ~radius:0.8 ~n_classes:2 pairs) in
+  let generic =
+    Loocv.run
+      ~train:(Knn.train ~radius:0.8 ~n_classes:2)
+      ~predict:Knn.predict pairs
+  in
+  Alcotest.(check (array int)) "generic = classifier shortcut" fast generic
+
+let test_loocv_accuracy_bounds () =
+  let pairs = blobs ~classes:2 ~per_class:15 in
+  let acc =
+    Loocv.accuracy ~train:(Decision_tree.train ~n_classes:2)
+      ~predict:Decision_tree.predict pairs
+  in
+  Alcotest.(check bool) "separable blobs classified" true (acc > 0.85)
+
+let test_loocv_grouped_excludes_group () =
+  (* Two groups with opposite labels at the same point: a grouped LOO
+     prediction can only come from the other group, so it must be wrong. *)
+  let pairs = [| ([| 0.0 |], 0); ([| 0.1 |], 0); ([| 0.0 |], 1); ([| 0.1 |], 1) |] in
+  let groups = [| "a"; "a"; "b"; "b" |] in
+  let preds =
+    Loocv.grouped ~groups
+      ~train:(Knn.train ~radius:1.0 ~n_classes:2)
+      ~predict:Knn.predict pairs
+  in
+  Array.iteri
+    (fun i p ->
+      Alcotest.(check bool) "cross-group prediction flips" true (p <> snd pairs.(i)))
+    preds
+
+let loocv_tests =
+  [
+    ("loocv generic = fast path", `Quick, test_loocv_generic_matches_knn_fast_path);
+    ("loocv accuracy", `Quick, test_loocv_accuracy_bounds);
+    ("loocv grouped", `Quick, test_loocv_grouped_excludes_group);
+  ]
+
+
+(* --- Kernel string roundtrip --- *)
+
+let test_kernel_of_string_roundtrip () =
+  List.iter
+    (fun k ->
+      match Kernel.of_string (Kernel.name k) with
+      | Some k' -> Alcotest.(check string) "roundtrip" (Kernel.name k) (Kernel.name k')
+      | None -> Alcotest.failf "failed to parse %s" (Kernel.name k))
+    [ Kernel.Linear; Kernel.Rbf 0.03; Kernel.Rbf 12.5; Kernel.Poly { degree = 3; bias = 0.5 } ];
+  Alcotest.(check bool) "garbage rejected" true (Kernel.of_string "quux(1)" = None)
+
+let kernel_string_tests =
+  [ ("kernel of_string", `Quick, test_kernel_of_string_roundtrip) ]
+
+let suite = base_tests @ loocv_tests @ kernel_string_tests

@@ -1,0 +1,255 @@
+(* Tests for schedulers and the register allocator. *)
+
+let machine = Machine.itanium2
+
+let kernels_for_test =
+  List.map (fun (name, maker) -> (name, maker ~name ~trip:64)) Kernels.all
+
+let test_list_sched_validates () =
+  List.iter
+    (fun (name, loop) ->
+      let s = List_sched.schedule machine loop in
+      match Schedule.validate s with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "%s: %s" name e)
+    kernels_for_test
+
+let test_list_sched_respects_res_bound () =
+  List.iter
+    (fun (name, loop) ->
+      let s = List_sched.schedule machine loop in
+      Alcotest.(check bool)
+        (name ^ " length >= res bound")
+        true
+        (s.Schedule.length >= Machine.res_cycles machine loop.Loop.body))
+    kernels_for_test
+
+let test_list_sched_backedge_last () =
+  List.iter
+    (fun (name, loop) ->
+      let s = List_sched.schedule machine loop in
+      let be = Loop.backedge_index loop in
+      let max_cycle = Array.fold_left max 0 s.Schedule.assignment in
+      Alcotest.(check int) (name ^ " backedge in final cycle") max_cycle
+        s.Schedule.assignment.(be))
+    kernels_for_test
+
+let test_list_sched_latency_respected () =
+  let loop = Kernels.long_latency_chain ~name:"s_chain" ~trip:32 in
+  let s = List_sched.schedule machine loop in
+  (* chain: load(3) + 5 fmul(4) + store must span at least 23 issue cycles *)
+  Alcotest.(check bool) "span covers chain" true (s.Schedule.length >= 23)
+
+let test_list_sched_unrolled_validates () =
+  List.iter
+    (fun (name, loop) ->
+      List.iter
+        (fun f ->
+          let u = Unroll.run loop f in
+          let s = List_sched.schedule machine u.Unroll.kernel in
+          match Schedule.validate s with
+          | Ok () -> ()
+          | Error e -> Alcotest.failf "%s u=%d: %s" name f e)
+        [ 2; 8 ])
+    kernels_for_test
+
+let test_list_sched_amortizes () =
+  (* Per-original-iteration issue length shrinks with unrolling for an
+     ILP-rich loop. *)
+  let loop = Kernels.daxpy ~name:"s_daxpy" ~trip:64 in
+  let len f =
+    let u = Unroll.run loop f in
+    let s = List_sched.schedule machine u.Unroll.kernel in
+    float_of_int s.Schedule.length /. float_of_int f
+  in
+  Alcotest.(check bool) "u4 cheaper per iteration than u1" true (len 4 < len 1)
+
+(* --- Modulo scheduling --- *)
+
+let test_mii_ddot () =
+  let loop = Kernels.ddot ~name:"m_ddot" ~trip:64 in
+  Alcotest.(check int) "RecMII = fadd latency" machine.Machine.lat_fadd
+    (Modulo_sched.rec_mii machine loop);
+  Alcotest.(check bool) "ResMII <= RecMII here" true
+    (Modulo_sched.res_mii machine loop <= machine.Machine.lat_fadd)
+
+let test_mii_daxpy_resource () =
+  let loop = Kernels.daxpy ~name:"m_daxpy" ~trip:64 in
+  (* 3 memory ops on 2 M units: ResMII 2. *)
+  Alcotest.(check int) "ResMII" 2 (Modulo_sched.res_mii machine loop)
+
+let test_modulo_achieves_mii_ddot () =
+  let loop = Kernels.ddot ~name:"m_ddot2" ~trip:64 in
+  match Modulo_sched.schedule machine loop with
+  | None -> Alcotest.fail "ddot should pipeline"
+  | Some s -> begin
+    match s.Schedule.kind with
+    | Schedule.Pipelined { ii; _ } ->
+      Alcotest.(check int) "II = RecMII" machine.Machine.lat_fadd ii
+    | Schedule.Straight -> Alcotest.fail "expected pipelined"
+  end
+
+let test_modulo_validates () =
+  List.iter
+    (fun (name, loop) ->
+      match Modulo_sched.schedule machine loop with
+      | None -> ()
+      | Some s -> begin
+        match Schedule.validate s with
+        | Ok () -> ()
+        | Error e -> Alcotest.failf "%s: %s" name e
+      end)
+    kernels_for_test
+
+let test_modulo_refuses_calls_exits () =
+  let call_loop = Kernels.call_in_loop ~name:"m_call" ~trip:64 in
+  let exit_loop = Kernels.early_exit_search ~name:"m_exit" ~trip:64 in
+  Alcotest.(check bool) "no SWP for calls" true
+    (Modulo_sched.schedule machine call_loop = None);
+  Alcotest.(check bool) "no SWP for exits" true
+    (Modulo_sched.schedule machine exit_loop = None)
+
+let test_modulo_beats_straight_ddot () =
+  (* The whole point of SWP: ddot's steady state reaches RecMII per
+     iteration, far below the straight schedule's span. *)
+  let loop = Kernels.ddot ~name:"m_win" ~trip:64 in
+  let straight = List_sched.schedule machine loop in
+  match Modulo_sched.schedule machine loop with
+  | None -> Alcotest.fail "should pipeline"
+  | Some s ->
+    Alcotest.(check bool) "II < straight span" true
+      (Schedule.ii s < straight.Schedule.length)
+
+let test_modulo_register_pressure_backoff () =
+  (* A very wide unrolled FP loop cannot hold all rotating values in 24
+     registers at a tight II; the scheduler must either raise II or give
+     up — but never return an invalid schedule. *)
+  let loop = Kernels.fir8 ~name:"m_fir" ~trip:64 in
+  let u = Unroll.run loop 8 in
+  match Modulo_sched.schedule machine u.Unroll.kernel with
+  | None -> ()
+  | Some s ->
+    Alcotest.(check bool) "fits rotating register files" true
+      (s.Schedule.int_pressure <= machine.Machine.rot_int_regs
+      && s.Schedule.fp_pressure <= machine.Machine.rot_fp_regs)
+
+(* --- Regalloc --- *)
+
+let test_pressure_positive () =
+  let loop = Kernels.fir8 ~name:"ra_fir" ~trip:64 in
+  let s = List_sched.schedule machine loop in
+  let int_p, fp_p = Regalloc.pressure s in
+  Alcotest.(check bool) "some fp pressure" true (fp_p > 0);
+  Alcotest.(check bool) "some int pressure" true (int_p > 0)
+
+let test_allocate_within_limits_or_spills () =
+  List.iter
+    (fun (name, loop) ->
+      List.iter
+        (fun f ->
+          let u = Unroll.run loop f in
+          let s =
+            Regalloc.allocate ~sched:(List_sched.schedule machine) u.Unroll.kernel
+          in
+          (match Schedule.validate s with
+          | Ok () -> ()
+          | Error e -> Alcotest.failf "%s u=%d: %s" name f e);
+          if s.Schedule.spills = 0 then begin
+            Alcotest.(check bool)
+              (Printf.sprintf "%s u=%d pressure ok" name f)
+              true
+              (s.Schedule.int_pressure <= machine.Machine.int_regs
+              && s.Schedule.fp_pressure <= machine.Machine.fp_regs)
+          end)
+        [ 1; 8 ])
+    kernels_for_test
+
+let test_spill_code_inserted () =
+  (* Force pressure: a machine with almost no FP registers. *)
+  let tiny = { machine with Machine.fp_regs = 4; int_regs = 16 } in
+  let loop = Kernels.fir8 ~name:"ra_spill" ~trip:64 in
+  let u = Unroll.run loop 4 in
+  let s = Regalloc.allocate ~sched:(List_sched.schedule tiny) u.Unroll.kernel in
+  Alcotest.(check bool) "spills happened" true (s.Schedule.spills > 0);
+  let has_spill_array =
+    Array.exists
+      (fun (a : Loop.array_info) -> a.Loop.aname = "$spill")
+      s.Schedule.loop.Loop.arrays
+  in
+  Alcotest.(check bool) "spill slots allocated" true has_spill_array;
+  match Schedule.validate s with Ok () -> () | Error e -> Alcotest.fail e
+
+let test_spill_lowers_pressure () =
+  let tiny = { machine with Machine.fp_regs = 6 } in
+  let loop = Kernels.fir8 ~name:"ra_lower" ~trip:64 in
+  let u = Unroll.run loop 2 in
+  let before = List_sched.schedule tiny u.Unroll.kernel in
+  let _, fp_before = Regalloc.pressure before in
+  let s = Regalloc.allocate ~sched:(List_sched.schedule tiny) u.Unroll.kernel in
+  Alcotest.(check bool) "pressure reduced by spilling" true
+    (s.Schedule.fp_pressure < fp_before || s.Schedule.spills > 0)
+
+(* --- QCheck --- *)
+
+let synth_gen =
+  QCheck.Gen.(
+    let* seed = 0 -- 30000 in
+    let* f = 1 -- 8 in
+    let rng = Rng.create seed in
+    let profile = if seed mod 3 = 0 then Synth.int_pointer else Synth.fp_numeric in
+    let l = Synth.generate rng profile ~name:(Printf.sprintf "qs%d" seed) in
+    return (l, f))
+
+let prop_list_schedule_valid =
+  QCheck.Test.make ~count:80 ~name:"list schedules of random unrolled loops validate"
+    (QCheck.make synth_gen)
+    (fun (l, f) ->
+      let u = Unroll.run l f in
+      let kernel = (Rle.run u.Unroll.kernel).Rle.loop in
+      let s = Regalloc.allocate ~sched:(List_sched.schedule machine) kernel in
+      match Schedule.validate s with Ok () -> true | Error _ -> false)
+
+let prop_modulo_schedule_valid =
+  QCheck.Test.make ~count:40 ~name:"modulo schedules of random loops validate"
+    (QCheck.make synth_gen)
+    (fun (l, _) ->
+      match Modulo_sched.schedule machine l with
+      | None -> true
+      | Some s -> (
+        match Schedule.validate s with Ok () -> true | Error _ -> false))
+
+let prop_modulo_ii_at_least_mii =
+  QCheck.Test.make ~count:40 ~name:"II >= max(ResMII, RecMII)"
+    (QCheck.make synth_gen)
+    (fun (l, _) ->
+      match Modulo_sched.schedule machine l with
+      | None -> true
+      | Some s -> (
+        match s.Schedule.kind with
+        | Schedule.Pipelined { ii; _ } ->
+          ii >= Modulo_sched.res_mii machine l && ii >= Modulo_sched.rec_mii machine l
+        | Schedule.Straight -> false))
+
+let suite =
+  [
+    ("list sched validates", `Quick, test_list_sched_validates);
+    ("list sched res bound", `Quick, test_list_sched_respects_res_bound);
+    ("list sched backedge last", `Quick, test_list_sched_backedge_last);
+    ("list sched latency", `Quick, test_list_sched_latency_respected);
+    ("list sched unrolled", `Quick, test_list_sched_unrolled_validates);
+    ("list sched amortizes", `Quick, test_list_sched_amortizes);
+    ("mii ddot", `Quick, test_mii_ddot);
+    ("mii daxpy resource", `Quick, test_mii_daxpy_resource);
+    ("modulo achieves mii", `Quick, test_modulo_achieves_mii_ddot);
+    ("modulo validates", `Quick, test_modulo_validates);
+    ("modulo refuses calls/exits", `Quick, test_modulo_refuses_calls_exits);
+    ("modulo beats straight", `Quick, test_modulo_beats_straight_ddot);
+    ("modulo pressure backoff", `Quick, test_modulo_register_pressure_backoff);
+    ("regalloc pressure", `Quick, test_pressure_positive);
+    ("regalloc limits or spills", `Quick, test_allocate_within_limits_or_spills);
+    ("regalloc spill code", `Quick, test_spill_code_inserted);
+    ("regalloc lowers pressure", `Quick, test_spill_lowers_pressure);
+    QCheck_alcotest.to_alcotest prop_list_schedule_valid;
+    QCheck_alcotest.to_alcotest prop_modulo_schedule_valid;
+    QCheck_alcotest.to_alcotest prop_modulo_ii_at_least_mii;
+  ]

@@ -1,0 +1,151 @@
+(* Tests for the workload substrate: kernels, synthetic generation, suite. *)
+
+let test_kernels_all_named () =
+  let names = List.map fst Kernels.all in
+  Alcotest.(check int) "unique names" (List.length names)
+    (List.length (List.sort_uniq compare names));
+  Alcotest.(check bool) "rich kernel library" true (List.length names >= 25)
+
+let test_kernels_validate_at_trips () =
+  List.iter
+    (fun (name, maker) ->
+      List.iter
+        (fun trip ->
+          let l = maker ~name ~trip in
+          match Loop.validate l with
+          | Ok () -> ()
+          | Error e -> Alcotest.failf "%s trip=%d: %s" name trip e)
+        [ 1; 7; 64; 1023 ])
+    Kernels.all
+
+let test_kernels_structure_spot_checks () =
+  let ddot = Kernels.ddot ~name:"w_ddot" ~trip:64 in
+  Alcotest.(check bool) "ddot has live-out" true (ddot.Loop.live_out <> []);
+  let gather = Kernels.gather ~name:"w_gather" ~trip:64 in
+  Alcotest.(check bool) "gather has indirect" true (Loop.indirect_ref_count gather > 0);
+  let f90 = Kernels.stencil5 ~name:"w_st5" ~trip:64 in
+  Alcotest.(check bool) "stencil5 is f90" true (f90.Loop.lang = Loop.Fortran90);
+  let strided = Kernels.saxpy_strided ~name:"w_str" ~trip:64 in
+  Alcotest.(check bool) "strided loads" true
+    (Array.exists
+       (fun op -> match Op.mref op with Some m -> m.Op.stride = 4 | None -> false)
+       strided.Loop.body)
+
+let test_synth_deterministic () =
+  let gen seed = Synth.generate (Rng.create seed) Synth.fp_numeric ~name:"s" in
+  let a = gen 42 and b = gen 42 and c = gen 43 in
+  Alcotest.(check bool) "same seed same loop" true (a = b);
+  Alcotest.(check bool) "different seed differs" true (a <> c)
+
+let test_synth_profiles_differ () =
+  let count_fp profile =
+    let rng = Rng.create 7 in
+    let total = ref 0 and fp = ref 0 in
+    for _ = 1 to 50 do
+      let l = Synth.generate rng profile ~name:"p" in
+      total := !total + Loop.op_count l;
+      fp := !fp + Loop.float_op_count l
+    done;
+    float_of_int !fp /. float_of_int !total
+  in
+  Alcotest.(check bool) "fortran profile is FP-dense" true
+    (count_fp Synth.fp_numeric > 2.0 *. count_fp Synth.int_pointer)
+
+let test_synth_language_respected () =
+  let rng = Rng.create 3 in
+  for _ = 1 to 30 do
+    let l = Synth.generate rng Synth.int_pointer ~name:"c" in
+    Alcotest.(check bool) "int profile is C" true (l.Loop.lang = Loop.C)
+  done
+
+let test_snap_trip () =
+  let rng = Rng.create 1 in
+  for _ = 1 to 200 do
+    let t = Synth.snap_trip rng 100 in
+    Alcotest.(check bool) "snapped positive and bounded" true (t >= 4 && t <= 100)
+  done
+
+let test_suite_has_72_benchmarks () =
+  let s = Suite.full ~scale:0.05 ~seed:1 in
+  Alcotest.(check int) "72 benchmarks" 72 (List.length s);
+  let names = List.map (fun b -> b.Suite.bname) s in
+  Alcotest.(check int) "unique names" 72 (List.length (List.sort_uniq compare names))
+
+let test_suite_spec2000_first () =
+  let s = Suite.full ~scale:0.05 ~seed:1 in
+  let spec = Suite.spec2000 ~scale:0.05 ~seed:1 in
+  Alcotest.(check int) "24 spec benchmarks" 24 (List.length spec);
+  List.iteri
+    (fun i b ->
+      let b' = List.nth s i in
+      Alcotest.(check string) "same order and content" b.Suite.bname b'.Suite.bname;
+      Alcotest.(check int) "same loops" (Array.length b.Suite.loops)
+        (Array.length b'.Suite.loops))
+    spec
+
+let test_suite_weights_normalised () =
+  let s = Suite.full ~scale:0.1 ~seed:5 in
+  List.iter
+    (fun b ->
+      let total = Array.fold_left (fun acc (_, w) -> acc +. w) 0.0 b.Suite.loops in
+      Alcotest.(check bool) (b.Suite.bname ^ " weights sum to 1") true
+        (Float.abs (total -. 1.0) < 1e-9))
+    s
+
+let test_suite_loop_names_unique () =
+  let s = Suite.full ~scale:0.1 ~seed:5 in
+  let names = List.map (fun (_, l) -> l.Loop.name) (Suite.all_loops s) in
+  Alcotest.(check int) "globally unique loop names" (List.length names)
+    (List.length (List.sort_uniq compare names))
+
+let test_suite_scale () =
+  let small = Suite.all_loops (Suite.full ~scale:0.1 ~seed:1) in
+  let large = Suite.all_loops (Suite.full ~scale:0.5 ~seed:1) in
+  Alcotest.(check bool) "scale grows suite" true
+    (List.length large > 3 * List.length small)
+
+let test_suite_deterministic () =
+  let a = Suite.full ~scale:0.1 ~seed:9 and b = Suite.full ~scale:0.1 ~seed:9 in
+  Alcotest.(check bool) "same seed, same suite" true (a = b)
+
+let test_suite_fp_tagging () =
+  let s = Suite.spec2000 ~scale:0.05 ~seed:1 in
+  let fp_count = List.length (List.filter (fun b -> b.Suite.fp) s) in
+  Alcotest.(check int) "13 SPECfp benchmarks" 13 fp_count
+
+let test_suite_loops_validate () =
+  let s = Suite.full ~scale:0.1 ~seed:2 in
+  List.iter
+    (fun (bench, l) ->
+      match Loop.validate l with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "%s/%s: %s" bench l.Loop.name e)
+    (Suite.all_loops s)
+
+let test_paper_scale_loop_count () =
+  (* The full-scale suite must be in the paper's range: enough raw loops
+     that ~2,500 survive the filters. *)
+  let s = Suite.full ~scale:1.0 ~seed:2005 in
+  let n = List.length (Suite.all_loops s) in
+  Alcotest.(check bool) (Printf.sprintf "raw loops = %d in [3000, 4200]" n) true
+    (n >= 3000 && n <= 4200)
+
+let suite =
+  [
+    ("kernels named", `Quick, test_kernels_all_named);
+    ("kernels validate", `Quick, test_kernels_validate_at_trips);
+    ("kernels structure", `Quick, test_kernels_structure_spot_checks);
+    ("synth deterministic", `Quick, test_synth_deterministic);
+    ("synth profiles differ", `Quick, test_synth_profiles_differ);
+    ("synth language", `Quick, test_synth_language_respected);
+    ("synth snap trip", `Quick, test_snap_trip);
+    ("suite 72 benchmarks", `Quick, test_suite_has_72_benchmarks);
+    ("suite spec2000 prefix", `Quick, test_suite_spec2000_first);
+    ("suite weights", `Quick, test_suite_weights_normalised);
+    ("suite unique loop names", `Quick, test_suite_loop_names_unique);
+    ("suite scale", `Quick, test_suite_scale);
+    ("suite deterministic", `Quick, test_suite_deterministic);
+    ("suite fp tagging", `Quick, test_suite_fp_tagging);
+    ("suite loops validate", `Quick, test_suite_loops_validate);
+    ("suite paper scale", `Quick, test_paper_scale_loop_count);
+  ]
