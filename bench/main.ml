@@ -89,6 +89,16 @@ let microbench_tests env =
       (Staged.stage (fun () -> Simulator.compile machine ~swp:false sample_loop 4));
     Test.make ~name:"compile-u4-swp"
       (Staged.stage (fun () -> Simulator.compile machine ~swp:true sample_loop 4));
+    (* Cold vs content-addressed-cache compile: capacity 0 disables the
+       store, so every call re-runs the pass pipeline; the warm cache
+       should answer in a digest + table lookup. *)
+    Test.make ~name:"compile-u4-cold"
+      (let cold = Compile_cache.create ~exe_capacity:0 ~cycles_capacity:0 () in
+       Staged.stage (fun () -> Pipeline.compile ~cache:cold machine ~swp:false sample_loop 4));
+    Test.make ~name:"compile-u4-cached"
+      (let warm = Compile_cache.create () in
+       ignore (Pipeline.compile ~cache:warm machine ~swp:false sample_loop 4);
+       Staged.stage (fun () -> Pipeline.compile ~cache:warm machine ~swp:false sample_loop 4));
   ]
 
 let run_microbenches env =
@@ -129,7 +139,58 @@ let run_microbenches env =
   Table.print t;
   print_endline
     "paper claims: NN lookup < 5 ms over 2,500 examples; SVM training ~30 s\n\
-     (Matlab, N=2,500; the O(N^3) solve here is benchmarked at smaller N)."
+     (Matlab, N=2,500; the O(N^3) solve here is benchmarked at smaller N).";
+  rows
+
+(* ---------------- pipeline: parallel sweep + compile cache ---------------- *)
+
+let run_parallel_bench config compile_rows =
+  hr "Pass pipeline: sequential vs parallel labelling sweep";
+  let benchmarks =
+    Suite.full ~scale:(Float.min config.Config.scale 0.15) ~seed:config.Config.seed
+    |> List.filteri (fun i _ -> i < 12)
+  in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  (* At least 2 so the domain path is exercised even on a 1-core host
+     (where no wall-clock speedup is expected). *)
+  let jobs = max 2 (Parallel.default_jobs ()) in
+  (* Both runs start from an empty compile cache so the comparison is
+     sweep work, not one run replaying the other's compiles. *)
+  Compile_cache.clear Compile_cache.global;
+  let seq, t_seq = time (fun () -> Labeling.collect ~jobs:1 config ~swp:false benchmarks) in
+  Compile_cache.clear Compile_cache.global;
+  let par, t_par = time (fun () -> Labeling.collect ~jobs config ~swp:false benchmarks) in
+  let identical =
+    List.for_all2
+      (fun (a : Labeling.labeled) (b : Labeling.labeled) ->
+        a.Labeling.bench = b.Labeling.bench && a.Labeling.cycles = b.Labeling.cycles)
+      seq par
+  in
+  (* A repeat of the sequential sweep on the now-warm cache shows the
+     content-addressed hit path. *)
+  let hits0 = Compile_cache.hits Compile_cache.global in
+  let _, t_warm = time (fun () -> Labeling.collect ~jobs:1 config ~swp:false benchmarks) in
+  let warm_hits = Compile_cache.hits Compile_cache.global - hits0 in
+  Printf.printf
+    "loops=%d  sequential %.2fs | %d jobs %.2fs (%.2fx) | warm-cache rerun %.2fs \
+     (%d hits) | identical=%b\n"
+    (List.length seq) t_seq jobs t_par (t_seq /. Float.max t_par 1e-9) t_warm warm_hits
+    identical;
+  let ns name = try List.assoc name compile_rows with Not_found -> nan in
+  Printf.printf
+    "{\"bench\":\"pipeline\",\"loops\":%d,\"jobs\":%d,\"seq_s\":%.3f,\"par_s\":%.3f,\
+     \"speedup\":%.2f,\"identical\":%b,\"warm_s\":%.3f,\"warm_hits\":%d,\
+     \"hit_rate\":%.3f,\"compile_cold_ns\":%.0f,\"compile_cached_ns\":%.0f}\n"
+    (List.length seq) jobs t_seq t_par
+    (t_seq /. Float.max t_par 1e-9)
+    identical t_warm warm_hits
+    (Compile_cache.hit_rate Compile_cache.global)
+    (ns "unroll-ml/compile-u4-cold")
+    (ns "unroll-ml/compile-u4-cached")
 
 let () =
   let config = Config.of_env () in
@@ -141,4 +202,5 @@ let () =
     (if config = Config.fast then " (FAST)" else "");
   let env = Experiments.build_env config in
   run_experiments env;
-  run_microbenches env
+  let rows = run_microbenches env in
+  run_parallel_bench config rows

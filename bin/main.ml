@@ -7,7 +7,7 @@
 
 open Cmdliner
 
-let config_of ~fast ~scale ~seed ~machine ~runs ~noise =
+let config_of ~fast ~scale ~seed ~machine ~runs ~noise ~jobs =
   let base = if fast then Config.fast else Config.default in
   let machine =
     match Machine.by_name machine with
@@ -24,6 +24,7 @@ let config_of ~fast ~scale ~seed ~machine ~runs ~noise =
     machine;
     runs = Option.value runs ~default:base.Config.runs;
     noise = Option.value noise ~default:base.Config.noise;
+    jobs = max 1 (match jobs with Some 0 -> Parallel.default_jobs () | Some j -> j | None -> base.Config.jobs);
   }
 
 (* Shared flags *)
@@ -45,11 +46,33 @@ let runs_opt =
 let noise_opt =
   Arg.(value & opt (some float) None & info [ "noise" ] ~docv:"F" ~doc:"Relative measurement noise.")
 
+let jobs_opt =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker domains for labelling sweeps and cross-validation loops (results \
+           are identical for any value; 0 = all cores).")
+
+let telemetry_flag =
+  Arg.(
+    value
+    & flag
+    & info [ "telemetry" ]
+        ~doc:"Print per-pass compile telemetry (wall time, op deltas, cache hits) at exit.")
+
 let config_term =
   Term.(
-    const (fun fast scale seed machine runs noise ->
-        config_of ~fast ~scale ~seed ~machine ~runs ~noise)
-    $ fast_flag $ scale_opt $ seed_opt $ machine_opt $ runs_opt $ noise_opt)
+    const (fun fast scale seed machine runs noise jobs ->
+        config_of ~fast ~scale ~seed ~machine ~runs ~noise ~jobs)
+    $ fast_flag $ scale_opt $ seed_opt $ machine_opt $ runs_opt $ noise_opt $ jobs_opt)
+
+let with_telemetry telemetry f =
+  Fun.protect
+    ~finally:(fun () ->
+      if telemetry then print_string (Telemetry.to_table Telemetry.global))
+    f
 
 (* dataset *)
 let dataset_cmd =
@@ -59,17 +82,18 @@ let dataset_cmd =
   let swp =
     Arg.(value & flag & info [ "swp" ] ~doc:"Label with software pipelining enabled.")
   in
-  let run config output swp =
-    let benchmarks = Suite.full ~scale:config.Config.scale ~seed:config.Config.seed in
-    let labeled = Labeling.collect config ~swp benchmarks in
-    let ds = Labeling.to_dataset config labeled in
-    Dataset.to_csv ds output;
-    Printf.printf "wrote %d labelled loops (of %d measured) to %s\n" (Dataset.size ds)
-      (List.length labeled) output
+  let run config output swp telemetry =
+    with_telemetry telemetry (fun () ->
+        let benchmarks = Suite.full ~scale:config.Config.scale ~seed:config.Config.seed in
+        let labeled = Labeling.collect ~jobs:config.Config.jobs config ~swp benchmarks in
+        let ds = Labeling.to_dataset config labeled in
+        Dataset.to_csv ds output;
+        Printf.printf "wrote %d labelled loops (of %d measured) to %s\n" (Dataset.size ds)
+          (List.length labeled) output)
   in
   Cmd.v
     (Cmd.info "dataset" ~doc:"Generate the 72-benchmark suite, label every loop, write a CSV.")
-    Term.(const run $ config_term $ output $ swp)
+    Term.(const run $ config_term $ output $ swp $ telemetry_flag)
 
 (* experiment *)
 let experiment_cmd =
@@ -80,27 +104,28 @@ let experiment_cmd =
       & pos 0 (some (enum (List.map (fun s -> (s, s)) all))) None
       & info [] ~docv:"EXPERIMENT" ~doc:"One of fig1 fig2 fig3 table2 table3 table4 fig4 fig5 summary ablations all.")
   in
-  let run config which =
-    let env = Experiments.build_env config in
-    let out =
-      match which with
-      | "fig1" -> Experiments.fig1 env
-      | "fig2" -> Experiments.fig2 env
-      | "fig3" -> Experiments.fig3 env
-      | "table2" -> Experiments.table2 env
-      | "table3" -> Experiments.table3 env
-      | "table4" -> Experiments.table4 env
-      | "fig4" -> Experiments.fig4 env
-      | "fig5" -> Experiments.fig5 env
-      | "summary" -> Experiments.summary env
-      | "ablations" -> Experiments.ablations env
-      | _ -> Experiments.all env
-    in
-    print_string out
+  let run config which telemetry =
+    with_telemetry telemetry (fun () ->
+        let env = Experiments.build_env config in
+        let out =
+          match which with
+          | "fig1" -> Experiments.fig1 env
+          | "fig2" -> Experiments.fig2 env
+          | "fig3" -> Experiments.fig3 env
+          | "table2" -> Experiments.table2 env
+          | "table3" -> Experiments.table3 env
+          | "table4" -> Experiments.table4 env
+          | "fig4" -> Experiments.fig4 env
+          | "fig5" -> Experiments.fig5 env
+          | "summary" -> Experiments.summary env
+          | "ablations" -> Experiments.ablations env
+          | _ -> Experiments.all env
+        in
+        print_string out)
   in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Reproduce a table or figure from the paper.")
-    Term.(const run $ config_term $ which)
+    Term.(const run $ config_term $ which $ telemetry_flag)
 
 (* inspect *)
 let inspect_cmd =
@@ -117,12 +142,13 @@ let inspect_cmd =
     Arg.(value & opt (some int) None & info [ "unroll" ] ~docv:"U" ~doc:"Unroll factor to show (default: sweep all).")
   in
   let swp = Arg.(value & flag & info [ "swp" ] ~doc:"Software pipelining enabled.") in
-  let run config kernel trip factor swp =
+  let run config kernel trip factor swp telemetry =
     match List.assoc_opt kernel Kernels.all with
     | None ->
       Printf.eprintf "unknown kernel '%s'; try `unroll-ml kernels`\n" kernel;
       exit 2
     | Some maker ->
+      with_telemetry telemetry @@ fun () ->
       let loop = maker ~name:kernel ~trip in
       Format.printf "%a@." Pretty.pp_loop loop;
       let features = Features.extract config.Config.machine loop in
@@ -154,7 +180,7 @@ let inspect_cmd =
   in
   Cmd.v
     (Cmd.info "inspect" ~doc:"Compile and simulate one kernel across unroll factors.")
-    Term.(const run $ config_term $ kernel $ trip $ factor $ swp)
+    Term.(const run $ config_term $ kernel $ trip $ factor $ swp $ telemetry_flag)
 
 (* export *)
 let export_cmd =

@@ -28,7 +28,7 @@ let () =
   let scaled = Scale.apply (Scale.fit dataset) dataset in
   let nn_picks =
     Greedy_select.run ~n_features:Features.count ~k:5
-      ~error:(Greedy_select.nn_training_error scaled)
+      (Greedy_select.nn_training_error scaled)
   in
   print_endline "\ngreedy selection for 1-NN (feature, training error so far):";
   List.iter
@@ -36,7 +36,7 @@ let () =
     nn_picks;
   let svm_picks =
     Greedy_select.run ~n_features:Features.count ~k:5
-      ~error:
+      
         (Greedy_select.svm_training_error ~kernel:config.Config.svm_kernel
            ~gamma:config.Config.svm_gamma ~max_examples:250 scaled)
   in

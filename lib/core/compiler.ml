@@ -21,17 +21,16 @@ let benchmark_speedup config ~swp predictor ~baseline (b : Suite.benchmark) labe
   | [] -> 1.0
   | _ ->
     (* Relative loop time under a predictor, weighted by each loop's share
-       of baseline loop runtime. *)
+       of baseline loop runtime.  Both pick arrays come from
+       [predictions_for] — the single place per-loop factors are chosen. *)
+    let picks = predictions_for config ~swp predictor mine in
+    let base = predictions_for config ~swp baseline mine in
     let ratio =
       let num = ref 0.0 and den = ref 0.0 in
-      List.iter
-        (fun (l : Labeling.labeled) ->
-          let pick p =
-            Predictor.predict p config ~swp ~cycles:l.Labeling.cycles l.Labeling.loop
-          in
-          let u_p = pick predictor and u_b = pick baseline in
-          let c_p = float_of_int l.Labeling.cycles.(u_p - 1) in
-          let c_b = float_of_int l.Labeling.cycles.(u_b - 1) in
+      List.iteri
+        (fun i (l : Labeling.labeled) ->
+          let c_p = float_of_int l.Labeling.cycles.(picks.(i) - 1) in
+          let c_b = float_of_int l.Labeling.cycles.(base.(i) - 1) in
           num := !num +. (l.Labeling.weight *. (c_p /. c_b));
           den := !den +. l.Labeling.weight)
         mine;
@@ -39,3 +38,20 @@ let benchmark_speedup config ~swp predictor ~baseline (b : Suite.benchmark) labe
     in
     let f = b.Suite.loop_fraction in
     1.0 /. ((1.0 -. f) +. (f *. ratio))
+
+let speedup_rows ?(jobs = 1) (config : Config.t) ~swp ~features ~benchmarks ~dataset
+    labeled =
+  (* Leave-one-benchmark-out protocol (§6.1): for each benchmark, train the
+     learners on every other benchmark's loops, then realise the speedup on
+     the held-out one.  The retrainings are independent, so they fan out
+     over [jobs] worker domains; rows come back in benchmark order. *)
+  Parallel.map_list ~jobs
+    (fun (b : Suite.benchmark) ->
+      let train = Dataset.without_group dataset b.Suite.bname in
+      let nn = Predictor.train_nn config ~features train in
+      let svm =
+        Predictor.train_svm ~cap:config.Config.fig4_svm_cap config ~features train
+      in
+      let sp p = benchmark_speedup config ~swp p ~baseline:Predictor.Orc b labeled in
+      (b.Suite.bname, b.Suite.fp, sp nn, sp svm, sp Predictor.Oracle))
+    benchmarks

@@ -28,4 +28,17 @@ val benchmark_speedup :
   Suite.benchmark -> Labeling.labeled list -> float
 (** Whole-benchmark speedup of [Predictor.t] over [baseline] (> 1.0 is
     faster), using each loop's measured per-factor cycles, the loop
-    weights, and the benchmark's loop fraction. *)
+    weights, and the benchmark's loop fraction.  Per-loop picks go through
+    {!predictions_for}. *)
+
+val speedup_rows :
+  ?jobs:int ->
+  Config.t -> swp:bool -> features:int array ->
+  benchmarks:Suite.benchmark list -> dataset:Dataset.t ->
+  Labeling.labeled list ->
+  (string * bool * float * float * float) list
+(** One row per benchmark under the leave-one-benchmark-out protocol of
+    §6.1: [(name, is_fp, nn, svm, oracle)] speedups over the ORC baseline.
+    The NN and SVM are retrained per benchmark on the other benchmarks'
+    loops (restricted to [features]); retrainings run across [jobs] worker
+    domains (default 1) with order-independent output. *)

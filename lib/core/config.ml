@@ -6,6 +6,7 @@ type t = {
   noise : float;
   runs : int;
   max_sim_iters : int;
+  jobs : int;
   knn_radius : float;
   svm_kernel : Kernel.t;
   svm_gamma : float;
@@ -24,6 +25,7 @@ let default =
     noise = 0.015;
     runs = 30;
     max_sim_iters = 400;
+    jobs = 1;
     knn_radius = 0.5;
     svm_kernel = Kernel.Rbf 0.03;
     svm_gamma = 16.0;
@@ -43,6 +45,14 @@ let fast =
   }
 
 let of_env () =
-  match Sys.getenv_opt "FAST" with
-  | Some v when v <> "" && v <> "0" -> fast
-  | Some _ | None -> default
+  let base =
+    match Sys.getenv_opt "FAST" with
+    | Some v when v <> "" && v <> "0" -> fast
+    | Some _ | None -> default
+  in
+  match Sys.getenv_opt "JOBS" with
+  | Some v -> (
+    match int_of_string_opt v with
+    | Some j when j >= 1 -> { base with jobs = j }
+    | Some _ | None -> base)
+  | None -> base

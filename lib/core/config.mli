@@ -12,6 +12,9 @@ type t = {
   noise : float;            (** relative measurement noise (§4.4) *)
   runs : int;               (** measurements per configuration (paper: 30) *)
   max_sim_iters : int;      (** exact simulation window per loop entry *)
+  jobs : int;
+  (** worker domains for the labelling sweep and cross-validation loops
+      (1 = sequential; results are bit-identical either way) *)
   knn_radius : float;       (** near-neighbor radius (paper: 0.3) *)
   svm_kernel : Kernel.t;
   svm_gamma : float;        (** LS-SVM ridge parameter *)
@@ -33,4 +36,5 @@ val fast : t
 
 val of_env : unit -> t
 (** [default], or [fast] when the environment variable [FAST] is set to a
-    non-empty value other than ["0"]. *)
+    non-empty value other than ["0"].  The [JOBS] environment variable, if
+    a positive integer, overrides [jobs]. *)

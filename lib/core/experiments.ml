@@ -1,3 +1,5 @@
+type speedup_row = string * bool * float * float * float
+
 type env = {
   config : Config.t;
   benchmarks : Suite.benchmark list;
@@ -8,7 +10,8 @@ type env = {
   dataset_off : Dataset.t;
   dataset_on : Dataset.t;
   selected : int array;
-  speedup_cache : (bool, (string * bool * float * float * float) list) Hashtbl.t;
+  rows_off : speedup_row list Lazy.t;
+  rows_on : speedup_row list Lazy.t;
 }
 
 let info progress fmt =
@@ -22,20 +25,19 @@ let select_feature_subset ~progress (config : Config.t) dataset =
   let mis_top = List.filteri (fun i _ -> i < config.Config.mis_k) mis |> List.map fst in
   info progress "feature selection: MIS done";
   let nn_picks =
-    Greedy_select.run
+    Greedy_select.run ~jobs:config.Config.jobs
       ~n_features:(Array.length dataset.Dataset.feature_names)
       ~k:config.Config.greedy_k
-      ~error:(Greedy_select.nn_training_error scaled)
+      (Greedy_select.nn_training_error scaled)
     |> List.map fst
   in
   info progress "feature selection: greedy NN done";
   let svm_picks =
-    Greedy_select.run
+    Greedy_select.run ~jobs:config.Config.jobs
       ~n_features:(Array.length dataset.Dataset.feature_names)
       ~k:config.Config.greedy_k
-      ~error:
-        (Greedy_select.svm_training_error ~kernel:config.Config.svm_kernel
-           ~gamma:config.Config.svm_gamma ~max_examples:300 scaled)
+      (Greedy_select.svm_training_error ~kernel:config.Config.svm_kernel
+         ~gamma:config.Config.svm_gamma ~max_examples:300 scaled)
     |> List.map fst
   in
   info progress "feature selection: greedy SVM done";
@@ -62,11 +64,13 @@ let build_env ?(progress = true) (config : Config.t) =
       Printf.eprintf "  %s: %d/%d\n%!" label done_ total
   in
   let labeled_off =
-    Labeling.collect ~progress:(tick "swp-off") config ~swp:false benchmarks
+    Labeling.collect ~progress:(tick "swp-off") ~jobs:config.Config.jobs config
+      ~swp:false benchmarks
   in
   info progress "labelling %d loops x 8 factors, SWP enabled" count;
   let labeled_on =
-    Labeling.collect ~progress:(tick "swp-on") config ~swp:true benchmarks
+    Labeling.collect ~progress:(tick "swp-on") ~jobs:config.Config.jobs config
+      ~swp:true benchmarks
   in
   let filtered_off = List.filter Labeling.passes_filters labeled_off in
   let filtered_on = List.filter Labeling.passes_filters labeled_on in
@@ -76,6 +80,19 @@ let build_env ?(progress = true) (config : Config.t) =
     (Dataset.size dataset_off) count (Dataset.size dataset_on);
   let selected = select_feature_subset ~progress config dataset_off in
   info progress "selected %d features" (Array.length selected);
+  let spec =
+    List.filter
+      (fun (b : Suite.benchmark) ->
+        match b.Suite.tag with
+        | Suite.Spec2000fp | Suite.Spec2000int -> true
+        | _ -> false)
+      benchmarks
+  in
+  let rows ~swp labeled dataset =
+    lazy
+      (Compiler.speedup_rows ~jobs:config.Config.jobs config ~swp ~features:selected
+         ~benchmarks:spec ~dataset labeled)
+  in
   {
     config;
     benchmarks;
@@ -86,7 +103,8 @@ let build_env ?(progress = true) (config : Config.t) =
     dataset_off;
     dataset_on;
     selected;
-    speedup_cache = Hashtbl.create 2;
+    rows_off = rows ~swp:false labeled_off dataset_off;
+    rows_on = rows ~swp:true labeled_on dataset_on;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -237,14 +255,13 @@ let table4 env =
   let scaled = Scale.apply (Scale.fit env.dataset_off) env.dataset_off in
   let n_features = Array.length env.dataset_off.Dataset.feature_names in
   let nn_picks =
-    Greedy_select.run ~n_features ~k:config.Config.greedy_k
-      ~error:(Greedy_select.nn_training_error scaled)
+    Greedy_select.run ~jobs:config.Config.jobs ~n_features ~k:config.Config.greedy_k
+      (Greedy_select.nn_training_error scaled)
   in
   let svm_picks =
-    Greedy_select.run ~n_features ~k:config.Config.greedy_k
-      ~error:
-        (Greedy_select.svm_training_error ~kernel:config.Config.svm_kernel
-           ~gamma:config.Config.svm_gamma ~max_examples:300 scaled)
+    Greedy_select.run ~jobs:config.Config.jobs ~n_features ~k:config.Config.greedy_k
+      (Greedy_select.svm_training_error ~kernel:config.Config.svm_kernel
+         ~gamma:config.Config.svm_gamma ~max_examples:300 scaled)
   in
   let t =
     Table.create ~title:"Table 4: greedy feature selection (training error)"
@@ -411,38 +428,8 @@ let fig2 env =
 (* ------------------------------------------------------------------ *)
 (* Figures 4 and 5: realized speedups                                  *)
 
-let spec24 env =
-  List.filter
-    (fun (b : Suite.benchmark) ->
-      match b.Suite.tag with
-      | Suite.Spec2000fp | Suite.Spec2000int -> true
-      | _ -> false)
-    env.benchmarks
-
 let speedup_rows env ~swp =
-  match Hashtbl.find_opt env.speedup_cache swp with
-  | Some rows -> rows
-  | None ->
-    let config = env.config in
-    let dataset = if swp then env.dataset_on else env.dataset_off in
-    let labeled = if swp then env.labeled_on else env.labeled_off in
-    let rows =
-      List.map
-        (fun (b : Suite.benchmark) ->
-          let train = Dataset.without_group dataset b.Suite.bname in
-          let nn = Predictor.train_nn config ~features:env.selected train in
-          let svm =
-            Predictor.train_svm ~cap:config.Config.fig4_svm_cap config
-              ~features:env.selected train
-          in
-          let sp p =
-            Compiler.benchmark_speedup config ~swp p ~baseline:Predictor.Orc b labeled
-          in
-          (b.Suite.bname, b.Suite.fp, sp nn, sp svm, sp Predictor.Oracle))
-        (spec24 env)
-    in
-    Hashtbl.replace env.speedup_cache swp rows;
-    rows
+  Lazy.force (if swp then env.rows_on else env.rows_off)
 
 let render_speedups ~title rows =
   let t =

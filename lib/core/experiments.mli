@@ -8,6 +8,9 @@
     figure as text (ASCII plots for the figures), shaped after the paper's
     artefact. *)
 
+type speedup_row = string * bool * float * float * float
+(** [(bname, is_fp, nn, svm, oracle)] speedups over the ORC baseline. *)
+
 type env = {
   config : Config.t;
   benchmarks : Suite.benchmark list;
@@ -20,9 +23,10 @@ type env = {
   selected : int array;
   (** feature subset used for classification (§7: union of the MIS top-k
       and the greedy picks for both classifiers) *)
-  speedup_cache : (bool, (string * bool * float * float * float) list) Hashtbl.t;
-  (** memoised per-benchmark speedups (bname, is_fp, nn, svm, oracle),
-      keyed by SWP mode — shared between the figure drivers and {!summary} *)
+  rows_off : speedup_row list Lazy.t;
+  rows_on : speedup_row list Lazy.t;
+  (** per-benchmark speedups from {!Compiler.speedup_rows}, computed on
+      first demand and shared between the figure drivers and {!summary} *)
 }
 
 val build_env : ?progress:bool -> Config.t -> env

@@ -15,29 +15,42 @@ let passes_filters l =
   && best >= float_of_int Measure.min_cycles_filter
   && mean /. best >= 1.05
 
-let collect ?progress (config : Config.t) ~swp benchmarks =
-  let rng = Rng.create config.Config.noise_seed in
-  let total =
-    List.fold_left (fun acc (b : Suite.benchmark) -> acc + Array.length b.Suite.loops) 0 benchmarks
+let collect ?progress ?(jobs = 1) (config : Config.t) ~swp benchmarks =
+  (* One task per loop.  Each loop's measurement RNG is derived from
+     (noise_seed, benchmark, loop index) rather than threaded through a
+     single sequential stream, so the noise a loop observes does not depend
+     on which loops were measured before it — which is what makes the
+     parallel sweep bit-identical to the sequential one. *)
+  let tasks =
+    List.concat_map
+      (fun (b : Suite.benchmark) ->
+        Array.to_list
+          (Array.mapi
+             (fun i (loop, weight) -> (b.Suite.bname, i, loop, weight))
+             b.Suite.loops))
+      benchmarks
+    |> Array.of_list
   in
-  let done_ = ref 0 in
-  List.concat_map
-    (fun (b : Suite.benchmark) ->
-      Array.to_list
-        (Array.map
-           (fun (loop, weight) ->
-             let cycles =
-               Measure.sweep ~noise:config.Config.noise ~runs:config.Config.runs
-                 ~max_sim_iters:config.Config.max_sim_iters ~rng
-                 ~machine:config.Config.machine ~swp loop
-             in
-             incr done_;
-             (match progress with
-             | Some f -> f ~done_:!done_ ~total
-             | None -> ());
-             { bench = b.Suite.bname; loop; weight; cycles })
-           b.Suite.loops))
-    benchmarks
+  let total = Array.length tasks in
+  let done_ = Atomic.make 0 in
+  let progress_mutex = Mutex.create () in
+  let measure (bench, i, loop, weight) =
+    let rng = Rng.derive config.Config.noise_seed bench i in
+    let cycles =
+      Measure.sweep ~noise:config.Config.noise ~runs:config.Config.runs
+        ~max_sim_iters:config.Config.max_sim_iters ~rng
+        ~machine:config.Config.machine ~swp loop
+    in
+    let d = Atomic.fetch_and_add done_ 1 + 1 in
+    (match progress with
+    | Some f ->
+      Mutex.lock progress_mutex;
+      Fun.protect ~finally:(fun () -> Mutex.unlock progress_mutex) (fun () ->
+          f ~done_:d ~total)
+    | None -> ());
+    { bench; loop; weight; cycles }
+  in
+  Array.to_list (Parallel.map ~jobs measure tasks)
 
 let to_dataset ?(filtered = true) (config : Config.t) labeled =
   let keep = if filtered then List.filter passes_filters labeled else labeled in

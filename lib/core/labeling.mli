@@ -23,8 +23,14 @@ val passes_filters : labeled -> bool
 
 val collect :
   ?progress:(done_:int -> total:int -> unit) ->
+  ?jobs:int ->
   Config.t -> swp:bool -> Suite.benchmark list -> labeled list
-(** Sweeps every loop of every benchmark.  Deterministic in the config. *)
+(** Sweeps every loop of every benchmark across [jobs] worker domains
+    (default 1 = sequential).  Deterministic in the config: each loop's
+    measurement RNG is derived from [(noise_seed, benchmark, loop index)],
+    so the output is bit-identical for every [jobs] value.  [progress]
+    callbacks are serialised but may arrive out of loop order when
+    [jobs > 1]. *)
 
 val to_dataset : ?filtered:bool -> Config.t -> labeled list -> Dataset.t
 (** Feature extraction + labelling.  [filtered] (default true) applies

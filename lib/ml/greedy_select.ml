@@ -1,16 +1,21 @@
-let run ~n_features ~k ~error =
+let run ?(jobs = 1) ~n_features ~k error =
   let chosen = ref [] in
   let remaining = ref (List.init n_features (fun i -> i)) in
   let picks = ref [] in
   for _ = 1 to min k n_features do
+    (* Candidate evaluations within a round are independent; the winner is
+       reduced in candidate order (first strictly-lower error wins), so the
+       pick does not depend on [jobs]. *)
+    let errs =
+      Parallel.map_list ~jobs (fun f -> (f, error (List.rev (f :: !chosen)))) !remaining
+    in
     let best = ref None in
     List.iter
-      (fun f ->
-        let err = error (List.rev (f :: !chosen)) in
+      (fun (f, err) ->
         match !best with
         | Some (_, e) when e <= err -> ()
         | _ -> best := Some (f, err))
-      !remaining;
+      errs;
     match !best with
     | None -> ()
     | Some (f, err) ->

@@ -7,10 +7,13 @@
     1-NN variant the paper uses for near neighbors and the SVM variant. *)
 
 val run :
-  n_features:int -> k:int -> error:(int list -> float) -> (int * float) list
-(** [run ~n_features ~k ~error] returns the chosen features in selection
+  ?jobs:int -> n_features:int -> k:int -> (int list -> float) ->
+  (int * float) list
+(** [run ~n_features ~k error] returns the chosen features in selection
     order, each with the training error achieved once it was added.
-    Deterministic: ties pick the lowest feature index. *)
+    Deterministic: ties pick the lowest feature index, and candidate
+    evaluations within a round fan out over [jobs] worker domains
+    (default 1) without affecting the picks. *)
 
 val nn_training_error : Dataset.t -> int list -> float
 (** Training error of single-nearest-neighbor classification restricted to

@@ -1,32 +1,39 @@
-let run ~train ~predict pairs =
+let run ?(jobs = 1) ~train ~predict pairs =
   let n = Array.length pairs in
-  Array.init n (fun i ->
+  (* Each fold is independent and results land at their fold's index, so
+     the output does not depend on [jobs]. *)
+  Parallel.map ~jobs
+    (fun i ->
       let rest =
         Array.of_list (List.filteri (fun j _ -> j <> i) (Array.to_list pairs))
       in
       let model = train rest in
       predict model (fst pairs.(i)))
+    (Array.init n Fun.id)
 
-let accuracy ~train ~predict pairs =
-  let preds = run ~train ~predict pairs in
+let accuracy ?jobs ~train ~predict pairs =
+  let preds = run ?jobs ~train ~predict pairs in
   let hits = ref 0 in
   Array.iteri (fun i p -> if p = snd pairs.(i) then incr hits) preds;
   if Array.length pairs = 0 then 0.0
   else float_of_int !hits /. float_of_int (Array.length pairs)
 
-let grouped ~groups ~train ~predict pairs =
+let grouped ?(jobs = 1) ~groups ~train ~predict pairs =
   if Array.length groups <> Array.length pairs then invalid_arg "Loocv.grouped: sizes";
   let distinct = List.sort_uniq compare (Array.to_list groups) in
+  let per_group =
+    Parallel.map_list ~jobs
+      (fun g ->
+        let rest =
+          Array.of_list
+            (List.filteri (fun j _ -> groups.(j) <> g) (Array.to_list pairs))
+        in
+        let model = train rest in
+        List.init (Array.length pairs) Fun.id
+        |> List.filter (fun i -> groups.(i) = g)
+        |> List.map (fun i -> (i, predict model (fst pairs.(i)))))
+      distinct
+  in
   let out = Array.make (Array.length pairs) 0 in
-  List.iter
-    (fun g ->
-      let rest =
-        Array.of_list
-          (List.filteri (fun j _ -> groups.(j) <> g) (Array.to_list pairs))
-      in
-      let model = train rest in
-      Array.iteri
-        (fun i (x, _) -> if groups.(i) = g then out.(i) <- predict model x)
-        pairs)
-    distinct;
+  List.iter (List.iter (fun (i, p) -> out.(i) <- p)) per_group;
   out

@@ -12,15 +12,18 @@
     the leave-one-benchmark-out protocol of §6.1. *)
 
 val run :
+  ?jobs:int ->
   train:((float array * int) array -> 'model) ->
   predict:('model -> float array -> int) ->
   (float array * int) array ->
   int array
 (** [run ~train ~predict pairs] returns the LOO prediction for every
     example.  O(N × training cost): use the classifier-specific shortcuts
-    when they exist. *)
+    when they exist.  Folds run across [jobs] worker domains (default 1);
+    the output is identical for every [jobs] value. *)
 
 val accuracy :
+  ?jobs:int ->
   train:((float array * int) array -> 'model) ->
   predict:('model -> float array -> int) ->
   (float array * int) array ->
@@ -28,6 +31,7 @@ val accuracy :
 (** Convenience: LOO predictions scored against the labels. *)
 
 val grouped :
+  ?jobs:int ->
   groups:string array ->
   train:((float array * int) array -> 'model) ->
   predict:('model -> float array -> int) ->

@@ -157,12 +157,12 @@ let spill_register (loop : Loop.t) (victim : Op.reg) =
   let body = Array.of_list (List.rev !out) |> Array.mapi (fun i op -> { op with Op.uid = i }) in
   { loop with Loop.body }
 
-let allocate ?(max_rounds = 6) ~sched (loop : Loop.t) =
+let allocate_from ?(max_rounds = 6) ~sched (first : Schedule.t) =
   let machine_limits (s : Schedule.t) =
     (s.Schedule.machine.Machine.int_regs, s.Schedule.machine.Machine.fp_regs)
   in
-  let rec go loop round spills =
-    let s = sched loop in
+  let rec go (s : Schedule.t) round spills =
+    let loop = s.Schedule.loop in
     match s.Schedule.kind with
     | Schedule.Pipelined _ -> { s with Schedule.spills }
     | Schedule.Straight ->
@@ -199,7 +199,10 @@ let allocate ?(max_rounds = 6) ~sched (loop : Loop.t) =
           intervals;
         match !candidate with
         | None -> { s with Schedule.spills; int_pressure = int_p; fp_pressure = fp_p }
-        | Some (_, victim) -> go (spill_register loop victim) (round + 1) (spills + 1)
+        | Some (_, victim) -> go (sched (spill_register loop victim)) (round + 1) (spills + 1)
       end
   in
-  go loop 0 0
+  go first 0 0
+
+let allocate ?max_rounds ~sched (loop : Loop.t) =
+  allocate_from ?max_rounds ~sched (sched loop)

@@ -12,6 +12,10 @@
     Pipelined schedules handle pressure inside {!Modulo_sched} (by raising
     the II), so [allocate] only fills in the pressure fields for them. *)
 
+val spill_array_name : string
+(** Name of the stride-0 array spill slots live in (["$spill"]); consumers
+    that compare memory images can exclude its address range. *)
+
 val pressure : Schedule.t -> int * int
 (** [(int_live, fp_live)] maximum concurrently-live values, counting loop
     invariants and treating loop-carried values as live across the whole
@@ -22,3 +26,10 @@ val allocate : ?max_rounds:int -> sched:(Loop.t -> Schedule.t) -> Loop.t -> Sche
     fits or candidates are exhausted ([max_rounds], default 6).  The
     returned schedule's [loop] includes any inserted spill code, and
     [spills] counts the spilled values. *)
+
+val allocate_from :
+  ?max_rounds:int -> sched:(Loop.t -> Schedule.t) -> Schedule.t -> Schedule.t
+(** Like {!allocate} but starting from an already-computed schedule, so a
+    pipeline whose scheduling stage ran separately does not pay for the
+    first scheduling twice.  [sched] is only invoked after a spill forces
+    a reschedule. *)

@@ -13,12 +13,27 @@ let noisy_median ~rng ~noise ~runs f =
     int_of_float (Float.round (Stats.median samples))
   end
 
-let sweep ?(noise = 0.015) ?(runs = 30) ?max_sim_iters ~rng ~machine ~swp loop =
+let sweep ?(noise = 0.015) ?(runs = 30) ?max_sim_iters ?(cache = Compile_cache.global)
+    ~rng ~machine ~swp loop =
   Array.init Unroll.max_factor (fun i ->
       let u = i + 1 in
-      let exe = Simulator.compile machine ~swp loop u in
-      let state = Simulator.create_state machine in
-      (* Warm-up run: the paper measures loops inside live processes, so
-         steady-state measurements see warm caches. *)
-      ignore (Simulator.run ?max_sim_iters state exe);
-      noisy_median ~rng ~noise ~runs (fun () -> Simulator.run ?max_sim_iters state exe))
+      let key = Compile_cache.key ~machine ~swp ~factor:u loop in
+      let exact =
+        (* Simulation is deterministic given the loop content, factor and
+           machine, so the warm steady-state cycle count can be memoised
+           alongside the compiled executable; measurement noise is applied
+           after the lookup, from the caller's RNG, so warm and cold runs
+           observe identical distributions. *)
+        match Compile_cache.find_cycles cache key ~max_sim_iters with
+        | Some cycles -> cycles
+        | None ->
+          let exe = Simulator.compile ~cache machine ~swp loop u in
+          let state = Simulator.create_state machine in
+          (* Warm-up run: the paper measures loops inside live processes, so
+             steady-state measurements see warm caches. *)
+          ignore (Simulator.run ?max_sim_iters state exe);
+          let cycles = Simulator.run ?max_sim_iters state exe in
+          Compile_cache.store_cycles cache key ~max_sim_iters cycles;
+          cycles
+      in
+      noisy_median ~rng ~noise ~runs (fun () -> exact))

@@ -17,6 +17,7 @@ val sweep :
   ?noise:float ->
   ?runs:int ->
   ?max_sim_iters:int ->
+  ?cache:Compile_cache.t ->
   rng:Rng.t ->
   machine:Machine.t ->
   swp:bool ->
@@ -26,7 +27,11 @@ val sweep :
     1..8 (paper default: [runs] = 30 per factor with median aggregation,
     [noise] = 0.015) and returns the eight cycle counts, index 0 = factor
     1.  Each factor is a separate program run: caches start cold, a warm-up
-    execution primes them, and the measured runs see the steady state. *)
+    execution primes them, and the measured runs see the steady state.
+
+    Compiled executables and warm cycle counts are memoised in [cache]
+    (default {!Compile_cache.global}); noise is drawn from [rng] after the
+    lookup, so a warm sweep returns results identical to a cold one. *)
 
 val min_cycles_filter : int
 (** Loops measured below this many cycles are too noisy to label (the

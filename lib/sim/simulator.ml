@@ -37,7 +37,7 @@ let empty_stats () =
     pipeline_fill_cycles = 0;
   }
 
-type executable = {
+type executable = Pipeline_state.executable = {
   schedules : (Schedule.t * int * int) list;
   unroll_factor : int;
   total_code_bytes : int;
@@ -47,75 +47,10 @@ type executable = {
   total_spills : int;
 }
 
-(* Expected iterations before a geometric early exit fires, capped at the
-   trip count. *)
-let effective_trips trip p =
-  if p <= 0.0 then trip
-  else begin
-    let t = float_of_int trip in
-    let expected = (1.0 -. ((1.0 -. p) ** t)) /. p in
-    max 1 (min trip (int_of_float (Float.round expected)))
-  end
-
 let of_unrolled machine ~swp (u : Unroll.t) ~outer_trip ~exit_prob =
-  let alloc loop =
-    if swp then
-      Regalloc.allocate
-        ~sched:(fun l ->
-          match Modulo_sched.schedule machine l with
-          | Some s -> s
-          | None -> List_sched.schedule machine l)
-        loop
-    else Regalloc.allocate ~sched:(List_sched.schedule machine) loop
-  in
-  let trip = u.Unroll.kernel_trips * u.Unroll.factor + u.Unroll.remainder_trips in
-  let eff = effective_trips (max trip 1) exit_prob in
-  let kernel_trips =
-    if exit_prob > 0.0 then
-      (* An exit mid-kernel still executes (and wastes) the whole unrolled
-         iteration it fired in. *)
-      (eff + u.Unroll.factor - 1) / u.Unroll.factor
-    else eff / u.Unroll.factor
-  in
-  let remainder_trips =
-    if exit_prob > 0.0 then 0
-    else match u.Unroll.remainder with Some _ -> eff mod u.Unroll.factor | None -> 0
-  in
-  let kernel_sched = alloc u.Unroll.kernel in
-  let rem =
-    match u.Unroll.remainder with
-    | Some r -> [ (alloc r, remainder_trips, kernel_trips * u.Unroll.factor) ]
-    | None -> []
-  in
-  let entry_extra_cycles =
-    (* Loop setup: computing the kernel trip count and dispatching between
-       kernel and remainder costs a few cycles per entry once unrolled. *)
-    4
-    + (if u.Unroll.factor > 1 then 4 else 0)
-    + (match u.Unroll.remainder with Some _ -> 6 | None -> 0)
-    + (if exit_prob > 0.0 then machine.Machine.mispredict_cost else 0)
-  in
-  let total_spills =
-    List.fold_left
-      (fun acc (s, _, _) -> acc + s.Schedule.spills)
-      0 ((kernel_sched, 0, 0) :: rem)
-  in
-  {
-    schedules = (kernel_sched, kernel_trips, 0) :: rem;
-    unroll_factor = u.Unroll.factor;
-    total_code_bytes = u.Unroll.code_bytes;
-    outer_trip;
-    exit_prob;
-    entry_extra_cycles;
-    total_spills;
-  }
+  Pipeline.of_unrolled machine ~swp u ~outer_trip ~exit_prob
 
-let compile machine ~swp loop u =
-  let unrolled = Unroll.run loop u in
-  let kernel = (Rle.run unrolled.Unroll.kernel).Rle.loop in
-  let unrolled = { unrolled with Unroll.kernel } in
-  of_unrolled machine ~swp unrolled ~outer_trip:loop.Loop.outer_trip
-    ~exit_prob:loop.Loop.exit_prob
+let compile ?cache machine ~swp loop u = Pipeline.compile ?cache machine ~swp loop u
 
 (* Deterministic address scramble for indirect references. *)
 let indirect_index uid iter length =

@@ -25,7 +25,7 @@ type state
 val create_state : Machine.t -> state
 val reset_state : state -> unit
 
-type executable = {
+type executable = Pipeline_state.executable = {
   schedules : (Schedule.t * int * int) list;
   (** [(schedule, trips, phase)] in execution order: the unrolled kernel
       followed by the remainder loop when present.  [phase] is the
@@ -44,13 +44,15 @@ val of_unrolled :
 (** Schedules an unrolled loop — modulo scheduling with list fallback when
     [swp], list scheduling otherwise — with register allocation, and
     packages it for execution.  Early-exit probability shortens the
-    effective trip count (expected iterations of a geometric exit). *)
+    effective trip count (expected iterations of a geometric exit).
+    Delegates to the backend passes of {!Pipeline}. *)
 
 val compile :
-  Machine.t -> swp:bool -> Loop.t -> int -> executable
+  ?cache:Compile_cache.t -> Machine.t -> swp:bool -> Loop.t -> int -> executable
 (** [compile machine ~swp loop u] is the full pipeline the paper's modified
     ORC runs per loop: unroll by [u], redundant-load elimination, schedule,
-    allocate. *)
+    allocate.  Delegates to {!Pipeline.compile}: results are memoised in
+    [cache] (default {!Compile_cache.global}) keyed by loop content. *)
 
 val run : ?max_sim_iters:int -> state -> executable -> int
 (** Total cycles to execute the loop nest over all its entries.  Per loop

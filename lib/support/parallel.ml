@@ -1,0 +1,32 @@
+let default_jobs () = min 8 (Domain.recommended_domain_count ())
+
+let map ?(jobs = 1) f arr =
+  let n = Array.length arr in
+  if jobs <= 1 || n <= 1 then Array.map f arr
+  else begin
+    let jobs = min jobs n in
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec go () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          (results.(i) <-
+             Some (match f arr.(i) with v -> Ok v | exception e -> Error e));
+          go ()
+        end
+      in
+      go ()
+    in
+    let domains = Array.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    Array.iter Domain.join domains;
+    Array.map
+      (function
+        | Some (Ok v) -> v
+        | Some (Error e) -> raise e
+        | None -> assert false)
+      results
+  end
+
+let map_list ?jobs f xs = Array.to_list (map ?jobs f (Array.of_list xs))

@@ -1,0 +1,24 @@
+(** Domain-based worker pool.
+
+    [map] fans an array of independent tasks over OCaml 5 domains and
+    returns results in input order, so a parallel run is indistinguishable
+    from a sequential one provided the tasks themselves are deterministic
+    and share no mutable state (give each task its own {!Rng} stream,
+    derived from stable identifiers rather than iteration order).
+
+    [jobs <= 1] falls back to a plain sequential map with no domain ever
+    spawned — the safe default everywhere. *)
+
+val map : ?jobs:int -> ('a -> 'b) -> 'a array -> 'b array
+(** [map ~jobs f arr] applies [f] to every element, running up to [jobs]
+    domains (including the calling one).  Results keep their input index.
+    Work is handed out through a shared atomic counter, so long and short
+    tasks balance.  If any task raises, the first exception (by input
+    index) is re-raised after all workers finish. *)
+
+val map_list : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** {!map} over lists. *)
+
+val default_jobs : unit -> int
+(** A sensible pool size for this host: [Domain.recommended_domain_count],
+    capped at 8. *)

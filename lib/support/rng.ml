@@ -17,6 +17,20 @@ let split t =
   let s = int64 t in
   { state = s }
 
+let derive seed name index =
+  let t = create seed in
+  (* Fold the identifiers into the state through the output function so
+     that (seed, name, index) triples differing in any component land in
+     statistically unrelated streams. *)
+  String.iter
+    (fun c ->
+      t.state <- Int64.add t.state (Int64.of_int (Char.code c));
+      ignore (int64 t))
+    name;
+  t.state <- Int64.add t.state (Int64.of_int index);
+  ignore (int64 t);
+  t
+
 let int t bound =
   assert (bound > 0);
   let r = Int64.to_int (Int64.shift_right_logical (int64 t) 2) in

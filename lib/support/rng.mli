@@ -20,6 +20,13 @@ val split : t -> t
     advancing [t].  Use to give sub-components their own streams so that
     adding draws in one component does not perturb another. *)
 
+val derive : int -> string -> int -> t
+(** [derive seed name index] is a stream determined only by the triple —
+    not by any other stream's draw history.  Measurement sweeps key their
+    noise stream on [(noise_seed, benchmark, loop index)] this way, so a
+    loop's label is identical whether the sweep runs sequentially, in
+    parallel, or alone. *)
+
 val int64 : t -> int64
 (** Next raw 64-bit output. *)
 

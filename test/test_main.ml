@@ -11,6 +11,7 @@ let () =
       ("interp", Test_interp.suite);
       ("loop_text", Test_loop_text.suite);
       ("sched", Test_sched.suite);
+      ("pipeline", Test_pipeline.suite);
       ("sim", Test_sim.suite);
       ("workloads", Test_workloads.suite);
       ("ml", Test_ml.suite);

@@ -306,7 +306,7 @@ let test_greedy_finds_informative () =
              y [| 1.0; 1.0 |]))
   in
   let picks =
-    Greedy_select.run ~n_features:3 ~k:2 ~error:(Greedy_select.nn_training_error ds)
+    Greedy_select.run ~n_features:3 ~k:2 (Greedy_select.nn_training_error ds)
   in
   Alcotest.(check int) "first pick is the informative feature" 1 (fst (List.hd picks));
   Alcotest.(check bool) "error drops" true (snd (List.hd picks) < 0.2)
@@ -319,7 +319,7 @@ let test_greedy_error_monotone_interface () =
   Hashtbl.replace errs [ 1 ] 0.3;
   Hashtbl.replace errs [ 1; 0 ] 0.2;
   let error subset = Option.value (Hashtbl.find_opt errs subset) ~default:0.9 in
-  let picks = Greedy_select.run ~n_features:2 ~k:2 ~error in
+  let picks = Greedy_select.run ~n_features:2 ~k:2 error in
   Alcotest.(check (list (pair int (float 1e-9)))) "greedy order" [ (1, 0.3); (0, 0.2) ] picks
 
 (* --- Lda --- *)
