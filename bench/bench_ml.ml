@@ -1,0 +1,145 @@
+(* Microbenchmarks for the incremental pairwise engine.
+
+   Builds a FAST-scale dataset cheaply — real 38-dim feature vectors from
+   the synthetic suite, labels from the ORC heuristic so no labelling
+   sweep is needed — then times
+
+     - the blocked pairwise dist² matrix build ({!Mat.pairwise_dist2}),
+     - one greedy candidate evaluation, incremental vs from-scratch,
+     - greedy NN and SVM feature selection end-to-end: the generic
+       [Greedy_select.run] drivers against the engine-backed
+       [nn_run]/[svm_run] (the Table 4 path),
+
+   and writes a one-line JSON summary to stdout and to BENCH_ml.json
+   (uploaded as a CI artifact). *)
+
+open Bechamel
+open Toolkit
+
+let build_dataset ~scale ~seed ~max_examples =
+  let machine = Config.fast.Config.machine in
+  let benchmarks = Suite.full ~scale ~seed in
+  let examples =
+    List.concat_map
+      (fun (b : Suite.benchmark) ->
+        Array.to_list b.Suite.loops
+        |> List.mapi (fun i (loop, _) ->
+               {
+                 Dataset.features = Features.extract machine loop;
+                 label = Orc_heuristic.no_swp machine loop - 1;
+                 tag = Printf.sprintf "%s/%d" b.Suite.bname i;
+                 group = b.Suite.bname;
+                 costs = Array.make 8 1.0;
+               })
+        )
+      benchmarks
+  in
+  let examples = List.filteri (fun i _ -> i < max_examples) examples in
+  let ds = Dataset.create ~feature_names:Features.names ~n_classes:8 examples in
+  Scale.apply (Scale.fit ds) ds
+
+let time_best ?(reps = 3) f =
+  let best = ref infinity in
+  let result = ref None in
+  for _ = 1 to reps do
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    let dt = Unix.gettimeofday () -. t0 in
+    if dt < !best then best := dt;
+    result := Some r
+  done;
+  (Option.get !result, !best)
+
+(* ---------------- bechamel micro benches ---------------- *)
+
+let micro_rows ds =
+  let m, labels = Dataset.points_matrix ds in
+  let engine = Pairwise.create (Mat.copy m) in
+  (* a realistic mid-selection state: 4 committed, evaluate a 5th *)
+  List.iter (Pairwise.commit engine) [ 0; 1; 2; 3 ];
+  let subset = [ 0; 1; 2; 3; 4 ] in
+  let tests =
+    [
+      Test.make
+        ~name:(Printf.sprintf "pairwise-build-%d" (Mat.rows m))
+        (Staged.stage (fun () -> Mat.pairwise_dist2 m));
+      Test.make ~name:"cand-eval-incremental"
+        (Staged.stage (fun () -> Pairwise.nn_loo_error ~cand:4 engine ~labels));
+      Test.make ~name:"cand-eval-scratch"
+        (Staged.stage (fun () -> Greedy_select.nn_training_error ds subset));
+    ]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:None () in
+  let raw = Benchmark.all cfg instances (Test.make_grouped ~name:"pairwise" tests) in
+  let ols = Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |] in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  Hashtbl.fold
+    (fun name o acc ->
+      match Analyze.OLS.estimates o with
+      | Some (est :: _) -> (name, est) :: acc
+      | _ -> acc)
+    results []
+  |> List.sort compare
+
+(* ---------------- end-to-end greedy selection ---------------- *)
+
+let () =
+  let k = Config.fast.Config.greedy_k in
+  let ds = build_dataset ~scale:0.15 ~seed:Config.fast.Config.seed ~max_examples:400 in
+  let n = Dataset.size ds and d = Array.length ds.Dataset.feature_names in
+  Printf.printf "pairwise-engine bench: n=%d d=%d k=%d\n%!" n d k;
+
+  let rows = micro_rows ds in
+  let ns name = try List.assoc ("pairwise/" ^ name) rows with Not_found -> nan in
+  List.iter (fun (name, est) -> Printf.printf "  %-28s %12.0f ns/call\n" name est) rows;
+
+  let nn_base, t_nn_base =
+    time_best (fun () ->
+        Greedy_select.run ~n_features:d ~k (Greedy_select.nn_training_error ds))
+  in
+  let nn_engine, t_nn_engine = time_best (fun () -> Greedy_select.nn_run ~k ds) in
+  let nn_identical = List.map fst nn_base = List.map fst nn_engine in
+  Printf.printf "greedy NN  k=%d: generic %.3fs | engine %.3fs (%.1fx) | same picks=%b\n%!"
+    k t_nn_base t_nn_engine
+    (t_nn_base /. Float.max t_nn_engine 1e-9)
+    nn_identical;
+
+  let kernel = Config.fast.Config.svm_kernel and gamma = Config.fast.Config.svm_gamma in
+  let svm_k = min k 3 and svm_cap = 200 in
+  let svm_base, t_svm_base =
+    time_best ~reps:1 (fun () ->
+        Greedy_select.run ~n_features:d ~k:svm_k
+          (Greedy_select.svm_training_error ~kernel ~gamma ~max_examples:svm_cap ds))
+  in
+  let svm_engine, t_svm_engine =
+    time_best ~reps:1 (fun () ->
+        Greedy_select.svm_run ~kernel ~gamma ~max_examples:svm_cap ~k:svm_k ds)
+  in
+  let svm_identical = List.map fst svm_base = List.map fst svm_engine in
+  Printf.printf "greedy SVM k=%d: generic %.3fs | engine %.3fs (%.1fx) | same picks=%b\n%!"
+    svm_k t_svm_base t_svm_engine
+    (t_svm_base /. Float.max t_svm_engine 1e-9)
+    svm_identical;
+
+  let json =
+    Printf.sprintf
+      "{\"bench\":\"pairwise-engine\",\"n\":%d,\"d\":%d,\"k\":%d,\
+       \"nn_generic_s\":%.3f,\"nn_engine_s\":%.3f,\"nn_speedup\":%.2f,\
+       \"nn_identical\":%b,\"svm_k\":%d,\"svm_generic_s\":%.3f,\
+       \"svm_engine_s\":%.3f,\"svm_speedup\":%.2f,\"svm_identical\":%b,\
+       \"pairwise_build_ns\":%.0f,\"cand_incremental_ns\":%.0f,\
+       \"cand_scratch_ns\":%.0f,\"cand_speedup\":%.2f}"
+      n d k t_nn_base t_nn_engine
+      (t_nn_base /. Float.max t_nn_engine 1e-9)
+      nn_identical svm_k t_svm_base t_svm_engine
+      (t_svm_base /. Float.max t_svm_engine 1e-9)
+      svm_identical
+      (ns (Printf.sprintf "pairwise-build-%d" n))
+      (ns "cand-eval-incremental") (ns "cand-eval-scratch")
+      (ns "cand-eval-scratch" /. Float.max (ns "cand-eval-incremental") 1e-9)
+  in
+  print_endline json;
+  let oc = open_out "BENCH_ml.json" in
+  output_string oc (json ^ "\n");
+  close_out oc

@@ -21,23 +21,19 @@ let info progress fmt =
    picks of both classifiers. *)
 let select_feature_subset ~progress (config : Config.t) dataset =
   let scaled = Scale.apply (Scale.fit dataset) dataset in
-  let mis = Array.to_list (Mis.rank dataset) in
+  let mis = Array.to_list (Mis.rank ~jobs:config.Config.jobs dataset) in
   let mis_top = List.filteri (fun i _ -> i < config.Config.mis_k) mis |> List.map fst in
   info progress "feature selection: MIS done";
   let nn_picks =
-    Greedy_select.run ~jobs:config.Config.jobs
-      ~n_features:(Array.length dataset.Dataset.feature_names)
-      ~k:config.Config.greedy_k
-      (Greedy_select.nn_training_error scaled)
+    Greedy_select.nn_run ~jobs:config.Config.jobs ~telemetry:Telemetry.global
+      ~k:config.Config.greedy_k scaled
     |> List.map fst
   in
   info progress "feature selection: greedy NN done";
   let svm_picks =
-    Greedy_select.run ~jobs:config.Config.jobs
-      ~n_features:(Array.length dataset.Dataset.feature_names)
-      ~k:config.Config.greedy_k
-      (Greedy_select.svm_training_error ~kernel:config.Config.svm_kernel
-         ~gamma:config.Config.svm_gamma ~max_examples:300 scaled)
+    Greedy_select.svm_run ~jobs:config.Config.jobs ~telemetry:Telemetry.global
+      ~kernel:config.Config.svm_kernel ~gamma:config.Config.svm_gamma
+      ~max_examples:300 ~k:config.Config.greedy_k scaled
     |> List.map fst
   in
   info progress "feature selection: greedy SVM done";
@@ -166,11 +162,11 @@ let table2 env =
   let truth = Dataset.labels ds in
   let costs = Array.map (fun e -> e.Dataset.costs) ds.Dataset.examples in
   let nn = Knn.train ~radius:config.Config.knn_radius ~n_classes:ds.Dataset.n_classes pairs in
-  let nn_pred = Knn.loo_predictions nn in
+  let nn_pred = Knn.loo_predictions ~jobs:config.Config.jobs nn in
   let svm_ds = cap_examples ds config.Config.loocv_svm_cap in
   let svm_pairs = Dataset.points svm_ds in
   let svm_pred =
-    Multiclass.loo_predictions ~n_classes:ds.Dataset.n_classes
+    Multiclass.loo_predictions ~jobs:config.Config.jobs ~n_classes:ds.Dataset.n_classes
       ~kernel:config.Config.svm_kernel ~gamma:config.Config.svm_gamma svm_pairs
   in
   let svm_truth = Dataset.labels svm_ds in
@@ -233,7 +229,7 @@ let table2 env =
 (* Tables 3 and 4                                                      *)
 
 let table3 env =
-  let ranked = Mis.rank env.dataset_off in
+  let ranked = Mis.rank ~jobs:env.config.Config.jobs env.dataset_off in
   let t =
     Table.create ~title:"Table 3: best features according to MIS"
       [ ("Rank", Table.Right); ("Feature", Table.Left); ("MIS", Table.Right) ]
@@ -253,15 +249,14 @@ let table3 env =
 let table4 env =
   let config = env.config in
   let scaled = Scale.apply (Scale.fit env.dataset_off) env.dataset_off in
-  let n_features = Array.length env.dataset_off.Dataset.feature_names in
   let nn_picks =
-    Greedy_select.run ~jobs:config.Config.jobs ~n_features ~k:config.Config.greedy_k
-      (Greedy_select.nn_training_error scaled)
+    Greedy_select.nn_run ~jobs:config.Config.jobs ~telemetry:Telemetry.global
+      ~k:config.Config.greedy_k scaled
   in
   let svm_picks =
-    Greedy_select.run ~jobs:config.Config.jobs ~n_features ~k:config.Config.greedy_k
-      (Greedy_select.svm_training_error ~kernel:config.Config.svm_kernel
-         ~gamma:config.Config.svm_gamma ~max_examples:300 scaled)
+    Greedy_select.svm_run ~jobs:config.Config.jobs ~telemetry:Telemetry.global
+      ~kernel:config.Config.svm_kernel ~gamma:config.Config.svm_gamma
+      ~max_examples:300 ~k:config.Config.greedy_k scaled
   in
   let t =
     Table.create ~title:"Table 4: greedy feature selection (training error)"
@@ -501,10 +496,12 @@ let summary env =
   let pairs = Dataset.points ds in
   let truth = Dataset.labels ds in
   let nn = Knn.train ~radius:env.config.Config.knn_radius ~n_classes:ds.Dataset.n_classes pairs in
-  let nn_acc = Metrics.accuracy ~pred:(Knn.loo_predictions nn) ~truth in
+  let nn_acc =
+    Metrics.accuracy ~pred:(Knn.loo_predictions ~jobs:env.config.Config.jobs nn) ~truth
+  in
   let svm_ds = cap_examples ds env.config.Config.loocv_svm_cap in
   let svm_pred =
-    Multiclass.loo_predictions ~n_classes:ds.Dataset.n_classes
+    Multiclass.loo_predictions ~jobs:env.config.Config.jobs ~n_classes:ds.Dataset.n_classes
       ~kernel:env.config.Config.svm_kernel ~gamma:env.config.Config.svm_gamma
       (Dataset.points svm_ds)
   in

@@ -68,6 +68,14 @@ let groups t =
 
 let points t = Array.map (fun e -> (e.features, e.label)) t.examples
 
+let points_matrix t =
+  let n = Array.length t.examples in
+  let d = Array.length t.feature_names in
+  let m = Mat.create n d in
+  let a = Mat.data m in
+  Array.iteri (fun i e -> Array.blit e.features 0 a (i * d) d) t.examples;
+  (m, Array.map (fun e -> e.label) t.examples)
+
 let to_csv t path =
   let header =
     [ "tag"; "group"; "label"; "n_classes" ]

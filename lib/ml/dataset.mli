@@ -41,6 +41,12 @@ val groups : t -> string list
 val points : t -> (float array * int) array
 (** (features, label) pairs, for classifier training. *)
 
+val points_matrix : t -> Mat.t * int array
+(** The examples as one flat row-major n×d matrix plus the label vector —
+    the allocation-free input of the {!Pairwise} engine and the blocked
+    distance/Gram kernels, replacing per-example [float array array]
+    copies on the hot path. *)
+
 val to_csv : t -> string -> unit
 (** Persist as CSV: header row with feature names, then one row per example
     (tag, group, label, costs..., features...). *)

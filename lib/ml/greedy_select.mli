@@ -26,3 +26,36 @@ val svm_training_error :
 (** Training error of the one-vs-rest LS-SVM on a feature subset.  For
     tractability at most [max_examples] (default 400) examples participate
     (deterministic stratified subsample). *)
+
+(** {1 Pairwise-engine selections}
+
+    The drivers below keep a running n×n dist² triangle ({!Pairwise}):
+    each candidate adds only its own O(n²) contribution, and the winner is
+    committed once per round — O(rounds·candidates·n²) total instead of
+    O(rounds·candidates·n²·d), with identical picks. *)
+
+val run_pairwise :
+  ?jobs:int -> ?telemetry:Telemetry.t -> ?name:string -> k:int ->
+  Pairwise.t -> (int -> float) -> (int * float) list
+(** [run_pairwise ~k engine eval] greedily commits [k] features to
+    [engine], scoring each remaining candidate with [eval cand] (which
+    should read the engine's committed triangle plus [cand]).  Candidate
+    evaluations fan out over [jobs] domains without affecting the picks.
+    When [telemetry] is given, each round records a
+    [greedy.<name>[round r]] entry (elapsed seconds, candidate count, best
+    feature, best error in basis points) — visible via [--telemetry]. *)
+
+val nn_run :
+  ?jobs:int -> ?telemetry:Telemetry.t -> k:int -> Dataset.t ->
+  (int * float) list
+(** Engine-backed greedy NN selection: same picks as [run] over
+    {!nn_training_error} (sqrt and the 1/d scale are monotone in dist²),
+    without rebuilding the distance matrix per candidate. *)
+
+val svm_run :
+  ?jobs:int -> ?telemetry:Telemetry.t -> ?kernel:Kernel.t -> ?gamma:float ->
+  ?max_examples:int -> k:int -> Dataset.t -> (int * float) list
+(** Engine-backed greedy SVM selection: the incremental RBF Gram feeds
+    {!Multiclass.training_predictions}, giving bit-identical picks to
+    [run] over {!svm_training_error}.  Non-RBF kernels (no dist² form)
+    fall back to the generic path. *)

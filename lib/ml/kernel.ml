@@ -6,17 +6,25 @@ let apply t x y =
   | Rbf gamma -> exp (-.gamma *. Vec.dist2 x y)
   | Poly { degree; bias } -> (Vec.dot x y +. bias) ** float_of_int degree
 
-let gram t points =
-  let n = Array.length points in
-  let m = Mat.create n n in
-  for i = 0 to n - 1 do
-    for j = 0 to i do
-      let v = apply t points.(i) points.(j) in
-      Mat.set m i j v;
-      Mat.set m j i v
-    done
-  done;
-  m
+(* Gram matrices go through the blocked flat-matrix kernels: one O(n²·d)
+   pass over the row-major points matrix (fanned over [jobs] domains)
+   followed by a cheap elementwise map, instead of n²/2 closure calls into
+   [apply].  Entries are bit-identical for every [jobs] value. *)
+let gram_matrix ?jobs t pm =
+  let map_data m f =
+    let a = Mat.data m in
+    for i = 0 to Array.length a - 1 do
+      a.(i) <- f a.(i)
+    done;
+    m
+  in
+  match t with
+  | Linear -> Mat.gram ?jobs pm
+  | Rbf gamma -> map_data (Mat.pairwise_dist2 ?jobs pm) (fun d2 -> exp (-.gamma *. d2))
+  | Poly { degree; bias } ->
+    map_data (Mat.gram ?jobs pm) (fun dot -> (dot +. bias) ** float_of_int degree)
+
+let gram ?jobs t points = gram_matrix ?jobs t (Mat.of_rows points)
 
 let name = function
   | Linear -> "linear"

@@ -11,8 +11,16 @@ type t =
 
 val apply : t -> float array -> float array -> float
 
-val gram : t -> float array array -> Mat.t
-(** Symmetric Gram matrix K with K[i][j] = k(x_i, x_j). *)
+val gram : ?jobs:int -> t -> float array array -> Mat.t
+(** Symmetric Gram matrix K with K[i][j] = k(x_i, x_j), built with the
+    blocked flat-matrix kernels ({!Mat.gram} / {!Mat.pairwise_dist2}) over
+    [jobs] worker domains (default 1).  Bit-identical across [jobs] and,
+    for RBF, to [apply] entry by entry ({!Mat.pairwise_dist2} preserves
+    [Vec.dist2] exactly). *)
+
+val gram_matrix : ?jobs:int -> t -> Mat.t -> Mat.t
+(** Same, over an already-flat row-major points matrix
+    (see {!Dataset.points_matrix}) — no per-row copies. *)
 
 val name : t -> string
 (** e.g. ["rbf(0.03)"]; parseable by {!of_string}. *)

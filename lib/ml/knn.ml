@@ -1,5 +1,5 @@
 type t = {
-  points : float array array;
+  points : Mat.t; (* n × d, row-major — one flat allocation, cache-friendly *)
   labels : int array;
   radius : float;
   classes : int;
@@ -7,64 +7,96 @@ type t = {
 
 let train ?(radius = 0.3) ~n_classes pairs =
   if Array.length pairs = 0 then invalid_arg "Knn.train: empty training set";
-  {
-    points = Array.map fst pairs;
-    labels = Array.map snd pairs;
-    radius;
-    classes = n_classes;
-  }
+  let d = Array.length (fst pairs.(0)) in
+  let n = Array.length pairs in
+  let points = Mat.create n d in
+  let a = Mat.data points in
+  Array.iteri
+    (fun i (x, _) ->
+      if Array.length x <> d then invalid_arg "Knn.train: ragged features";
+      Array.blit x 0 a (i * d) d)
+    pairs;
+  { points; labels = Array.map snd pairs; radius; classes = n_classes }
 
 let n_classes t = t.classes
-let size t = Array.length t.points
+let size t = Array.length t.labels
 let radius t = t.radius
 
-(* RMS-per-dimension distance: Euclidean scaled by 1/sqrt d. *)
-let distance x y =
-  let d = Array.length x in
-  sqrt (Vec.dist2 x y /. float_of_int (max d 1))
+(* dist²(x, row i) with the same left-to-right summation as [Vec.dist2];
+   callers divide by d and take sqrt for the RMS-per-dimension distance. *)
+let row_dist2 t x i =
+  let d = Mat.cols t.points in
+  if Array.length x <> d then invalid_arg "Knn: dimension mismatch";
+  let a = Mat.data t.points in
+  let base = i * d in
+  let acc = ref 0.0 in
+  for j = 0 to d - 1 do
+    let dv = x.(j) -. a.(base + j) in
+    acc := !acc +. (dv *. dv)
+  done;
+  !acc
 
-let classify ?(skip = -1) t x =
+(* Shared vote/fallback logic: [dist i] must yield the RMS-per-dimension
+   distance of the query to point [i]; iteration is in index order so ties
+   keep the lowest index. *)
+let classify_dists t ~skip dist =
+  let n = Array.length t.labels in
   let votes = Array.make t.classes 0 in
   let nearest = ref (-1) in
   let nearest_d = ref infinity in
   let in_radius = ref 0 in
-  Array.iteri
-    (fun i p ->
-      if i <> skip then begin
-        let d = distance x p in
-        if d < !nearest_d then begin
-          nearest_d := d;
-          nearest := i
-        end;
-        if d <= t.radius then begin
-          incr in_radius;
-          votes.(t.labels.(i)) <- votes.(t.labels.(i)) + 1
-        end
-      end)
-    t.points;
+  for i = 0 to n - 1 do
+    if i <> skip then begin
+      let d = dist i in
+      if d < !nearest_d then begin
+        nearest_d := d;
+        nearest := i
+      end;
+      if d <= t.radius then begin
+        incr in_radius;
+        votes.(t.labels.(i)) <- votes.(t.labels.(i)) + 1
+      end
+    end
+  done;
   if !in_radius = 0 then ((if !nearest >= 0 then t.labels.(!nearest) else 0), 0.0)
   else begin
     let best = Stats.max_index (Array.map float_of_int votes) in
     (best, float_of_int votes.(best) /. float_of_int !in_radius)
   end
 
+let classify ?(skip = -1) t x =
+  let dims = float_of_int (max (Mat.cols t.points) 1) in
+  classify_dists t ~skip (fun i -> sqrt (row_dist2 t x i /. dims))
+
 let predict t x = fst (classify t x)
 let predict_confidence t x = classify t x
 
 let predict_1nn t x =
+  let n = Array.length t.labels in
   let nearest = ref 0 and nearest_d = ref infinity in
-  Array.iteri
-    (fun i p ->
-      let d = distance x p in
-      if d < !nearest_d then begin
-        nearest_d := d;
-        nearest := i
-      end)
-    t.points;
+  for i = 0 to n - 1 do
+    let d2 = row_dist2 t x i in
+    (* sqrt/scale are monotone: comparing raw dist² picks the same point *)
+    if d2 < !nearest_d then begin
+      nearest_d := d2;
+      nearest := i
+    end
+  done;
   t.labels.(!nearest)
 
-let loo_predictions t =
-  Array.mapi (fun i p -> fst (classify ~skip:i t p)) t.points
+let loo_predictions ?jobs t =
+  let n = Array.length t.labels in
+  let dims = float_of_int (max (Mat.cols t.points) 1) in
+  (* One blocked O(n²·d) pairwise build replaces n independent O(n·d)
+     scans; rows then vote independently across [jobs] domains.  Output is
+     identical for every [jobs] value. *)
+  let d2 = Mat.pairwise_dist2 ?jobs t.points in
+  let dd = Mat.data d2 in
+  Parallel.map ?jobs
+    (fun i ->
+      let base = i * n in
+      fst (classify_dists t ~skip:i (fun k -> sqrt (dd.(base + k) /. dims))))
+    (Array.init n Fun.id)
 
 let export t =
-  (t.radius, t.classes, Array.mapi (fun i p -> (p, t.labels.(i))) t.points)
+  (t.radius, t.classes, Array.mapi (fun i l -> (Mat.row t.points i, l)) t.labels)

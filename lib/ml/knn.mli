@@ -29,9 +29,12 @@ val predict_confidence : t -> float array -> int * float
 val predict_1nn : t -> float array -> int
 (** Single-nearest-neighbor label (used by greedy feature selection). *)
 
-val loo_predictions : t -> int array
+val loo_predictions : ?jobs:int -> t -> int array
 (** Leave-one-out predictions over the training set: example [i] is
-    classified with itself excluded from the database. *)
+    classified with itself excluded from the database.  One blocked
+    O(n²·d) pairwise-distance build (see {!Mat.pairwise_dist2}) replaces
+    the n independent scans; rows vote across [jobs] worker domains
+    (default 1) with identical output at every value. *)
 
 val export : t -> float * int * (float array * int) array
 (** (radius, n_classes, database) — for persistence. *)

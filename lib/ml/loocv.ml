@@ -1,13 +1,19 @@
+(* Hold-out training sets are built with direct blits — no
+   array/list/array round-trip per fold. *)
+let without_index pairs i =
+  let n = Array.length pairs in
+  let rest = Array.make (n - 1) pairs.(0) in
+  Array.blit pairs 0 rest 0 i;
+  Array.blit pairs (i + 1) rest i (n - 1 - i);
+  rest
+
 let run ?(jobs = 1) ~train ~predict pairs =
   let n = Array.length pairs in
   (* Each fold is independent and results land at their fold's index, so
      the output does not depend on [jobs]. *)
   Parallel.map ~jobs
     (fun i ->
-      let rest =
-        Array.of_list (List.filteri (fun j _ -> j <> i) (Array.to_list pairs))
-      in
-      let model = train rest in
+      let model = train (without_index pairs i) in
       predict model (fst pairs.(i)))
     (Array.init n Fun.id)
 
@@ -18,17 +24,32 @@ let accuracy ?jobs ~train ~predict pairs =
   if Array.length pairs = 0 then 0.0
   else float_of_int !hits /. float_of_int (Array.length pairs)
 
+let without_group groups pairs g =
+  let n = Array.length pairs in
+  let keep = ref 0 in
+  for j = 0 to n - 1 do
+    if groups.(j) <> g then incr keep
+  done;
+  if !keep = 0 then [||]
+  else begin
+    let rest = Array.make !keep pairs.(0) in
+    let at = ref 0 in
+    for j = 0 to n - 1 do
+      if groups.(j) <> g then begin
+        rest.(!at) <- pairs.(j);
+        incr at
+      end
+    done;
+    rest
+  end
+
 let grouped ?(jobs = 1) ~groups ~train ~predict pairs =
   if Array.length groups <> Array.length pairs then invalid_arg "Loocv.grouped: sizes";
   let distinct = List.sort_uniq compare (Array.to_list groups) in
   let per_group =
     Parallel.map_list ~jobs
       (fun g ->
-        let rest =
-          Array.of_list
-            (List.filteri (fun j _ -> groups.(j) <> g) (Array.to_list pairs))
-        in
-        let model = train rest in
+        let model = train (without_group groups pairs g) in
         List.init (Array.length pairs) Fun.id
         |> List.filter (fun i -> groups.(i) = g)
         |> List.map (fun i -> (i, predict model (fst pairs.(i)))))

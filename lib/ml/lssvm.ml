@@ -4,20 +4,37 @@ type trained = {
   points : float array array;
 }
 
-let ridge_matrix ~kernel ~gamma points =
+let ridge_matrix ?jobs ~kernel ~gamma points =
   if gamma <= 0.0 then invalid_arg "Lssvm: gamma must be positive";
-  let h = Kernel.gram kernel points in
+  let h = Kernel.gram ?jobs kernel points in
   Mat.add_diagonal h (1.0 /. gamma);
   h
 
-let train ~kernel ~gamma points targets =
+(* Solve (K + I/gamma) alpha = y for each target set over a precomputed
+   Gram matrix — the pairwise-engine entry point, where K comes from the
+   running dist² triangle rather than raw features.  [gram] is left
+   untouched (the ridge is added to a copy) so callers can reuse it for
+   the K·alpha decision values. *)
+let solve_gram ~gamma gram target_sets =
+  if gamma <= 0.0 then invalid_arg "Lssvm: gamma must be positive";
+  let n = Mat.rows gram in
+  let h = Mat.copy gram in
+  Mat.add_diagonal h (1.0 /. gamma);
+  let chol = Solve.cholesky h in
+  Array.map
+    (fun targets ->
+      if Array.length targets <> n then invalid_arg "Lssvm.solve_gram: sizes";
+      Solve.cholesky_solve chol targets)
+    target_sets
+
+let train ?jobs ~kernel ~gamma points targets =
   if Array.length points <> Array.length targets then invalid_arg "Lssvm.train: sizes";
-  let h = ridge_matrix ~kernel ~gamma points in
+  let h = ridge_matrix ?jobs ~kernel ~gamma points in
   let chol = Solve.cholesky h in
   { alphas = Solve.cholesky_solve chol targets; kernel; points }
 
-let train_multi ~kernel ~gamma points target_sets =
-  let h = ridge_matrix ~kernel ~gamma points in
+let train_multi ?jobs ~kernel ~gamma points target_sets =
+  let h = ridge_matrix ?jobs ~kernel ~gamma points in
   let chol = Solve.cholesky h in
   Array.map
     (fun targets ->
@@ -49,8 +66,8 @@ let decision_batch machines x =
         !acc)
       machines
 
-let loo_decisions ~kernel ~gamma points target_sets =
-  let h = ridge_matrix ~kernel ~gamma points in
+let loo_decisions ?jobs ~kernel ~gamma points target_sets =
+  let h = ridge_matrix ?jobs ~kernel ~gamma points in
   let chol = Solve.cholesky h in
   let hdiag = Solve.cholesky_inverse_diagonal chol in
   Array.map

@@ -19,14 +19,24 @@
 type trained
 
 val train :
+  ?jobs:int ->
   kernel:Kernel.t -> gamma:float -> float array array -> float array -> trained
-(** [train ~kernel ~gamma points targets] with targets in {-1, +1}. *)
+(** [train ~kernel ~gamma points targets] with targets in {-1, +1}.  The
+    Gram build fans out over [jobs] worker domains (default 1) with
+    bit-identical results at every value. *)
 
 val train_multi :
+  ?jobs:int ->
   kernel:Kernel.t -> gamma:float -> float array array -> float array array ->
   trained array
 (** Train one binary machine per target vector, sharing the factorisation
     of H across all of them. *)
+
+val solve_gram : gamma:float -> Mat.t -> float array array -> float array array
+(** [solve_gram ~gamma gram target_sets] solves (K + I/gamma) alpha = y
+    per target set over a precomputed Gram matrix (which is not modified)
+    — the entry point for the {!Pairwise} engine, where K comes from the
+    running dist² triangle.  One shared Cholesky factorisation. *)
 
 val decision : trained -> float array -> float
 (** Signed decision value; positive means class +1. *)
@@ -46,6 +56,7 @@ val import :
   kernel:Kernel.t -> points:float array array -> alphas:float array -> trained
 
 val loo_decisions :
+  ?jobs:int ->
   kernel:Kernel.t -> gamma:float -> float array array -> float array array ->
   float array array
 (** [loo_decisions ~kernel ~gamma points targets] returns, per binary

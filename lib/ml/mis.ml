@@ -49,11 +49,19 @@ let score ?(bins = 10) values labels =
     !acc
   end
 
-let rank ?bins (ds : Dataset.t) =
-  let labels = Dataset.labels ds in
+let rank ?bins ?(jobs = 1) (ds : Dataset.t) =
+  (* One flat matrix read instead of per-feature example walks; features
+     score independently across [jobs] domains (deterministic: scores land
+     at their feature's index before the sort). *)
+  let m, labels = Dataset.points_matrix ds in
+  let n = Mat.rows m and d = Mat.cols m in
+  let a = Mat.data m in
   let scored =
-    Array.init (Array.length ds.Dataset.feature_names) (fun j ->
-        (j, score ?bins (Dataset.feature_column ds j) labels))
+    Parallel.map ~jobs
+      (fun j ->
+        let col = Array.init n (fun i -> a.((i * d) + j)) in
+        (j, score ?bins col labels))
+      (Array.init d Fun.id)
   in
-  Array.sort (fun (_, a) (_, b) -> compare b a) scored;
+  Array.sort (fun (_, x) (_, y) -> compare y x) scored;
   scored

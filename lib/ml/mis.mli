@@ -8,5 +8,7 @@
 val score : ?bins:int -> float array -> int array -> float
 (** [score values labels] in bits ([bins] defaults to 10). *)
 
-val rank : ?bins:int -> Dataset.t -> (int * float) array
-(** Every feature with its MIS, sorted by decreasing score. *)
+val rank : ?bins:int -> ?jobs:int -> Dataset.t -> (int * float) array
+(** Every feature with its MIS, sorted by decreasing score.  Reads the
+    flat {!Dataset.points_matrix} and scores features across [jobs]
+    worker domains (default 1) with identical output at every value. *)

@@ -30,11 +30,11 @@ let targets_of_codewords codewords pairs =
   Array.init bits (fun b ->
       Array.map (fun (_, y) -> float_of_int codewords.(y).(b)) pairs)
 
-let train ?(code = One_vs_rest) ~n_classes ~kernel ~gamma pairs =
+let train ?jobs ?(code = One_vs_rest) ~n_classes ~kernel ~gamma pairs =
   let codewords = build_codewords code n_classes in
   let points = Array.map fst pairs in
   let target_sets = targets_of_codewords codewords pairs in
-  let machines = Lssvm.train_multi ~kernel ~gamma points target_sets in
+  let machines = Lssvm.train_multi ?jobs ~kernel ~gamma points target_sets in
   { machines; codewords }
 
 (* Soft decoding: score of class c = sum_b codeword(c,b) * f_b; the exact
@@ -57,14 +57,30 @@ let decision_values t x = Lssvm.decision_batch t.machines x
 
 let predict t x = decode t.codewords (decision_values t x)
 
-let loo_predictions ?(code = One_vs_rest) ~n_classes ~kernel ~gamma pairs =
+let loo_predictions ?jobs ?(code = One_vs_rest) ~n_classes ~kernel ~gamma pairs =
   let codewords = build_codewords code n_classes in
   let points = Array.map fst pairs in
   let target_sets = targets_of_codewords codewords pairs in
-  let loo = Lssvm.loo_decisions ~kernel ~gamma points target_sets in
+  let loo = Lssvm.loo_decisions ?jobs ~kernel ~gamma points target_sets in
   let bits = Array.length target_sets in
   Array.init (Array.length pairs) (fun i ->
       decode codewords (Array.init bits (fun b -> loo.(b).(i))))
+
+(* Train on a precomputed Gram matrix and classify the training points in
+   place: decision values are K·alpha rows, so no kernel is re-evaluated.
+   This is the SVM objective of greedy selection, fed by the pairwise
+   engine's incremental RBF Gram. *)
+let training_predictions ?(code = One_vs_rest) ~n_classes ~gamma ~gram labels =
+  let codewords = build_codewords code n_classes in
+  let bits = Array.length codewords.(0) in
+  let target_sets =
+    Array.init bits (fun b ->
+        Array.map (fun y -> float_of_int codewords.(y).(b)) labels)
+  in
+  let alphas = Lssvm.solve_gram ~gamma gram target_sets in
+  let decisions = Array.map (fun a -> Mat.mul_vec gram a) alphas in
+  Array.init (Array.length labels) (fun i ->
+      decode codewords (Array.init bits (fun b -> decisions.(b).(i))))
 
 let codeword t c = t.codewords.(c)
 

@@ -14,9 +14,12 @@ type code =
 type t
 
 val train :
+  ?jobs:int ->
   ?code:code -> n_classes:int -> kernel:Kernel.t -> gamma:float ->
   (float array * int) array -> t
-(** Trains one LS-SVM per codeword bit, sharing the kernel factorisation. *)
+(** Trains one LS-SVM per codeword bit, sharing the kernel factorisation.
+    The Gram build fans out over [jobs] domains, bit-identical at every
+    value. *)
 
 val predict : t -> float array -> int
 (** Soft Hamming decoding: the class whose codeword best agrees with the
@@ -26,10 +29,20 @@ val decision_values : t -> float array -> float array
 (** Raw per-bit decision values for a query. *)
 
 val loo_predictions :
+  ?jobs:int ->
   ?code:code -> n_classes:int -> kernel:Kernel.t -> gamma:float ->
   (float array * int) array -> int array
 (** Leave-one-out multi-class predictions over a training set, using the
-    closed-form LS-SVM LOO residuals (one O(N³) factorisation total). *)
+    closed-form LS-SVM LOO residuals (one O(N³) factorisation total).
+    Identical output for every [jobs] value. *)
+
+val training_predictions :
+  ?code:code -> n_classes:int -> gamma:float -> gram:Mat.t -> int array ->
+  int array
+(** Train on a precomputed Gram matrix (e.g. {!Pairwise.rbf_gram}) and
+    classify the training points in place — decision values are K·alpha
+    rows, no kernel re-evaluation.  Bit-identical to training via {!train}
+    on the same Gram and calling {!predict} on every training point. *)
 
 val codeword : t -> int -> int array
 (** The ±1 codeword of a class. *)

@@ -179,6 +179,41 @@ let test_top_eigenvectors () =
   Alcotest.(check int) "one vector" 1 (Array.length top);
   Alcotest.(check bool) "aligned with e1" true (Float.abs top.(0).(0) > 0.99)
 
+(* --- Blocked kernels: Mat.gram / Mat.pairwise_dist2 --- *)
+
+let test_row_norms2 () =
+  let m = Mat.of_rows [| [| 3.0; 4.0 |]; [| 1.0; 2.0 |] |] in
+  Alcotest.(check (array (float 1e-12))) "norms" [| 25.0; 5.0 |] (Mat.row_norms2 m)
+
+let test_gram_multiblock () =
+  (* 150 rows spans multiple 64-row tiles and several worker domains. *)
+  let n = 150 in
+  let m = Mat.init n 3 (fun _ _ -> Rng.gaussian rng) in
+  let g1 = Mat.gram ~jobs:1 m in
+  let g4 = Mat.gram ~jobs:4 m in
+  Alcotest.(check bool) "bit-identical across jobs" true (Mat.equal ~eps:0.0 g1 g4);
+  List.iter
+    (fun (i, j) ->
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "entry %d,%d" i j)
+        (Vec.dot (Mat.row m i) (Mat.row m j))
+        (Mat.get g1 i j))
+    [ (0, 0); (0, 149); (63, 64); (100, 17); (149, 149) ]
+
+let test_pairwise_dist2_multiblock () =
+  let n = 150 in
+  let m = Mat.init n 3 (fun _ _ -> Rng.gaussian rng) in
+  let d1 = Mat.pairwise_dist2 ~jobs:1 m in
+  let d4 = Mat.pairwise_dist2 ~jobs:4 m in
+  Alcotest.(check bool) "bit-identical across jobs" true (Mat.equal ~eps:0.0 d1 d4);
+  List.iter
+    (fun (i, j) ->
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "entry %d,%d" i j)
+        (Vec.dist2 (Mat.row m i) (Mat.row m j))
+        (Mat.get d1 i j))
+    [ (0, 0); (0, 149); (63, 64); (100, 17); (149, 149) ]
+
 (* --- QCheck --- *)
 
 let small_spd_gen =
@@ -199,6 +234,45 @@ let prop_cholesky_vs_lu =
       let x1 = Solve.cholesky_solve (Solve.cholesky a) b in
       let x2 = Solve.solve a b in
       Vec.equal ~eps:1e-6 x1 x2)
+
+let random_mat_gen =
+  QCheck.Gen.(
+    let* n = 1 -- 12 in
+    let* d = 1 -- 7 in
+    let* entries = array_size (return (n * d)) (float_bound_exclusive 4.0) in
+    return (Mat.init n d (fun i j -> entries.((i * d) + j) -. 2.0)))
+
+let prop_gram_blocked_matches_scalar =
+  QCheck.Test.make ~count:100 ~name:"blocked gram = row dots, jobs-invariant"
+    (QCheck.make random_mat_gen)
+    (fun m ->
+      let n = Mat.rows m in
+      let g1 = Mat.gram ~jobs:1 m in
+      let g4 = Mat.gram ~jobs:4 m in
+      let ok = ref (Mat.equal ~eps:0.0 g1 g4) in
+      for i = 0 to n - 1 do
+        for j = 0 to n - 1 do
+          if Float.abs (Mat.get g1 i j -. Vec.dot (Mat.row m i) (Mat.row m j)) > 1e-9 then
+            ok := false
+        done
+      done;
+      !ok)
+
+let prop_pairwise_dist2_matches_scalar =
+  QCheck.Test.make ~count:100 ~name:"blocked pairwise dist2 = Vec.dist2, jobs-invariant"
+    (QCheck.make random_mat_gen)
+    (fun m ->
+      let n = Mat.rows m in
+      let d1 = Mat.pairwise_dist2 ~jobs:1 m in
+      let d4 = Mat.pairwise_dist2 ~jobs:4 m in
+      let ok = ref (Mat.equal ~eps:0.0 d1 d4) in
+      for i = 0 to n - 1 do
+        for j = 0 to n - 1 do
+          if Float.abs (Mat.get d1 i j -. Vec.dist2 (Mat.row m i) (Mat.row m j)) > 1e-9 then
+            ok := false
+        done
+      done;
+      !ok)
 
 let prop_eigen_trace =
   QCheck.Test.make ~count:100 ~name:"eigenvalues sum to trace"
@@ -241,6 +315,11 @@ let suite =
     ("eigen orthonormal", `Quick, test_eigen_orthonormal);
     ("eigen 2x2", `Quick, test_eigen_known_2x2);
     ("top eigenvectors", `Quick, test_top_eigenvectors);
+    ("row norms2", `Quick, test_row_norms2);
+    ("gram multiblock", `Quick, test_gram_multiblock);
+    ("pairwise dist2 multiblock", `Quick, test_pairwise_dist2_multiblock);
+    QCheck_alcotest.to_alcotest prop_gram_blocked_matches_scalar;
+    QCheck_alcotest.to_alcotest prop_pairwise_dist2_matches_scalar;
     QCheck_alcotest.to_alcotest prop_cholesky_vs_lu;
     QCheck_alcotest.to_alcotest prop_eigen_trace;
   ]

@@ -497,4 +497,152 @@ let test_kernel_of_string_roundtrip () =
 let kernel_string_tests =
   [ ("kernel of_string", `Quick, test_kernel_of_string_roundtrip) ]
 
-let suite = base_tests @ loocv_tests @ kernel_string_tests
+(* --- Pairwise engine --- *)
+
+(* Blobs as a Dataset: feature 0 carries the classes, the rest is noise. *)
+let blob_dataset ~classes ~per_class ~d =
+  Dataset.create
+    ~feature_names:(Array.init d (Printf.sprintf "f%d"))
+    ~n_classes:classes
+    (List.init (classes * per_class) (fun i ->
+         let c = i mod classes in
+         let features =
+           Array.init d (fun j ->
+               if j = 0 then (6.0 *. float_of_int c) +. Rng.gaussian rng
+               else Rng.gaussian rng)
+         in
+         mk_example features c (Array.make classes 1.0)))
+
+let test_points_matrix () =
+  let ds = tiny_dataset () in
+  let m, labels = Dataset.points_matrix ds in
+  Alcotest.(check int) "rows" 3 (Mat.rows m);
+  Alcotest.(check int) "cols" 2 (Mat.cols m);
+  Alcotest.(check (array (float 0.0))) "row 1" [| 1.0; 3.0 |] (Mat.row m 1);
+  Alcotest.(check (array int)) "labels" [| 0; 1; 1 |] labels
+
+let test_pairwise_rbf_gram_matches_kernel () =
+  (* With every feature committed in natural order, the triangle's
+     accumulation order equals Vec.dist2's summation order, so the RBF
+     Gram is bit-identical to Kernel.apply. *)
+  let ds = blob_dataset ~classes:2 ~per_class:6 ~d:3 in
+  let engine, _ = Pairwise.of_dataset ds in
+  List.iter (Pairwise.commit engine) [ 0; 1; 2 ];
+  let g = Pairwise.rbf_gram ~gamma:0.4 engine in
+  let n = Dataset.size ds in
+  for i = 0 to n - 1 do
+    for k = 0 to n - 1 do
+      let direct =
+        Kernel.apply (Kernel.Rbf 0.4) ds.Dataset.examples.(i).Dataset.features
+          ds.Dataset.examples.(k).Dataset.features
+      in
+      Alcotest.(check (float 0.0)) (Printf.sprintf "gram %d,%d" i k) direct (Mat.get g i k)
+    done
+  done
+
+let test_nn_run_matches_generic () =
+  let ds = blob_dataset ~classes:3 ~per_class:12 ~d:5 in
+  let reference =
+    Greedy_select.run ~n_features:5 ~k:3 (Greedy_select.nn_training_error ds)
+  in
+  Alcotest.(check (list (pair int (float 0.0)))) "jobs 1" reference
+    (Greedy_select.nn_run ~jobs:1 ~k:3 ds);
+  Alcotest.(check (list (pair int (float 0.0)))) "jobs 4" reference
+    (Greedy_select.nn_run ~jobs:4 ~k:3 ds)
+
+let test_svm_run_matches_generic () =
+  let ds = blob_dataset ~classes:2 ~per_class:10 ~d:4 in
+  let kernel = Kernel.Rbf 0.5 and gamma = 16.0 in
+  let reference =
+    Greedy_select.run ~n_features:4 ~k:2
+      (Greedy_select.svm_training_error ~kernel ~gamma ~max_examples:400 ds)
+  in
+  Alcotest.(check (list (pair int (float 1e-9)))) "jobs 1" reference
+    (Greedy_select.svm_run ~jobs:1 ~kernel ~gamma ~max_examples:400 ~k:2 ds);
+  Alcotest.(check (list (pair int (float 1e-9)))) "jobs 4" reference
+    (Greedy_select.svm_run ~jobs:4 ~kernel ~gamma ~max_examples:400 ~k:2 ds)
+
+let test_greedy_telemetry_rounds () =
+  let ds = blob_dataset ~classes:2 ~per_class:8 ~d:4 in
+  let sink = Telemetry.create () in
+  ignore (Greedy_select.nn_run ~telemetry:sink ~k:2 ds);
+  Alcotest.(check int) "round 1 recorded" 1 (Telemetry.calls sink ~pass:"greedy.nn[round 1]");
+  Alcotest.(check int) "round 1 candidates" 4
+    (Telemetry.counter sink ~pass:"greedy.nn[round 1]" "candidates");
+  Alcotest.(check int) "round 2 candidates" 3
+    (Telemetry.counter sink ~pass:"greedy.nn[round 2]" "candidates")
+
+let test_loo_jobs_invariant () =
+  let pairs = blobs ~classes:3 ~per_class:15 in
+  let knn = Knn.train ~radius:0.8 ~n_classes:3 pairs in
+  Alcotest.(check (array int)) "knn loo jobs 1 = jobs 4"
+    (Knn.loo_predictions ~jobs:1 knn)
+    (Knn.loo_predictions ~jobs:4 knn);
+  let small = blobs ~classes:3 ~per_class:6 in
+  let loo jobs =
+    Multiclass.loo_predictions ~jobs ~n_classes:3 ~kernel:(Kernel.Rbf 0.3) ~gamma:5.0 small
+  in
+  Alcotest.(check (array int)) "multiclass loo jobs 1 = jobs 4" (loo 1) (loo 4)
+
+let test_training_predictions_matches_predict () =
+  let pairs = blobs ~classes:3 ~per_class:8 in
+  let kernel = Kernel.Rbf 0.4 and gamma = 5.0 in
+  let gram = Kernel.gram_matrix kernel (Mat.of_rows (Array.map fst pairs)) in
+  let labels = Array.map snd pairs in
+  let preds = Multiclass.training_predictions ~n_classes:3 ~gamma ~gram labels in
+  let model = Multiclass.train ~n_classes:3 ~kernel ~gamma pairs in
+  Array.iteri
+    (fun i (x, _) ->
+      Alcotest.(check int) (Printf.sprintf "pred %d" i) (Multiclass.predict model x)
+        preds.(i))
+    pairs
+
+let pairwise_case_gen =
+  QCheck.Gen.(
+    let* n = 2 -- 8 in
+    let* d = 1 -- 5 in
+    let* entries = array_size (return (n * d)) (float_bound_exclusive 4.0) in
+    return (n, d, entries))
+
+let prop_pairwise_incremental_exact =
+  QCheck.Test.make ~count:100 ~name:"incremental dist2 = direct recomputation"
+    (QCheck.make pairwise_case_gen)
+    (fun (n, d, entries) ->
+      let m = Mat.init n d (fun i j -> entries.((i * d) + j) -. 2.0) in
+      let engine = Pairwise.create m in
+      let chosen = ref [] in
+      let ok = ref true in
+      let proj subset r = Array.of_list (List.map (fun j -> Mat.get m r j) subset) in
+      for f = 0 to d - 1 do
+        let subset = List.rev (f :: !chosen) in
+        for i = 0 to n - 1 do
+          for k = i + 1 to n - 1 do
+            let direct = Vec.dist2 (proj subset i) (proj subset k) in
+            if not (Float.equal direct (Pairwise.dist2 ~cand:f engine i k)) then ok := false
+          done
+        done;
+        Pairwise.commit engine f;
+        chosen := f :: !chosen
+      done;
+      (* fully committed triangle = dist2 over the whole rows *)
+      for i = 0 to n - 1 do
+        for k = i + 1 to n - 1 do
+          if not (Float.equal (Vec.dist2 (Mat.row m i) (Mat.row m k)) (Pairwise.dist2 engine i k))
+          then ok := false
+        done
+      done;
+      !ok)
+
+let pairwise_tests =
+  [
+    ("dataset points matrix", `Quick, test_points_matrix);
+    ("pairwise rbf gram = kernel apply", `Quick, test_pairwise_rbf_gram_matches_kernel);
+    ("greedy nn_run = generic run", `Quick, test_nn_run_matches_generic);
+    ("greedy svm_run = generic run", `Quick, test_svm_run_matches_generic);
+    ("greedy telemetry rounds", `Quick, test_greedy_telemetry_rounds);
+    ("loo jobs invariance", `Quick, test_loo_jobs_invariant);
+    ("training predictions = predict", `Quick, test_training_predictions_matches_predict);
+    QCheck_alcotest.to_alcotest prop_pairwise_incremental_exact;
+  ]
+
+let suite = base_tests @ loocv_tests @ kernel_string_tests @ pairwise_tests
