@@ -68,10 +68,41 @@ let config_term =
         config_of ~fast ~scale ~seed ~machine ~runs ~noise ~jobs)
     $ fast_flag $ scale_opt $ seed_opt $ machine_opt $ runs_opt $ noise_opt $ jobs_opt)
 
+(* Rates derived from the raw counters — the table above only shows the
+   absolute counts.  A section is omitted when its denominator is zero
+   (e.g. no simulation ran, or the dependence-graph memo was disabled). *)
+let rate_summary t =
+  let c pass name = Telemetry.counter t ~pass name in
+  let buf = Buffer.create 256 in
+  let rate label num den =
+    if den > 0 then
+      Buffer.add_string buf
+        (Printf.sprintf "  %-28s %5.1f%%  (%d of %d)\n" label
+           (100.0 *. float_of_int num /. float_of_int den)
+           num den)
+  in
+  let hit_rate label pass prefix =
+    let h = c pass (prefix ^ "-hits") and m = c pass (prefix ^ "-misses") in
+    rate label h (h + m)
+  in
+  hit_rate "L1d hit rate" "simulator" "l1d";
+  hit_rate "L1i hit rate" "simulator" "l1i";
+  hit_rate "L2 hit rate" "simulator" "l2";
+  let is = c "simulator" "iters-simulated" and iff = c "simulator" "iters-fast-forwarded" in
+  rate "iterations fast-forwarded" iff (is + iff);
+  let es = c "simulator" "entries-simulated" and sk = c "simulator" "entries-skipped" in
+  rate "entries skipped" sk (es + sk);
+  let dh = c "deps-memo" "hits" and dm = c "deps-memo" "misses" in
+  rate "deps-memo hit rate" dh (dh + dm);
+  if Buffer.length buf = 0 then "" else "derived rates\n" ^ Buffer.contents buf
+
 let with_telemetry telemetry f =
   Fun.protect
     ~finally:(fun () ->
-      if telemetry then print_string (Telemetry.to_table Telemetry.global))
+      if telemetry then begin
+        print_string (Telemetry.to_table Telemetry.global);
+        print_string (rate_summary Telemetry.global)
+      end)
     f
 
 (* dataset *)

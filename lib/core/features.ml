@@ -104,7 +104,7 @@ let live_range_stats (loop : Loop.t) =
 
 let extract machine (loop : Loop.t) =
   let latency op = Machine.latency machine op in
-  let deps = Deps.build ~latency loop in
+  let deps = Deps_memo.deps machine loop in
   let stats = Dag.analyze deps (fun i -> latency loop.Loop.body.(i)) in
   let f = float_of_int in
   let fdivs =

@@ -229,6 +229,90 @@ let build ~latency (loop : Loop.t) =
     edges;
   { n; edges; succs; preds }
 
+(* Flat int-array (CSR) view of the graph.  The hot fixpoints — modulo
+   scheduling's [feasible_ii]/[heights] and the simulator's slack pass —
+   iterate these arrays instead of chasing [edge] records through lists.
+   Edge indices follow [t.edges] order, so the CSR and the list views
+   describe the same edge with the same index. *)
+
+let kind_code = function
+  | Reg_flow -> 0
+  | Reg_anti -> 1
+  | Reg_output -> 2
+  | Mem_flow -> 3
+  | Mem_anti -> 4
+  | Mem_output -> 5
+  | Control -> 6
+  | Serial -> 7
+
+let serial_code = kind_code Serial
+let reg_flow_code = kind_code Reg_flow
+
+type csr = {
+  csr_n : int;
+  n_edges : int;
+  e_src : int array;
+  e_dst : int array;
+  e_kind : int array;     (* kind_code *)
+  e_lat : int array;
+  e_dist : int array;
+  succ_off : int array;   (* n+1 offsets into succ_edge *)
+  succ_edge : int array;  (* edge indices grouped by source *)
+  pred_off : int array;
+  pred_edge : int array;
+}
+
+let to_csr t =
+  let n = t.n in
+  let m = List.length t.edges in
+  let e_src = Array.make m 0
+  and e_dst = Array.make m 0
+  and e_kind = Array.make m 0
+  and e_lat = Array.make m 0
+  and e_dist = Array.make m 0 in
+  List.iteri
+    (fun i e ->
+      e_src.(i) <- e.src;
+      e_dst.(i) <- e.dst;
+      e_kind.(i) <- kind_code e.dkind;
+      e_lat.(i) <- e.latency;
+      e_dist.(i) <- e.distance)
+    t.edges;
+  (* Counting sort of edge indices by endpoint, preserving edge order
+     within each group. *)
+  let group key =
+    let off = Array.make (n + 1) 0 in
+    for i = 0 to m - 1 do
+      off.(key.(i) + 1) <- off.(key.(i) + 1) + 1
+    done;
+    for v = 1 to n do
+      off.(v) <- off.(v) + off.(v - 1)
+    done;
+    let idx = Array.make m 0 in
+    let cursor = Array.copy off in
+    for i = 0 to m - 1 do
+      let v = key.(i) in
+      idx.(cursor.(v)) <- i;
+      cursor.(v) <- cursor.(v) + 1
+    done;
+    (off, idx)
+  in
+  let succ_off, succ_edge = group e_src in
+  let pred_off, pred_edge = group e_dst in
+  {
+    csr_n = n;
+    n_edges = m;
+    e_src;
+    e_dst;
+    e_kind;
+    e_lat;
+    e_dist;
+    succ_off;
+    succ_edge;
+    pred_off;
+    pred_edge;
+  }
+
 let intra_iteration t =
   let edges = List.filter (fun e -> e.distance = 0) t.edges in
   let succs = Array.make t.n [] in

@@ -42,6 +42,33 @@ val build : latency:(Op.t -> int) -> Loop.t -> t
 (** Builds the dependence graph.  [latency] maps an op to its result
     latency on the target machine (so the IR stays machine-independent). *)
 
+type csr = {
+  csr_n : int;            (** number of ops *)
+  n_edges : int;
+  e_src : int array;
+  e_dst : int array;
+  e_kind : int array;     (** {!kind_code} per edge *)
+  e_lat : int array;
+  e_dist : int array;
+  succ_off : int array;   (** [csr_n + 1] offsets into [succ_edge] *)
+  succ_edge : int array;  (** edge indices grouped by source op *)
+  pred_off : int array;
+  pred_edge : int array;
+}
+(** Flat int-array (CSR) view of the same graph: edge [i] of [edges] (in
+    list order) occupies index [i] of every [e_*] array, and the adjacency
+    arrays list edge indices grouped by endpoint.  The scheduling and
+    simulation fixpoints iterate these instead of [edge] lists. *)
+
+val to_csr : t -> csr
+
+val kind_code : kind -> int
+(** Stable small-int encoding of {!kind} used by [e_kind]
+    ([Reg_flow] = 0 … [Serial] = 7). *)
+
+val serial_code : int
+val reg_flow_code : int
+
 val intra_iteration : t -> t
 (** Restriction to distance-0 edges — the per-iteration DAG consumed by
     list scheduling and DAG statistics.  The distance-0 subgraph is acyclic

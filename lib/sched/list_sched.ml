@@ -50,39 +50,49 @@ let reserve rt op cycle =
     if c = cycle then row.(4) <- row.(4) + 1
   done
 
-let schedule machine (loop : Loop.t) =
+let schedule ?memo machine (loop : Loop.t) =
   let body = loop.Loop.body in
   let n = Array.length body in
-  let deps = Deps.build ~latency:(Machine.latency machine) loop in
-  let intra = Deps.intra_iteration deps in
-  (* Heights: latency-weighted longest path to a sink over distance-0 edges. *)
-  let height = Array.make n 0 in
-  let order =
-    (* reverse topological: process sinks first *)
-    let visited = Array.make n false in
-    let out = ref [] in
-    let rec visit v =
-      if not visited.(v) then begin
-        visited.(v) <- true;
-        List.iter (fun (e : Deps.edge) -> visit e.Deps.dst) intra.Deps.succs.(v);
-        out := v :: !out
-      end
-    in
-    for v = 0 to n - 1 do visit v done;
-    List.rev !out
+  let g = (Deps_memo.get ?memo machine loop).Deps_memo.csr in
+  (* All walks below are over the distance-0 subgraph (the per-iteration
+     DAG), reading the CSR arrays directly. *)
+  let iter_succs0 v f =
+    for s = g.Deps.succ_off.(v) to g.Deps.succ_off.(v + 1) - 1 do
+      let e = g.Deps.succ_edge.(s) in
+      if g.Deps.e_dist.(e) = 0 then f e
+    done
   in
-  List.iter
-    (fun v ->
-      let best = ref 0 in
-      List.iter
-        (fun (e : Deps.edge) -> best := max !best (height.(e.Deps.dst) + e.Deps.latency))
-        intra.Deps.succs.(v);
-      height.(v) <- !best)
-    order;
+  (* Heights: latency-weighted longest path to a sink over distance-0
+     edges, computed sinks-first over a reverse topological order. *)
+  let height = Array.make n 0 in
+  let order = Array.make n 0 in
+  let filled = ref 0 in
+  let visited = Array.make n false in
+  let rec visit v =
+    if not visited.(v) then begin
+      visited.(v) <- true;
+      iter_succs0 v (fun e -> visit g.Deps.e_dst.(e));
+      order.(!filled) <- v;
+      incr filled
+    end
+  in
+  for v = 0 to n - 1 do visit v done;
+  (* [order] holds sinks first. *)
+  for i = 0 to n - 1 do
+    let v = order.(i) in
+    let best = ref 0 in
+    iter_succs0 v (fun e ->
+        let cand = height.(g.Deps.e_dst.(e)) + g.Deps.e_lat.(e) in
+        if cand > !best then best := cand);
+    height.(v) <- !best
+  done;
   let unscheduled_preds = Array.make n 0 in
-  List.iter
-    (fun (e : Deps.edge) -> unscheduled_preds.(e.Deps.dst) <- unscheduled_preds.(e.Deps.dst) + 1)
-    intra.Deps.edges;
+  for e = 0 to g.Deps.n_edges - 1 do
+    if g.Deps.e_dist.(e) = 0 then begin
+      let d = g.Deps.e_dst.(e) in
+      unscheduled_preds.(d) <- unscheduled_preds.(d) + 1
+    end
+  done;
   let assignment = Array.make n (-1) in
   let earliest = Array.make n 0 in
   let rt = make_restable machine in
@@ -105,13 +115,11 @@ let schedule machine (loop : Loop.t) =
       reserve rt body.(v) !cycle;
       assignment.(v) <- !cycle;
       incr scheduled;
-      List.iter
-        (fun (e : Deps.edge) ->
-          let d = e.Deps.dst in
-          earliest.(d) <- max earliest.(d) (!cycle + e.Deps.latency);
+      iter_succs0 v (fun e ->
+          let d = g.Deps.e_dst.(e) in
+          earliest.(d) <- max earliest.(d) (!cycle + g.Deps.e_lat.(e));
           unscheduled_preds.(d) <- unscheduled_preds.(d) - 1;
-          if unscheduled_preds.(d) = 0 then ready := Ready.add (-height.(d), d, 0) !ready)
-        intra.Deps.succs.(v))
+          if unscheduled_preds.(d) = 0 then ready := Ready.add (-height.(d), d, 0) !ready))
   done;
   let length = Array.fold_left (fun acc c -> max acc (c + 1)) 1 assignment in
   {
@@ -123,4 +131,5 @@ let schedule machine (loop : Loop.t) =
     spills = 0;
     int_pressure = 0;
     fp_pressure = 0;
+    csr = g;
   }

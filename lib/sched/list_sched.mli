@@ -7,6 +7,7 @@
     the earliest cycle with a free slot of its unit class and spare issue
     width.  Unpipelined divides occupy their unit for their full latency. *)
 
-val schedule : Machine.t -> Loop.t -> Schedule.t
+val schedule : ?memo:Deps_memo.t -> Machine.t -> Loop.t -> Schedule.t
 (** Always succeeds; register pressure fields are filled by
-    {!Regalloc.allocate}, so they are 0 here and [spills] is 0. *)
+    {!Regalloc.allocate}, so they are 0 here and [spills] is 0.  The
+    dependence graph comes from [memo] (default {!Deps_memo.global}). *)

@@ -4,36 +4,48 @@ let usable_edges (deps : Deps.t) =
   List.filter (fun (e : Deps.edge) -> e.Deps.dkind <> Deps.Serial) deps.Deps.edges
 
 (* Longest-path fixpoint with weights (lat - II*dist); divergence after n
-   rounds means a positive cycle, i.e. II is below RecMII. *)
-let feasible_ii n edges ii =
+   rounds means a positive cycle, i.e. II is below RecMII.  Serial edges
+   are excluded (the rotated branch is not a constraint). *)
+let feasible_ii (g : Deps.csr) ii =
+  let n = g.Deps.csr_n in
   let dist = Array.make n 0 in
   let changed = ref true in
   let rounds = ref 0 in
   while !changed && !rounds <= n + 1 do
     changed := false;
     incr rounds;
-    List.iter
-      (fun (e : Deps.edge) ->
-        let w = e.Deps.latency - (ii * e.Deps.distance) in
-        if dist.(e.Deps.src) + w > dist.(e.Deps.dst) then begin
-          dist.(e.Deps.dst) <- dist.(e.Deps.src) + w;
+    for e = 0 to g.Deps.n_edges - 1 do
+      if g.Deps.e_kind.(e) <> Deps.serial_code then begin
+        let w = g.Deps.e_lat.(e) - (ii * g.Deps.e_dist.(e)) in
+        let cand = dist.(g.Deps.e_src.(e)) + w in
+        if cand > dist.(g.Deps.e_dst.(e)) then begin
+          dist.(g.Deps.e_dst.(e)) <- cand;
           changed := true
-        end)
-      edges;
+        end
+      end
+    done
   done;
   not !changed
 
-let rec_mii machine (loop : Loop.t) =
-  let deps = Deps.build ~latency:(Machine.latency machine) loop in
-  let edges = usable_edges deps in
-  let n = deps.Deps.n in
+(* Any recurrence cycle spans at least one iteration (the distance-0
+   subgraph is acyclic for a valid loop), so an II of the total edge
+   latency makes every cycle's weight non-positive: a sound upper bound
+   for the search, derived from the graph instead of a magic constant. *)
+let rec_mii_of (g : Deps.csr) =
+  let ub = ref 1 in
+  for e = 0 to g.Deps.n_edges - 1 do
+    if g.Deps.e_kind.(e) <> Deps.serial_code then ub := !ub + g.Deps.e_lat.(e)
+  done;
   let rec search lo hi =
     if lo >= hi then lo
     else
       let mid = (lo + hi) / 2 in
-      if feasible_ii n edges mid then search lo mid else search (mid + 1) hi
+      if feasible_ii g mid then search lo mid else search (mid + 1) hi
   in
-  search 1 256
+  search 1 !ub
+
+let rec_mii ?memo machine (loop : Loop.t) =
+  rec_mii_of (Deps_memo.get ?memo machine loop).Deps_memo.csr
 
 let kind_index = function Machine.M -> 0 | Machine.I -> 1 | Machine.F -> 2 | Machine.B -> 3
 
@@ -75,21 +87,23 @@ let mrt_change mrt op time delta =
 (* Height priorities for a given II: H(v) = max over outgoing edges of
    H(dst) + lat - II*dist, iterated to fixpoint (II >= RecMII guarantees
    convergence). *)
-let heights n edges ii =
+let heights (g : Deps.csr) ii =
+  let n = g.Deps.csr_n in
   let h = Array.make n 0 in
   let changed = ref true in
   let rounds = ref 0 in
   while !changed && !rounds <= n + 1 do
     changed := false;
     incr rounds;
-    List.iter
-      (fun (e : Deps.edge) ->
-        let cand = h.(e.Deps.dst) + e.Deps.latency - (ii * e.Deps.distance) in
-        if cand > h.(e.Deps.src) then begin
-          h.(e.Deps.src) <- cand;
+    for e = 0 to g.Deps.n_edges - 1 do
+      if g.Deps.e_kind.(e) <> Deps.serial_code then begin
+        let cand = h.(g.Deps.e_dst.(e)) + g.Deps.e_lat.(e) - (ii * g.Deps.e_dist.(e)) in
+        if cand > h.(g.Deps.e_src.(e)) then begin
+          h.(g.Deps.e_src.(e)) <- cand;
           changed := true
-        end)
-      edges
+        end
+      end
+    done
   done;
   h
 
@@ -125,7 +139,7 @@ let register_requirement (loop : Loop.t) edges assignment ii =
     (Loop.live_in_regs loop);
   (!int_req, !fp_req)
 
-let try_ii machine (loop : Loop.t) edges ii =
+let try_ii machine (loop : Loop.t) edges (g : Deps.csr) ii =
   let body = loop.Loop.body in
   let n = Array.length body in
   let preds = Array.make n [] in
@@ -135,7 +149,7 @@ let try_ii machine (loop : Loop.t) edges ii =
       preds.(e.Deps.dst) <- e :: preds.(e.Deps.dst);
       succs.(e.Deps.src) <- e :: succs.(e.Deps.src))
     edges;
-  let h = heights n edges ii in
+  let h = heights g ii in
   let time = Array.make n (-1) in
   let prev_time = Array.make n (-1) in
   let mrt = mrt_create machine ii in
@@ -233,16 +247,19 @@ let try_ii machine (loop : Loop.t) edges ii =
   done;
   if !failed then None else Some time
 
-let schedule ?(max_ii = 128) machine (loop : Loop.t) =
+let schedule ?(max_ii = 128) ?memo machine (loop : Loop.t) =
   if Loop.has_call loop || Loop.has_early_exit loop then None
   else begin
-    let deps = Deps.build ~latency:(Machine.latency machine) loop in
-    let edges = usable_edges deps in
-    let mii = max (res_mii machine loop) (rec_mii machine loop) in
+    (* One shared dependence analysis feeds RecMII, placement heights and
+       the placement loop itself. *)
+    let entry = Deps_memo.get ?memo machine loop in
+    let g = entry.Deps_memo.csr in
+    let edges = usable_edges entry.Deps_memo.deps in
+    let mii = max (res_mii machine loop) (rec_mii_of g) in
     let rec attempt ii =
       if ii > max_ii then None
       else
-        match try_ii machine loop edges ii with
+        match try_ii machine loop edges g ii with
         | None -> attempt (ii + 1)
         | Some time ->
           let int_req, fp_req = register_requirement loop edges time ii in
@@ -263,6 +280,7 @@ let schedule ?(max_ii = 128) machine (loop : Loop.t) =
                 spills = 0;
                 int_pressure = int_req;
                 fp_pressure = fp_req;
+                csr = g;
               }
           end
     in

@@ -12,14 +12,20 @@
     Loops containing calls or early exits are not pipelined (as in ORC);
     [schedule] returns [None] and the caller falls back to list scheduling. *)
 
-val rec_mii : Machine.t -> Loop.t -> int
+val rec_mii : ?memo:Deps_memo.t -> Machine.t -> Loop.t -> int
 (** Recurrence-constrained minimum II: the smallest II such that no
     dependence cycle has positive slack (weights [latency - II * distance]).
-    Serial edges are excluded (the rotated branch is not a constraint). *)
+    Serial edges are excluded (the rotated branch is not a constraint).
+    The search's upper bound is the sum of the graph's edge latencies —
+    sound because every recurrence cycle spans at least one iteration — so
+    recurrence-heavy loops report their true RecMII instead of saturating
+    at an arbitrary constant. *)
 
 val res_mii : Machine.t -> Loop.t -> int
 (** Resource-constrained minimum II (see {!Machine.res_cycles}). *)
 
-val schedule : ?max_ii:int -> Machine.t -> Loop.t -> Schedule.t option
+val schedule : ?max_ii:int -> ?memo:Deps_memo.t -> Machine.t -> Loop.t -> Schedule.t option
 (** Pipelines the loop, trying II from MII upwards to [max_ii] (default
-    128).  Returns [None] for loops that cannot or should not be pipelined. *)
+    128).  Returns [None] for loops that cannot or should not be pipelined.
+    The dependence graph is built once per call via [memo] (default
+    {!Deps_memo.global}) and shared by RecMII and placement. *)

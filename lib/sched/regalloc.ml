@@ -1,86 +1,124 @@
-module RegSet = Set.Make (struct
-  type t = Op.reg
-  let compare = compare
-end)
+(* Id-indexed liveness tables.  Every register producer (Builder,
+   Loop_text, the spill rewriter below) draws ids from a single counter,
+   so an id identifies a register including its class; dense arrays
+   indexed by id replace the Op.reg-keyed hashtables that dominated
+   compile time in the respill loop. *)
+type liveness = {
+  seen : bool array;              (* register occurs in the intervals *)
+  lcls : Op.reg_class array;      (* class, meaningful where seen *)
+  carried : bool array;
+  live_in : bool array;
+  lo : int array;
+  hi : int array;
+}
 
 (* Loop-carried values: read at or before their first definition, or
    live-out — these stay live across the whole iteration. *)
-let carried_regs (loop : Loop.t) =
-  let first_def = Hashtbl.create 16 in
-  let first_use = Hashtbl.create 16 in
+let mark_carried (loop : Loop.t) nregs =
+  let first_def = Array.make nregs (-1) in
+  let first_use = Array.make nregs (-1) in
   Array.iteri
     (fun i op ->
       List.iter
-        (fun r -> if not (Hashtbl.mem first_use r) then Hashtbl.add first_use r i)
+        (fun (r : Op.reg) -> if first_use.(r.Op.id) < 0 then first_use.(r.Op.id) <- i)
         (Op.uses op);
       (match op.Op.pred with
-      | Some p ->
-        let r = { Op.id = p; cls = Op.Int } in
-        if not (Hashtbl.mem first_use r) then Hashtbl.add first_use r i
+      | Some p -> if first_use.(p) < 0 then first_use.(p) <- i
       | None -> ());
       List.iter
-        (fun r -> if not (Hashtbl.mem first_def r) then Hashtbl.add first_def r i)
+        (fun (r : Op.reg) -> if first_def.(r.Op.id) < 0 then first_def.(r.Op.id) <- i)
         (Op.defs op))
     loop.Loop.body;
-  let carried = ref RegSet.empty in
-  Hashtbl.iter
-    (fun r d ->
-      match Hashtbl.find_opt first_use r with
-      | Some u when u <= d -> carried := RegSet.add r !carried
-      | Some _ | None -> ())
-    first_def;
+  let carried = Array.make nregs false in
+  for id = 0 to nregs - 1 do
+    let d = first_def.(id) and u = first_use.(id) in
+    if d >= 0 && u >= 0 && u <= d then carried.(id) <- true
+  done;
   List.iter
-    (fun r -> if Hashtbl.mem first_def r then carried := RegSet.add r !carried)
+    (fun (r : Op.reg) -> if first_def.(r.Op.id) >= 0 then carried.(r.Op.id) <- true)
     loop.Loop.live_out;
-  !carried
+  carried
 
 (* Per-register live interval in issue cycles, under a given schedule. *)
 let live_intervals (sched : Schedule.t) =
   let loop = sched.Schedule.loop in
   let body = loop.Loop.body in
-  let carried = carried_regs loop in
+  let nregs = Loop.max_reg_id loop + 1 in
+  let carried = mark_carried loop nregs in
   let horizon = max (sched.Schedule.length - 1) 0 in
-  let intervals = Hashtbl.create 32 in
-  let extend r lo hi =
-    match Hashtbl.find_opt intervals r with
-    | Some (lo', hi') -> Hashtbl.replace intervals r (min lo lo', max hi hi')
-    | None -> Hashtbl.replace intervals r (lo, hi)
+  let lv =
+    {
+      seen = Array.make nregs false;
+      lcls = Array.make nregs Op.Int;
+      carried;
+      live_in = Array.make nregs false;
+      lo = Array.make nregs 0;
+      hi = Array.make nregs 0;
+    }
   in
-  List.iter (fun r -> extend r 0 horizon) (Loop.live_in_regs loop);
+  let extend (r : Op.reg) lo hi =
+    let id = r.Op.id in
+    if lv.seen.(id) then begin
+      if lo < lv.lo.(id) then lv.lo.(id) <- lo;
+      if hi > lv.hi.(id) then lv.hi.(id) <- hi
+    end
+    else begin
+      lv.seen.(id) <- true;
+      lv.lcls.(id) <- r.Op.cls;
+      lv.lo.(id) <- lo;
+      lv.hi.(id) <- hi
+    end
+  in
+  List.iter
+    (fun (r : Op.reg) ->
+      lv.live_in.(r.Op.id) <- true;
+      extend r 0 horizon)
+    (Loop.live_in_regs loop);
   Array.iteri
     (fun i op ->
       let t = sched.Schedule.assignment.(i) in
-      List.iter
-        (fun r -> if RegSet.mem r carried then extend r 0 horizon else extend r t t)
-        (Op.defs op);
-      List.iter
-        (fun r -> if RegSet.mem r carried then extend r 0 horizon else extend r t t)
-        (Op.uses op);
+      let touch (r : Op.reg) =
+        if carried.(r.Op.id) then extend r 0 horizon else extend r t t
+      in
+      List.iter touch (Op.defs op);
+      List.iter touch (Op.uses op);
       match op.Op.pred with
-      | Some p ->
-        let r = { Op.id = p; cls = Op.Int } in
-        if RegSet.mem r carried then extend r 0 horizon else extend r t t
+      | Some p -> touch { Op.id = p; cls = Op.Int }
       | None -> ())
     body;
-  intervals
+  lv
 
 let pressure (sched : Schedule.t) =
   match sched.Schedule.kind with
   | Schedule.Pipelined _ ->
     (sched.Schedule.int_pressure, sched.Schedule.fp_pressure)
   | Schedule.Straight ->
-    let intervals = live_intervals sched in
+    let lv = live_intervals sched in
     let len = max sched.Schedule.length 1 in
-    let int_live = Array.make len 0 in
-    let fp_live = Array.make len 0 in
-    Hashtbl.iter
-      (fun (r : Op.reg) (lo, hi) ->
-        let arr = match r.Op.cls with Op.Int -> int_live | Op.Flt -> fp_live in
-        for c = lo to min hi (len - 1) do
-          arr.(c) <- arr.(c) + 1
-        done)
-      intervals;
-    (Array.fold_left max 0 int_live, Array.fold_left max 0 fp_live)
+    (* Difference arrays: each interval contributes +1 at lo and -1 past
+       min hi (len-1); a prefix-sum then yields per-cycle live counts. *)
+    let int_d = Array.make (len + 1) 0 in
+    let fp_d = Array.make (len + 1) 0 in
+    let nregs = Array.length lv.seen in
+    for id = 0 to nregs - 1 do
+      if lv.seen.(id) then begin
+        let lo = lv.lo.(id) and hi = min lv.hi.(id) (len - 1) in
+        if lo <= hi then begin
+          let d = match lv.lcls.(id) with Op.Int -> int_d | Op.Flt -> fp_d in
+          d.(lo) <- d.(lo) + 1;
+          d.(hi + 1) <- d.(hi + 1) - 1
+        end
+      end
+    done;
+    let peak d =
+      let best = ref 0 and cur = ref 0 in
+      for c = 0 to len - 1 do
+        cur := !cur + d.(c);
+        if !cur > !best then best := !cur
+      done;
+      !best
+    in
+    (peak int_d, peak fp_d)
 
 let spill_array_name = "$spill"
 
@@ -173,33 +211,32 @@ let allocate_from ?(max_rounds = 6) ~sched (first : Schedule.t) =
         { s with Schedule.spills; int_pressure = int_p; fp_pressure = fp_p }
       else begin
         let cls = if over_fp then Op.Flt else Op.Int in
-        let carried = carried_regs loop in
-        let intervals = live_intervals s in
+        let lv = live_intervals s in
         (* Widest-live-range value of the over-subscribed class, excluding
            carried values, invariants and values already reloaded from the
-           spill area. *)
-        let live_ins = RegSet.of_list (Loop.live_in_regs loop) in
-        let candidate = ref None in
-        Hashtbl.iter
-          (fun (r : Op.reg) (lo, hi) ->
-            if
-              r.Op.cls = cls
-              && (not (RegSet.mem r carried))
-              && not (RegSet.mem r live_ins)
-            then begin
-              let span = hi - lo in
-              let better =
-                match !candidate with
-                | None -> true
-                | Some (best_span, best_r) ->
-                  span > best_span || (span = best_span && compare r best_r < 0)
-              in
-              if better && span >= 1 then candidate := Some (span, r)
-            end)
-          intervals;
-        match !candidate with
-        | None -> { s with Schedule.spills; int_pressure = int_p; fp_pressure = fp_p }
-        | Some (_, victim) -> go (sched (spill_register loop victim)) (round + 1) (spills + 1)
+           spill area.  Ascending-id scan keeps the lowest id among equal
+           spans — the same victim the Op.reg-ordered search picked. *)
+        let nregs = Array.length lv.seen in
+        let best = ref (-1) and best_span = ref 0 in
+        for id = 0 to nregs - 1 do
+          if
+            lv.seen.(id)
+            && lv.lcls.(id) = cls
+            && (not lv.carried.(id))
+            && not lv.live_in.(id)
+          then begin
+            let span = lv.hi.(id) - lv.lo.(id) in
+            if span >= 1 && span > !best_span then begin
+              best := id;
+              best_span := span
+            end
+          end
+        done;
+        if !best < 0 then { s with Schedule.spills; int_pressure = int_p; fp_pressure = fp_p }
+        else
+          go
+            (sched (spill_register loop { Op.id = !best; cls }))
+            (round + 1) (spills + 1)
       end
   in
   go first 0 0

@@ -9,6 +9,7 @@ type t = {
   spills : int;
   int_pressure : int;
   fp_pressure : int;
+  csr : Deps.csr;
 }
 
 let ii t =
@@ -18,7 +19,7 @@ let ii t =
 
 let validate t =
   let m = t.machine in
-  let deps = Deps.build ~latency:(Machine.latency m) t.loop in
+  let deps = Deps_memo.deps m t.loop in
   let window = match t.kind with Pipelined { ii; _ } -> ii | Straight -> max_int in
   let pipelined = match t.kind with Pipelined _ -> true | Straight -> false in
   let err = ref None in

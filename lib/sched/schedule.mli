@@ -21,6 +21,11 @@ type t = {
   spills : int;            (** spill store/load pairs the allocator added *)
   int_pressure : int;      (** max simultaneously-live integer values *)
   fp_pressure : int;       (** max simultaneously-live FP values *)
+  csr : Deps.csr;          (** dependence graph of [(loop, machine)] in CSR
+                               form, attached by the scheduler that built
+                               the assignment so downstream consumers (the
+                               simulator's execution plans) share it
+                               instead of re-deriving or re-keying it *)
 }
 
 val ii : t -> int

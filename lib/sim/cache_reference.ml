@@ -1,0 +1,63 @@
+(* The seed's cache model, frozen verbatim alongside [Sim_reference] so the
+   reference path exercises the pre-optimisation stack end to end: division
+   indexing, tuple/option-allocating lookups, no snapshots.  Behaviour
+   (hits, misses, evictions) is identical to [Cache]; only speed differs. *)
+
+type t = {
+  sets : int;
+  assoc : int;
+  line : int;
+  tags : int array;    (* sets * assoc, -1 = invalid *)
+  stamps : int array;  (* LRU timestamps *)
+  mutable clock : int;
+}
+
+let create (g : Machine.cache_geom) =
+  let sets = max 1 (g.Machine.size_bytes / (g.Machine.line_bytes * g.Machine.assoc)) in
+  {
+    sets;
+    assoc = g.Machine.assoc;
+    line = g.Machine.line_bytes;
+    tags = Array.make (sets * g.Machine.assoc) (-1);
+    stamps = Array.make (sets * g.Machine.assoc) 0;
+    clock = 0;
+  }
+
+let locate t addr =
+  let lineno = addr / t.line in
+  let set = lineno mod t.sets in
+  let tag = lineno / t.sets in
+  (set * t.assoc, tag)
+
+let find t base tag =
+  let rec scan w = if w = t.assoc then None else if t.tags.(base + w) = tag then Some w else scan (w + 1) in
+  scan 0
+
+let access t addr =
+  t.clock <- t.clock + 1;
+  let base, tag = locate t addr in
+  match find t base tag with
+  | Some w ->
+    t.stamps.(base + w) <- t.clock;
+    true
+  | None ->
+    (* Evict the LRU way. *)
+    let victim = ref 0 in
+    for w = 1 to t.assoc - 1 do
+      if t.stamps.(base + w) < t.stamps.(base + !victim) then victim := w
+    done;
+    t.tags.(base + !victim) <- tag;
+    t.stamps.(base + !victim) <- t.clock;
+    false
+
+let probe t addr =
+  let base, tag = locate t addr in
+  match find t base tag with Some _ -> true | None -> false
+
+let reset t =
+  Array.fill t.tags 0 (Array.length t.tags) (-1);
+  Array.fill t.stamps 0 (Array.length t.stamps) 0;
+  t.clock <- 0
+
+let lines t = t.sets * t.assoc
+let line_bytes t = t.line

@@ -1,8 +1,102 @@
+(* Cycle-level simulator with exact fast paths.
+
+   The labeling sweep spends most of its time here, so the hot loops are
+   array-backed (struct-of-arrays plans, incremental address cursors,
+   shift/mask cache indexing) and three steady-state fast-forwards are
+   layered on top, all gated by {!fast_forward} and all bit-identical to
+   the naive path ([Sim_reference], property-tested in
+   [test/test_sim_equiv.ml]):
+
+   - fetch skip: within one run only fetch probes touch the I-cache, so
+     once an iteration's probes all hit, every later fetch hits too and
+     probing preserves each set's recency order — stop probing, charge 0.
+   - entry skip: entries are separated by a fixed cache-scrubbing access
+     sequence; when the post-scrub snapshot (per-set tags in recency
+     order) repeats, every remaining entry replays the last simulated
+     one's cycle and stall deltas exactly.
+   - wrap-period fast-forward: when every reference has a finite
+     address period (small arrays that wrap), per-iteration state is
+     fingerprinted at period boundaries — normalised scoreboard plus
+     touched-set snapshots — and once two consecutive boundaries agree
+     the remaining whole periods are replayed analytically; the final
+     partial period is then simulated from the (snapshot-equal) state.
+
+   See DESIGN.md §9 for the exactness arguments. *)
+
+(* What one schedule-run did to the stats accumulators, recorded so a
+   skipped entry can be replayed exactly.  The in-window increments [rw]
+   repeat verbatim across converged entries, but the tail extrapolation
+   scales the *cumulative* stats fields — [v + v * rextra / rwindow] on
+   the live global value — so replay must re-apply that integer scaling
+   rather than copy a delta. *)
+type sched_run = {
+  rw : int array; (* in-window stats increments, pre-extrapolation *)
+  rextra : int; (* extrapolated cycles (0 = no extrapolation) *)
+  rwindow : int; (* simulated-window cycles the scaling divides by *)
+  rbranch : bool; (* straight schedules scale branch_cycles too *)
+}
+
+(* Last simulated entry of the most recent run, kept on the state so a
+   follow-up run of the same executable (the sweep's warm-up/measure
+   pairs) can skip its entries too.  Safe for any interleaving: the skip
+   check re-derives the hypothetical post-scrub snapshot from the *live*
+   caches, so a stale memo can only fail the compare, never lie. *)
+type entry_memo = {
+  m_exe : Pipeline_state.executable;
+  m_iters : int; (* max_sim_iters the records were taken under *)
+  m_snap : int array; (* post-scrub snapshot at the entry's start *)
+  m_records : sched_run list;
+  m_cycles : int; (* whole-entry cycles *)
+}
+
+(* Pre-resolved execution plan for one schedule, struct-of-arrays: op
+   fields indexed by issue position, memory-reference fields indexed by a
+   dense reference id ([p_mem] maps op -> reference or -1). *)
+type plan = {
+  n_ops : int;
+  p_span : int; (* schedule length (issue cycles per iteration) *)
+  p_cycle : int array;
+  p_dst : int array; (* destination reg id, -1 = none *)
+  p_lat : int array;
+  p_slack : int array;
+  p_src_off : int array; (* n_ops + 1 offsets into p_src *)
+  p_src : int array;
+  p_mem : int array;
+  n_refs : int;
+  r_load : bool array;
+  r_base : int array;
+  r_elem : int array;
+  r_len : int array;
+  r_stride : int array;
+  r_stride_mod : int array; (* stride normalised into [0, len) *)
+  r_offset : int array;
+  r_indirect : bool array;
+  r_uid : int array;
+  period : int;
+      (* lcm of the per-reference address periods; 0 when a reference is
+         indirect or the lcm exceeds the cap (wrap fast-forward disabled) *)
+}
+
 type state = {
   machine : Machine.t;
   l1d : Cache.t;
   l1i : Cache.t;
   l2 : Cache.t;
+  mutable entry_memo : entry_memo option;
+  mutable plan_memo : plan_memo option;
+}
+
+(* Pure derivatives of the executable (resolved plans, fetch-line list,
+   reachable L2 sets), kept on the state so the sweep's warm-up/measure
+   run pairs resolve them once.  Everything here is a deterministic
+   function of [(exe, max_sim_iters)], so reuse cannot change results. *)
+and plan_memo = {
+  pm_exe : Pipeline_state.executable;
+  pm_iters : int;
+  pm_prepared : (Schedule.t * int * int * plan * int) list;
+  pm_max_regs : int;
+  pm_fetch_lines : int array;
+  pm_l2_sets : int array option; (* None until entry-skip needs it *)
 }
 
 let create_state machine =
@@ -11,12 +105,21 @@ let create_state machine =
     l1d = Cache.create machine.Machine.l1d;
     l1i = Cache.create machine.Machine.l1i;
     l2 = Cache.create machine.Machine.l2;
+    entry_memo = None;
+    plan_memo = None;
   }
 
 let reset_state s =
   Cache.reset s.l1d;
   Cache.reset s.l1i;
-  Cache.reset s.l2
+  Cache.reset s.l2;
+  s.entry_memo <- None;
+  s.plan_memo <- None
+
+(* Master switch for every fast path; with it off the simulator takes the
+   naive per-iteration route (still on the array kernels).  Outputs are
+   bit-identical either way. *)
+let fast_forward = ref true
 
 type stats = {
   mutable issue_cycles : int;
@@ -37,6 +140,26 @@ let empty_stats () =
     pipeline_fill_cycles = 0;
   }
 
+let stats_arr s =
+  [|
+    s.issue_cycles;
+    s.data_stall_cycles;
+    s.fetch_stall_cycles;
+    s.branch_cycles;
+    s.entry_overhead_cycles;
+    s.pipeline_fill_cycles;
+  |]
+
+let stats_delta cur prev = Array.init 6 (fun i -> cur.(i) - prev.(i))
+
+let stats_bump s d k =
+  s.issue_cycles <- s.issue_cycles + (k * d.(0));
+  s.data_stall_cycles <- s.data_stall_cycles + (k * d.(1));
+  s.fetch_stall_cycles <- s.fetch_stall_cycles + (k * d.(2));
+  s.branch_cycles <- s.branch_cycles + (k * d.(3));
+  s.entry_overhead_cycles <- s.entry_overhead_cycles + (k * d.(4));
+  s.pipeline_fill_cycles <- s.pipeline_fill_cycles + (k * d.(5))
+
 type executable = Pipeline_state.executable = {
   schedules : (Schedule.t * int * int) list;
   unroll_factor : int;
@@ -51,6 +174,12 @@ let of_unrolled machine ~swp (u : Unroll.t) ~outer_trip ~exit_prob =
   Pipeline.of_unrolled machine ~swp u ~outer_trip ~exit_prob
 
 let compile ?cache machine ~swp loop u = Pipeline.compile ?cache machine ~swp loop u
+
+(* Unchecked accessors for the per-iteration op loops: every index is in
+   range by construction of the plan (op/ref ids are dense, register ids
+   are below the loop's max_reg_id). *)
+let ug = Array.unsafe_get
+let us = Array.unsafe_set
 
 (* Deterministic address scramble for indirect references. *)
 let indirect_index uid iter length =
@@ -67,28 +196,11 @@ let scratch_base = 0x70000000
 let inter_entry_dirty_ilines = 384
 let inter_entry_dirty_dlines = 96
 
-(* Pre-resolved per-op execution record. *)
-type exec_op = {
-  cycle : int;
-  dst_id : int;        (* -1 = none *)
-  src_ids : int array;
-  base_latency : int;
-  consumer_slack : int;
-  (* schedule slack beyond the base latency before any consumer needs the
-     result; a cache-miss penalty up to this amount is hidden *)
-  mem : mem_info option;
-}
+let rec gcd a b = if b = 0 then a else gcd b (a mod b)
 
-and mem_info = {
-  is_load : bool;
-  addr_base : int;
-  elem : int;
-  arr_len : int;
-  stride : int;
-  offset : int;
-  indirect : bool;
-  uid : int;
-}
+(* Beyond this the bookkeeping outweighs the savings at realistic
+   [max_sim_iters]. *)
+let period_cap = 128
 
 let prepare (sched : Schedule.t) =
   let m = sched.Schedule.machine in
@@ -98,56 +210,125 @@ let prepare (sched : Schedule.t) =
     | Schedule.Pipelined { ii; _ } -> ii
     | Schedule.Straight -> 0
   in
-  let deps = Deps.build ~latency:(Machine.latency m) loop in
+  (* The scheduler attached the dependence CSR it built the assignment
+     from; reusing it keeps plan resolution free of graph rebuilding and
+     of memo keying (which must hash the loop body). *)
+  let g = sched.Schedule.csr in
   let slack_of pos =
     let t0 = sched.Schedule.assignment.(pos) in
     let lat = Machine.latency m loop.Loop.body.(pos) in
-    List.fold_left
-      (fun acc (e : Deps.edge) ->
-        if e.Deps.dkind = Deps.Reg_flow then
-          let consumer = sched.Schedule.assignment.(e.Deps.dst) + (window * e.Deps.distance) in
-          min acc (max 0 (consumer - t0 - lat))
-        else acc)
-      max_int deps.Deps.succs.(pos)
-    |> fun s -> if s = max_int then window else s
+    let s = ref max_int in
+    for ei = g.Deps.succ_off.(pos) to g.Deps.succ_off.(pos + 1) - 1 do
+      let e = g.Deps.succ_edge.(ei) in
+      if g.Deps.e_kind.(e) = Deps.reg_flow_code then begin
+        let consumer =
+          sched.Schedule.assignment.(g.Deps.e_dst.(e)) + (window * g.Deps.e_dist.(e))
+        in
+        let sl = consumer - t0 - lat in
+        let sl = if sl > 0 then sl else 0 in
+        if sl < !s then s := sl
+      end
+    done;
+    if !s = max_int then window else !s
   in
-  let order =
-    let idx = Array.init (Array.length loop.Loop.body) (fun i -> i) in
-    Array.sort
-      (fun a b ->
-        compare (sched.Schedule.assignment.(a), a) (sched.Schedule.assignment.(b), b))
-      idx;
-    idx
-  in
-  let resolve pos =
-    let op = loop.Loop.body.(pos) in
-    let mem =
+  let n = Array.length loop.Loop.body in
+  let order = Array.init n (fun i -> i) in
+  Array.sort
+    (fun a b ->
+      let c = Int.compare sched.Schedule.assignment.(a) sched.Schedule.assignment.(b) in
+      if c <> 0 then c else Int.compare a b)
+    order;
+  let n_src = ref 0 and n_refs = ref 0 in
+  Array.iter
+    (fun pos ->
+      let op = loop.Loop.body.(pos) in
+      n_src := !n_src + List.length (Op.uses op);
+      if Op.mref op <> None then incr n_refs)
+    order;
+  let p_cycle = Array.make n 0 in
+  let p_dst = Array.make n (-1) in
+  let p_lat = Array.make n 0 in
+  let p_slack = Array.make n 0 in
+  let p_src_off = Array.make (n + 1) 0 in
+  let p_src = Array.make !n_src 0 in
+  let p_mem = Array.make n (-1) in
+  let nr = !n_refs in
+  let r_load = Array.make nr false in
+  let r_base = Array.make nr 0 in
+  let r_elem = Array.make nr 0 in
+  let r_len = Array.make nr 1 in
+  let r_stride = Array.make nr 0 in
+  let r_stride_mod = Array.make nr 0 in
+  let r_offset = Array.make nr 0 in
+  let r_indirect = Array.make nr false in
+  let r_uid = Array.make nr 0 in
+  let si = ref 0 and ri = ref 0 in
+  Array.iteri
+    (fun i pos ->
+      let op = loop.Loop.body.(pos) in
+      p_cycle.(i) <- sched.Schedule.assignment.(pos);
+      p_dst.(i) <- (match op.Op.dst with Some r -> r.Op.id | None -> -1);
+      p_lat.(i) <- Machine.latency m op;
+      p_slack.(i) <- slack_of pos;
+      p_src_off.(i) <- !si;
+      List.iter
+        (fun (r : Op.reg) ->
+          p_src.(!si) <- r.Op.id;
+          incr si)
+        (Op.uses op);
       match Op.mref op with
       | Some r ->
         let a = loop.Loop.arrays.(r.Op.array) in
-        Some
-          {
-            is_load = Op.is_load op;
-            addr_base = a.Loop.base;
-            elem = a.Loop.elem_size;
-            arr_len = max a.Loop.length 1;
-            stride = r.Op.stride;
-            offset = r.Op.offset;
-            indirect = (r.Op.mkind = Op.Indirect);
-            uid = op.Op.uid;
-          }
-      | None -> None
-    in
-    {
-      cycle = sched.Schedule.assignment.(pos);
-      dst_id = (match op.Op.dst with Some r -> r.Op.id | None -> -1);
-      src_ids = Array.of_list (List.map (fun (r : Op.reg) -> r.Op.id) (Op.uses op));
-      base_latency = Machine.latency m op;
-      consumer_slack = slack_of pos;
-      mem;
-    }
+        let len = max a.Loop.length 1 in
+        let k = !ri in
+        p_mem.(i) <- k;
+        r_load.(k) <- Op.is_load op;
+        r_base.(k) <- a.Loop.base;
+        r_elem.(k) <- a.Loop.elem_size;
+        r_len.(k) <- len;
+        r_stride.(k) <- r.Op.stride;
+        r_stride_mod.(k) <- (((r.Op.stride mod len) + len) mod len);
+        r_offset.(k) <- r.Op.offset;
+        r_indirect.(k) <- r.Op.mkind = Op.Indirect;
+        r_uid.(k) <- op.Op.uid;
+        incr ri
+      | None -> ())
+    order;
+  p_src_off.(n) <- !si;
+  let period =
+    let p = ref 1 in
+    (try
+       for k = 0 to nr - 1 do
+         if r_indirect.(k) then raise Exit;
+         let pr = r_len.(k) / gcd r_stride_mod.(k) r_len.(k) in
+         p := !p / gcd !p pr * pr;
+         if !p > period_cap then raise Exit
+       done
+     with Exit -> p := 0);
+    !p
   in
-  Array.map resolve order
+  {
+    n_ops = n;
+    p_span = sched.Schedule.length;
+    p_cycle;
+    p_dst;
+    p_lat;
+    p_slack;
+    p_src_off;
+    p_src;
+    p_mem;
+    n_refs = nr;
+    r_load;
+    r_base;
+    r_elem;
+    r_len;
+    r_stride;
+    r_stride_mod;
+    r_offset;
+    r_indirect;
+    r_uid;
+    period;
+  }
 
 (* Data access through the hierarchy; returns extra stall cycles beyond the
    base latency (0 for stores: they retire through the store buffer but
@@ -160,176 +341,684 @@ let data_access st ~is_load addr =
     if is_load then extra else 0
   end
 
-let fetch_cost st ~code_bytes =
-  let m = st.machine in
-  let line = m.Machine.l1i.Machine.line_bytes in
-  let nlines = max 1 ((code_bytes + line - 1) / line) in
-  let cost = ref 0 in
-  for l = 0 to nlines - 1 do
-    let addr = code_base + (l * line) in
-    if not (Cache.access st.l1i addr) then begin
-      cost := !cost + m.Machine.l1i_miss_extra;
-      if not (Cache.access st.l2 addr) then cost := !cost + (m.Machine.mem_extra / 4)
-    end
-  done;
-  !cost
+(* Fetch-skip fast path: within one run call, only fetch probes touch the
+   I-cache, so after one iteration whose probes all hit (a) every later
+   probe hits too and (b) re-probing only restamps lines in the same
+   order, leaving each set's recency order unchanged.  Stopping the
+   probing is therefore exact. *)
+let fetch_cost st ~fetch_lines ~all_hit =
+  if !all_hit then 0
+  else begin
+    let m = st.machine in
+    let cost = ref 0 in
+    let missed = ref false in
+    for k = 0 to Array.length fetch_lines - 1 do
+      let addr = ug fetch_lines k in
+      if not (Cache.access st.l1i addr) then begin
+        missed := true;
+        cost := !cost + m.Machine.l1i_miss_extra;
+        if not (Cache.access st.l2 addr) then cost := !cost + (m.Machine.mem_extra / 4)
+      end
+    done;
+    if !fast_forward && not !missed then all_hit := true;
+    !cost
+  end
 
-let dirty_caches st =
-  let dl = Cache.line_bytes st.l1d and il = Cache.line_bytes st.l1i in
+let dirty_into l1d l1i =
+  let dl = Cache.line_bytes l1d and il = Cache.line_bytes l1i in
   for l = 0 to inter_entry_dirty_dlines - 1 do
-    ignore (Cache.access st.l1d (scratch_base + (l * dl)))
+    ignore (Cache.access l1d (scratch_base + (l * dl)))
   done;
   for l = 0 to inter_entry_dirty_ilines - 1 do
-    ignore (Cache.access st.l1i (scratch_base + (l * il)))
+    ignore (Cache.access l1i (scratch_base + (l * il)))
   done
 
-let address mi iter =
-  if mi.indirect then mi.addr_base + (mi.elem * indirect_index mi.uid iter mi.arr_len)
-  else begin
-    let idx = (mi.stride * iter) + mi.offset in
-    let idx = ((idx mod mi.arr_len) + mi.arr_len) mod mi.arr_len in
-    mi.addr_base + (mi.elem * idx)
-  end
+(* The I-cache half of the scrub floods every set on the shipped
+   geometries, so it resolves to one canonical post state (see
+   [Cache.plan_flood]) installed at array-copy cost instead of replayed
+   access by access — the scrub runs once per simulated entry and
+   dominated the cache traffic of a labelling sweep.  The plan depends
+   only on the machine, hence the global memo (atomic: labelling sweeps
+   run on multiple domains; a lost concurrent append merely recomputes). *)
+let l1i_floods : (Machine.t * Cache.flood option) list Atomic.t = Atomic.make []
+
+let l1i_flood st =
+  let m = st.machine in
+  let rec find = function
+    | [] -> None
+    | (m', f) :: tl -> if m' == m then Some f else find tl
+  in
+  match find (Atomic.get l1i_floods) with
+  | Some f -> f
+  | None ->
+    let il = Cache.line_bytes st.l1i in
+    let addrs = Array.init inter_entry_dirty_ilines (fun l -> scratch_base + (l * il)) in
+    let f = Cache.plan_flood st.l1i addrs in
+    let rec push () =
+      let cur = Atomic.get l1i_floods in
+      if not (Atomic.compare_and_set l1i_floods cur ((m, f) :: cur)) then push ()
+    in
+    push ();
+    f
+
+let dirty_caches st =
+  match l1i_flood st with
+  | None -> dirty_into st.l1d st.l1i
+  | Some f ->
+    let dl = Cache.line_bytes st.l1d in
+    for l = 0 to inter_entry_dirty_dlines - 1 do
+      ignore (Cache.access st.l1d (scratch_base + (l * dl)))
+    done;
+    Cache.apply_flood st.l1i f
+
+(* --- wrap-period fast-forward support ------------------------------- *)
+
+(* The cache sets one period of the access pattern can touch: data and L2
+   sets of every direct reference address, I-cache and L2 sets of every
+   fetch line.  Sets outside this list are never accessed during the run
+   and so never change. *)
+let make_snap_plan st (pl : plan) ~phase ~fetch_lines =
+  let l1d_m = Array.make (Cache.sets st.l1d) false in
+  let l1i_m = Array.make (Cache.sets st.l1i) false in
+  let l2_m = Array.make (Cache.sets st.l2) false in
+  for r = 0 to pl.n_refs - 1 do
+    let len = pl.r_len.(r) in
+    let idx = ref ((((pl.r_stride.(r) * phase) + pl.r_offset.(r)) mod len + len) mod len) in
+    for _k = 0 to pl.period - 1 do
+      let addr = pl.r_base.(r) + (pl.r_elem.(r) * !idx) in
+      l1d_m.(Cache.set_of_addr st.l1d addr) <- true;
+      l2_m.(Cache.set_of_addr st.l2 addr) <- true;
+      let nx = !idx + pl.r_stride_mod.(r) in
+      idx := if nx >= len then nx - len else nx
+    done
+  done;
+  Array.iter
+    (fun addr ->
+      l1i_m.(Cache.set_of_addr st.l1i addr) <- true;
+      l2_m.(Cache.set_of_addr st.l2 addr) <- true)
+    fetch_lines;
+  let collect marks =
+    let n = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 marks in
+    let out = Array.make n 0 in
+    let j = ref 0 in
+    Array.iteri
+      (fun i b ->
+        if b then begin
+          out.(!j) <- i;
+          incr j
+        end)
+      marks;
+    out
+  in
+  [| (st.l1d, collect l1d_m); (st.l1i, collect l1i_m); (st.l2, collect l2_m) |]
+
+let take_snap sp =
+  let len =
+    Array.fold_left (fun acc (c, sets) -> acc + (Array.length sets * Cache.assoc c)) 0 sp
+  in
+  let buf = Array.make len (-2) in
+  let off = ref 0 in
+  Array.iter
+    (fun (c, sets) ->
+      Array.iter
+        (fun s ->
+          Cache.snapshot_set c s buf !off;
+          off := !off + Cache.assoc c)
+        sets)
+    sp;
+  buf
+
+(* Stop fingerprinting after this many boundary mismatches: the pattern is
+   still warming up or genuinely aperiodic (both rare once the period
+   gate has passed). *)
+let max_boundary_failures = 8
+
+(* Per-run telemetry accumulators, flushed once per {!run_profiled}. *)
+type counters = {
+  mutable c_iters : int;
+  mutable c_ff_iters : int;
+  mutable c_entries : int;
+  mutable c_entries_skipped : int;
+}
+
+let replay_sched_runs stats records =
+  List.iter
+    (fun r ->
+      stats_bump stats r.rw 1;
+      if r.rextra <> 0 then begin
+        let scale v = v * r.rextra / r.rwindow in
+        stats.issue_cycles <- stats.issue_cycles + scale stats.issue_cycles;
+        if r.rbranch then stats.branch_cycles <- stats.branch_cycles + scale stats.branch_cycles;
+        stats.data_stall_cycles <- stats.data_stall_cycles + scale stats.data_stall_cycles;
+        stats.fetch_stall_cycles <- stats.fetch_stall_cycles + scale stats.fetch_stall_cycles
+      end)
+    records
 
 (* One entry's worth of a straight schedule: in-order issue with scoreboard
    stalls; returns cycles consumed. *)
-let run_straight st sched exec_ops reg_ready ~stats ~start ~trips ~phase ~max_sim_iters
-    ~code_bytes =
+let run_straight st (pl : plan) reg_ready ~stats ~start ~trips ~phase ~max_sim_iters
+    ~fetch_lines ~ctr ~slog =
   let m = st.machine in
-  let issue_span = sched.Schedule.length in
-  let per_iter_base = issue_span + m.Machine.taken_branch_cost in
+  (* Hoist the plan's arrays into locals: the op loop below is the hottest
+     code in the labelling sweep and closure-mode ocamlopt re-loads record
+     fields across the [data_access] calls. *)
+  let n_ops = pl.n_ops in
+  let pc = pl.p_cycle and pso = pl.p_src_off and psrc = pl.p_src in
+  let pmem = pl.p_mem and pdst = pl.p_dst and plat = pl.p_lat in
+  let rind = pl.r_indirect and rbase = pl.r_base and relem = pl.r_elem in
+  let ruid = pl.r_uid and rlen = pl.r_len and rsmod = pl.r_stride_mod in
+  let rload = pl.r_load in
+  let stats0 = stats_arr stats in
+  let per_iter_base = pl.p_span + m.Machine.taken_branch_cost in
   let sim_iters = min trips max_sim_iters in
   let t = ref start in
   let half = max 1 (sim_iters / 2) in
   let t_at_half = ref start in
-  for it = 0 to sim_iters - 1 do
-    if it = half then t_at_half := !t;
-    let fetch = fetch_cost st ~code_bytes in
-    stats.fetch_stall_cycles <- stats.fetch_stall_cycles + fetch;
-    t := !t + fetch;
-    let stall = ref 0 in
-    let orig_iter = phase + it in
-    Array.iter
-      (fun eop ->
-        let issue = ref (!t + eop.cycle + !stall) in
-        Array.iter
-          (fun id ->
-            let ready = reg_ready.(id) in
-            if ready > !issue then begin
-              stall := !stall + (ready - !issue);
-              issue := ready
-            end)
-          eop.src_ids;
-        match eop.mem with
-        | Some mi ->
-          let extra = data_access st ~is_load:mi.is_load (address mi orig_iter) in
-          if eop.dst_id >= 0 then
-            reg_ready.(eop.dst_id) <- !issue + eop.base_latency + extra
-        | None ->
-          if eop.dst_id >= 0 then reg_ready.(eop.dst_id) <- !issue + eop.base_latency)
-      exec_ops;
-    stats.issue_cycles <- stats.issue_cycles + issue_span;
-    stats.branch_cycles <- stats.branch_cycles + m.Machine.taken_branch_cost;
-    stats.data_stall_cycles <- stats.data_stall_cycles + !stall;
-    t := !t + per_iter_base + !stall
+  let half_set = ref false in
+  let cur = Array.make (max pl.n_refs 1) 0 in
+  for r = 0 to pl.n_refs - 1 do
+    if not pl.r_indirect.(r) then begin
+      let len = pl.r_len.(r) in
+      cur.(r) <- (((pl.r_stride.(r) * phase) + pl.r_offset.(r)) mod len + len) mod len
+    end
   done;
-  if trips > sim_iters && sim_iters > half then begin
-    let steady = float_of_int (!t - !t_at_half) /. float_of_int (sim_iters - half) in
-    let extra = int_of_float (Float.round (steady *. float_of_int (trips - sim_iters))) in
-    (* Attribute extrapolated cycles to categories in the simulated
-       window's proportions. *)
-    let window = max 1 (!t - start) in
-    let scale v = v * extra / window in
-    stats.issue_cycles <- stats.issue_cycles + scale stats.issue_cycles;
-    stats.branch_cycles <- stats.branch_cycles + scale stats.branch_cycles;
-    stats.data_stall_cycles <- stats.data_stall_cycles + scale stats.data_stall_cycles;
-    stats.fetch_stall_cycles <- stats.fetch_stall_cycles + scale stats.fetch_stall_cycles;
-    t := !t + extra
-  end;
+  let all_hit = ref false in
+  let p = pl.period in
+  let ff = !fast_forward && p > 0 && sim_iters > 2 * p in
+  let sp = if ff then make_snap_plan st pl ~phase ~fetch_lines else [||] in
+  let dts = if ff then Array.make p 0 else [||] in
+  let nregs = Array.length reg_ready in
+  let prev_bound = ref None in
+  let engaged = ref false in
+  let failures = ref 0 in
+  let skipped = ref 0 in
+  let it = ref 0 in
+  while !it < sim_iters do
+    if ff && (not !engaged) && !it > 0 && !it mod p = 0 && !failures < max_boundary_failures
+    then begin
+      let s = !it in
+      let snapshot = take_snap sp in
+      let norm =
+        Array.init nregs (fun i ->
+            let v = reg_ready.(i) - !t in
+            if v > 0 then v else 0)
+      in
+      let cur_stats = stats_arr stats in
+      match !prev_bound with
+      | Some (t_p, prev_stats, norm_p, snap_p) when norm = norm_p && snapshot = snap_p ->
+        let full = (sim_iters - s) / p in
+        if full > 0 then begin
+          let dt_period = !t - t_p in
+          stats_bump stats (stats_delta cur_stats prev_stats) full;
+          if half >= s && not !half_set then begin
+            (* Reconstruct the top-of-iteration time at [half] from the
+               verified period's per-iteration deltas. *)
+            let q = (half - s) / p and r0 = (half - s) mod p in
+            let pre = ref 0 in
+            for k = 0 to r0 - 1 do
+              pre := !pre + dts.(k)
+            done;
+            t_at_half := !t + (q * dt_period) + !pre;
+            half_set := true
+          end;
+          let t_b = !t in
+          for i = 0 to nregs - 1 do
+            if reg_ready.(i) > t_b then reg_ready.(i) <- reg_ready.(i) + (full * dt_period)
+          done;
+          t := !t + (full * dt_period);
+          it := s + (full * p);
+          skipped := full * p;
+          engaged := true
+        end
+      | Some _ ->
+        incr failures;
+        prev_bound := Some (!t, cur_stats, norm, snapshot)
+      | None -> prev_bound := Some (!t, cur_stats, norm, snapshot)
+    end;
+    if !it < sim_iters then begin
+      let t_top = !t in
+      if !it = half && not !half_set then begin
+        t_at_half := !t;
+        half_set := true
+      end;
+      let fetch = fetch_cost st ~fetch_lines ~all_hit in
+      stats.fetch_stall_cycles <- stats.fetch_stall_cycles + fetch;
+      t := !t + fetch;
+      let stall = ref 0 in
+      let orig_iter = phase + !it in
+      let issue = ref 0 in
+      for i = 0 to n_ops - 1 do
+        issue := !t + ug pc i + !stall;
+        for si = ug pso i to ug pso (i + 1) - 1 do
+          let ready = ug reg_ready (ug psrc si) in
+          if ready > !issue then begin
+            stall := !stall + (ready - !issue);
+            issue := ready
+          end
+        done;
+        let r = ug pmem i in
+        if r >= 0 then begin
+          let addr =
+            if ug rind r then
+              ug rbase r + (ug relem r * indirect_index (ug ruid r) orig_iter (ug rlen r))
+            else begin
+              let a = ug rbase r + (ug relem r * ug cur r) in
+              let nx = ug cur r + ug rsmod r in
+              us cur r (if nx >= ug rlen r then nx - ug rlen r else nx);
+              a
+            end
+          in
+          let extra = data_access st ~is_load:(ug rload r) addr in
+          if ug pdst i >= 0 then us reg_ready (ug pdst i) (!issue + ug plat i + extra)
+        end
+        else if ug pdst i >= 0 then us reg_ready (ug pdst i) (!issue + ug plat i)
+      done;
+      stats.issue_cycles <- stats.issue_cycles + pl.p_span;
+      stats.branch_cycles <- stats.branch_cycles + m.Machine.taken_branch_cost;
+      stats.data_stall_cycles <- stats.data_stall_cycles + !stall;
+      t := !t + per_iter_base + !stall;
+      if ff && not !engaged then dts.(!it mod p) <- !t - t_top;
+      incr it
+    end
+  done;
+  ctr.c_iters <- ctr.c_iters + (sim_iters - !skipped);
+  ctr.c_ff_iters <- ctr.c_ff_iters + !skipped;
+  let w6 = stats_delta (stats_arr stats) stats0 in
+  let rextra, rwindow =
+    if trips > sim_iters && sim_iters > half then begin
+      let steady = float_of_int (!t - !t_at_half) /. float_of_int (sim_iters - half) in
+      let extra = int_of_float (Float.round (steady *. float_of_int (trips - sim_iters))) in
+      (* Attribute extrapolated cycles to categories in the simulated
+         window's proportions. *)
+      let window = max 1 (!t - start) in
+      let scale v = v * extra / window in
+      stats.issue_cycles <- stats.issue_cycles + scale stats.issue_cycles;
+      stats.branch_cycles <- stats.branch_cycles + scale stats.branch_cycles;
+      stats.data_stall_cycles <- stats.data_stall_cycles + scale stats.data_stall_cycles;
+      stats.fetch_stall_cycles <- stats.fetch_stall_cycles + scale stats.fetch_stall_cycles;
+      t := !t + extra;
+      (extra, window)
+    end
+    else (0, 1)
+  in
+  slog := { rw = w6; rextra; rwindow; rbranch = true } :: !slog;
   !t
 
 (* One entry of a pipelined kernel: II per iteration plus miss stalls. *)
-let run_pipelined st sched exec_ops ~stats ~ii ~stages ~start ~trips ~phase ~max_sim_iters
-    ~code_bytes =
+let run_pipelined st (pl : plan) ~stats ~ii ~stages ~start ~trips ~phase ~max_sim_iters
+    ~fetch_lines ~ctr ~slog =
+  let stats0 = stats_arr stats in
+  (* Same array hoisting as [run_straight]. *)
+  let n_ops = pl.n_ops in
+  let pmem = pl.p_mem and pslack = pl.p_slack in
+  let rind = pl.r_indirect and rbase = pl.r_base and relem = pl.r_elem in
+  let ruid = pl.r_uid and rlen = pl.r_len and rsmod = pl.r_stride_mod in
+  let rload = pl.r_load in
   let sim_iters = min trips max_sim_iters in
   let t = ref start in
   let half = max 1 (sim_iters / 2) in
   let t_at_half = ref start in
+  let half_set = ref false in
   (* Prologue and epilogue: filling and draining the pipeline. *)
   stats.pipeline_fill_cycles <- stats.pipeline_fill_cycles + (2 * (stages - 1) * ii);
   t := !t + (2 * (stages - 1) * ii);
-  ignore sched;
-  for it = 0 to sim_iters - 1 do
-    if it = half then t_at_half := !t;
-    let fetch = fetch_cost st ~code_bytes in
-    stats.fetch_stall_cycles <- stats.fetch_stall_cycles + fetch;
-    t := !t + fetch;
-    let orig_iter = phase + it in
-    let stalls = ref 0 in
-    Array.iter
-      (fun eop ->
-        match eop.mem with
-        | Some mi ->
-          let extra = data_access st ~is_load:mi.is_load (address mi orig_iter) in
-          (* The modulo schedule hides up to the consumer slack of the load. *)
-          stalls := !stalls + max 0 (extra - eop.consumer_slack)
-        | None -> ())
-      exec_ops;
-    stats.issue_cycles <- stats.issue_cycles + ii;
-    stats.data_stall_cycles <- stats.data_stall_cycles + !stalls;
-    t := !t + ii + !stalls
+  let cur = Array.make (max pl.n_refs 1) 0 in
+  for r = 0 to pl.n_refs - 1 do
+    if not pl.r_indirect.(r) then begin
+      let len = pl.r_len.(r) in
+      cur.(r) <- (((pl.r_stride.(r) * phase) + pl.r_offset.(r)) mod len + len) mod len
+    end
   done;
-  if trips > sim_iters && sim_iters > half then begin
-    let steady = float_of_int (!t - !t_at_half) /. float_of_int (sim_iters - half) in
-    let extra = int_of_float (Float.round (steady *. float_of_int (trips - sim_iters))) in
-    let window = max 1 (!t - start) in
-    let scale v = v * extra / window in
-    stats.issue_cycles <- stats.issue_cycles + scale stats.issue_cycles;
-    stats.data_stall_cycles <- stats.data_stall_cycles + scale stats.data_stall_cycles;
-    stats.fetch_stall_cycles <- stats.fetch_stall_cycles + scale stats.fetch_stall_cycles;
-    t := !t + extra
-  end;
+  let all_hit = ref false in
+  let p = pl.period in
+  let ff = !fast_forward && p > 0 && sim_iters > 2 * p in
+  let sp = if ff then make_snap_plan st pl ~phase ~fetch_lines else [||] in
+  let dts = if ff then Array.make p 0 else [||] in
+  let prev_bound = ref None in
+  let engaged = ref false in
+  let failures = ref 0 in
+  let skipped = ref 0 in
+  let it = ref 0 in
+  while !it < sim_iters do
+    if ff && (not !engaged) && !it > 0 && !it mod p = 0 && !failures < max_boundary_failures
+    then begin
+      let s = !it in
+      let snapshot = take_snap sp in
+      let cur_stats = stats_arr stats in
+      match !prev_bound with
+      | Some (t_p, prev_stats, snap_p) when snapshot = snap_p ->
+        let full = (sim_iters - s) / p in
+        if full > 0 then begin
+          let dt_period = !t - t_p in
+          stats_bump stats (stats_delta cur_stats prev_stats) full;
+          if half >= s && not !half_set then begin
+            let q = (half - s) / p and r0 = (half - s) mod p in
+            let pre = ref 0 in
+            for k = 0 to r0 - 1 do
+              pre := !pre + dts.(k)
+            done;
+            t_at_half := !t + (q * dt_period) + !pre;
+            half_set := true
+          end;
+          t := !t + (full * dt_period);
+          it := s + (full * p);
+          skipped := full * p;
+          engaged := true
+        end
+      | Some _ ->
+        incr failures;
+        prev_bound := Some (!t, cur_stats, snapshot)
+      | None -> prev_bound := Some (!t, cur_stats, snapshot)
+    end;
+    if !it < sim_iters then begin
+      let t_top = !t in
+      if !it = half && not !half_set then begin
+        t_at_half := !t;
+        half_set := true
+      end;
+      let fetch = fetch_cost st ~fetch_lines ~all_hit in
+      stats.fetch_stall_cycles <- stats.fetch_stall_cycles + fetch;
+      t := !t + fetch;
+      let orig_iter = phase + !it in
+      let stalls = ref 0 in
+      for i = 0 to n_ops - 1 do
+        let r = ug pmem i in
+        if r >= 0 then begin
+          let addr =
+            if ug rind r then
+              ug rbase r + (ug relem r * indirect_index (ug ruid r) orig_iter (ug rlen r))
+            else begin
+              let a = ug rbase r + (ug relem r * ug cur r) in
+              let nx = ug cur r + ug rsmod r in
+              us cur r (if nx >= ug rlen r then nx - ug rlen r else nx);
+              a
+            end
+          in
+          let extra = data_access st ~is_load:(ug rload r) addr in
+          (* The modulo schedule hides up to the consumer slack of the load. *)
+          let exposed = extra - ug pslack i in
+          if exposed > 0 then stalls := !stalls + exposed
+        end
+      done;
+      stats.issue_cycles <- stats.issue_cycles + ii;
+      stats.data_stall_cycles <- stats.data_stall_cycles + !stalls;
+      t := !t + ii + !stalls;
+      if ff && not !engaged then dts.(!it mod p) <- !t - t_top;
+      incr it
+    end
+  done;
+  ctr.c_iters <- ctr.c_iters + (sim_iters - !skipped);
+  ctr.c_ff_iters <- ctr.c_ff_iters + !skipped;
+  let w6 = stats_delta (stats_arr stats) stats0 in
+  let rextra, rwindow =
+    if trips > sim_iters && sim_iters > half then begin
+      let steady = float_of_int (!t - !t_at_half) /. float_of_int (sim_iters - half) in
+      let extra = int_of_float (Float.round (steady *. float_of_int (trips - sim_iters))) in
+      let window = max 1 (!t - start) in
+      let scale v = v * extra / window in
+      stats.issue_cycles <- stats.issue_cycles + scale stats.issue_cycles;
+      stats.data_stall_cycles <- stats.data_stall_cycles + scale stats.data_stall_cycles;
+      stats.fetch_stall_cycles <- stats.fetch_stall_cycles + scale stats.fetch_stall_cycles;
+      t := !t + extra;
+      (extra, window)
+    end
+    else (0, 1)
+  in
+  slog := { rw = w6; rextra; rwindow; rbranch = false } :: !slog;
   !t
 
 let run_profiled ?(max_sim_iters = 400) st exe =
-  let prepared =
-    List.map
-      (fun (sched, trips, phase) ->
-        let nregs = Loop.max_reg_id sched.Schedule.loop + 1 in
-        (sched, trips, phase, prepare sched, nregs))
-      exe.schedules
+  let memo0 =
+    match st.plan_memo with
+    | Some m when m.pm_exe == exe && m.pm_iters = max_sim_iters -> Some m
+    | _ -> None
   in
-  let max_regs =
-    List.fold_left (fun acc (_, _, _, _, n) -> max acc n) 1 prepared
+  let prepared, max_regs, fetch_lines =
+    match memo0 with
+    | Some m -> (m.pm_prepared, m.pm_max_regs, m.pm_fetch_lines)
+    | None ->
+      let prepared =
+        List.map
+          (fun (sched, trips, phase) ->
+            let nregs = Loop.max_reg_id sched.Schedule.loop + 1 in
+            (sched, trips, phase, prepare sched, nregs))
+          exe.schedules
+      in
+      let max_regs = List.fold_left (fun acc (_, _, _, _, n) -> max acc n) 1 prepared in
+      let iline = Cache.line_bytes st.l1i in
+      let nlines = max 1 ((exe.total_code_bytes + iline - 1) / iline) in
+      let fetch_lines = Array.init nlines (fun l -> code_base + (l * iline)) in
+      (prepared, max_regs, fetch_lines)
   in
   let reg_ready = Array.make max_regs 0 in
   let stats = empty_stats () in
   let total = ref 0 in
+  let ctr = { c_iters = 0; c_ff_iters = 0; c_entries = 0; c_entries_skipped = 0 } in
+  let h0 =
+    ( Cache.hits st.l1d, Cache.misses st.l1d,
+      Cache.hits st.l1i, Cache.misses st.l1i,
+      Cache.hits st.l2, Cache.misses st.l2 )
+  in
   (* Entries beyond the first few repeat the same warm-cache behaviour;
      simulate three exactly and extrapolate the rest from the last one. *)
   let exact_entries = min exe.outer_trip 3 in
   let last_entry_cycles = ref 0 in
-  for _entry = 1 to exact_entries do
-    dirty_caches st;
-    Array.fill reg_ready 0 max_regs 0;
-    (* Time runs continuously across kernel and remainder within an entry so
-       that loop-carried values (reductions) stall the remainder correctly. *)
-    let entry_clock = ref 0 in
-    List.iter
-      (fun (sched, trips, phase, exec_ops, _) ->
-        if trips > 0 then
-          entry_clock :=
-            match sched.Schedule.kind with
-            | Schedule.Straight ->
-              run_straight st sched exec_ops reg_ready ~stats ~start:!entry_clock ~trips
-                ~phase ~max_sim_iters ~code_bytes:exe.total_code_bytes
-            | Schedule.Pipelined { ii; stages } ->
-              run_pipelined st sched exec_ops ~stats ~ii ~stages ~start:!entry_clock
-                ~trips ~phase ~max_sim_iters ~code_bytes:exe.total_code_bytes)
-      prepared;
-    stats.entry_overhead_cycles <- stats.entry_overhead_cycles + exe.entry_extra_cycles;
-    last_entry_cycles := !entry_clock + exe.entry_extra_cycles;
-    total := !total + !last_entry_cycles
+  (* Entry-skip: record the post-scrub snapshot and the per-schedule stats
+     records of the last simulated entry.  When applying the scrub again
+     would reproduce the same snapshot, this entry — and by induction
+     every remaining one — behaves identically, so its schedule-runs are
+     replayed instead of simulated, and the current (pre-scrub) cache
+     state is already snapshot-equal to the state the skipped entries
+     would leave behind, so nothing is mutated.
+
+     The comparison is bounded: the full (small) L1s, but only the L2
+     sets this executable can ever touch — data-reference and fetch-line
+     addresses are pure functions of the iteration index, so the reachable
+     set list is enumerable up front and every other L2 set is inert.
+     When the scrub floods every I-cache set with at least [assoc]
+     distinct scratch lines, the post-scrub I-cache state is one fixed
+     state regardless of what preceded it, and that compare is elided. *)
+  let entry_skip_on = !fast_forward && exact_entries >= 1 in
+  let scrub_canon_l1i =
+    inter_entry_dirty_ilines / Cache.sets st.l1i >= Cache.assoc st.l1i
+  in
+  let l2_sets =
+    if not entry_skip_on then [||]
+    else
+      match memo0 with
+      | Some { pm_l2_sets = Some s; _ } -> s
+      | _ -> begin
+      let marks = Array.make (Cache.sets st.l2) false in
+      Array.iter (fun addr -> marks.(Cache.set_of_addr st.l2 addr) <- true) fetch_lines;
+      List.iter
+        (fun (_, trips, phase, pl, _) ->
+          let iters = min trips max_sim_iters in
+          for r = 0 to pl.n_refs - 1 do
+            if pl.r_indirect.(r) then
+              for it = 0 to iters - 1 do
+                let addr =
+                  pl.r_base.(r)
+                  + (pl.r_elem.(r) * indirect_index pl.r_uid.(r) (phase + it) pl.r_len.(r))
+                in
+                marks.(Cache.set_of_addr st.l2 addr) <- true
+              done
+            else begin
+              let len = pl.r_len.(r) in
+              let idx =
+                ref ((((pl.r_stride.(r) * phase) + pl.r_offset.(r)) mod len + len) mod len)
+              in
+              (* direct indices cycle within [len] steps *)
+              for _ = 1 to min iters len do
+                let addr = pl.r_base.(r) + (pl.r_elem.(r) * !idx) in
+                marks.(Cache.set_of_addr st.l2 addr) <- true;
+                let nx = !idx + pl.r_stride_mod.(r) in
+                idx := if nx >= len then nx - len else nx
+              done
+            end
+          done)
+        prepared;
+      let n = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 marks in
+      let out = Array.make n 0 in
+      let j = ref 0 in
+      Array.iteri
+        (fun i b ->
+          if b then begin
+            out.(!j) <- i;
+            incr j
+          end)
+        marks;
+      out
+    end
+  in
+  st.plan_memo <-
+    Some
+      {
+        pm_exe = exe;
+        pm_iters = max_sim_iters;
+        pm_prepared = prepared;
+        pm_max_regs = max_regs;
+        pm_fetch_lines = fetch_lines;
+        pm_l2_sets =
+          (if entry_skip_on then Some l2_sets
+           else match memo0 with Some m -> m.pm_l2_sets | None -> None);
+      };
+  (* Snapshot layout: the reachable L2 sets first, then L1D, then L1I
+     (elided when the scrub canonicalises it).  L2 leads because the
+     scrub never touches it, so the skip check can compare it against
+     the live cache with early exit before paying for any hypothetical
+     copies — a failing check (every first entry of a cold sweep)
+     usually dies in the first few L2 sets for free. *)
+  let l2_asc = Cache.assoc st.l2 in
+  let seg_l2 = Array.length l2_sets * l2_asc in
+  let seg_l1d = Cache.sets st.l1d * Cache.assoc st.l1d in
+  let seg_l1i = if scrub_canon_l1i then 0 else Cache.sets st.l1i * Cache.assoc st.l1i in
+  let snap_len = seg_l2 + seg_l1d + seg_l1i in
+  let write_all c buf off =
+    let asc = Cache.assoc c in
+    for s = 0 to Cache.sets c - 1 do
+      Cache.snapshot_set c s buf (off + (s * asc))
+    done
+  in
+  (* Record the live (post-scrub) state in one flat buffer. *)
+  let snap_entry () =
+    let buf = Array.make snap_len (-2) in
+    Array.iteri (fun i s -> Cache.snapshot_set st.l2 s buf (i * l2_asc)) l2_sets;
+    write_all st.l1d buf seg_l2;
+    if not scrub_canon_l1i then write_all st.l1i buf (seg_l2 + seg_l1d);
+    buf
+  in
+  let cmp_buf = Array.make 16 (-2) in
+  (* set-by-set compare of [c]'s snapshot against [snap.(off ..)] *)
+  let seg_matches c sets snap off =
+    let asc = Cache.assoc c in
+    let ok = ref true in
+    let i = ref 0 in
+    let n = Array.length sets in
+    while !ok && !i < n do
+      Cache.snapshot_set c sets.(!i) cmp_buf 0;
+      let o = off + (!i * asc) in
+      for w = 0 to asc - 1 do
+        if cmp_buf.(w) <> snap.(o + w) then ok := false
+      done;
+      incr i
+    done;
+    !ok
+  in
+  let all_sets c = Array.init (Cache.sets c) (fun s -> s) in
+  let l1d_sets = all_sets st.l1d in
+  let l1i_sets = all_sets st.l1i in
+  (* Would scrubbing the live caches reproduce [snap_p]?  Checked lazily:
+     live L2 first (no copies), then a scrubbed copy of L1D, then of L1I
+     when the scrub does not canonicalise it. *)
+  let post_scrub_matches snap_p =
+    Array.length snap_p = snap_len
+    && seg_matches st.l2 l2_sets snap_p 0
+    && begin
+         let l1d' = Cache.copy st.l1d in
+         let dl = Cache.line_bytes l1d' in
+         for l = 0 to inter_entry_dirty_dlines - 1 do
+           ignore (Cache.access l1d' (scratch_base + (l * dl)))
+         done;
+         seg_matches l1d' l1d_sets snap_p seg_l2
+       end
+    && (scrub_canon_l1i
+       || begin
+            let l1i' = Cache.copy st.l1i in
+            let il = Cache.line_bytes l1i' in
+            for l = 0 to inter_entry_dirty_ilines - 1 do
+              ignore (Cache.access l1i' (scratch_base + (l * il)))
+            done;
+            seg_matches l1i' l1i_sets snap_p (seg_l2 + seg_l1d)
+          end)
+  in
+  let prev_entry =
+    ref
+      (if not entry_skip_on then None
+       else
+         match st.entry_memo with
+         | Some m when m.m_exe == exe && m.m_iters = max_sim_iters ->
+           Some (m.m_snap, m.m_records, m.m_cycles)
+         | _ -> None)
+  in
+  let entry = ref 1 in
+  while !entry <= exact_entries do
+    let skip =
+      if not entry_skip_on then None
+      else
+        match !prev_entry with
+        | Some (snap_p, records, d_cycles) ->
+          if post_scrub_matches snap_p then Some (records, d_cycles) else None
+        | None -> None
+    in
+    match skip with
+    | Some (records, d_cycles) ->
+      let remaining = exact_entries - !entry + 1 in
+      for _ = 1 to remaining do
+        replay_sched_runs stats records;
+        stats.entry_overhead_cycles <- stats.entry_overhead_cycles + exe.entry_extra_cycles
+      done;
+      total := !total + (remaining * d_cycles);
+      last_entry_cycles := d_cycles;
+      ctr.c_entries_skipped <- ctr.c_entries_skipped + remaining;
+      entry := exact_entries + 1
+    | None ->
+      dirty_caches st;
+      (* Record the post-scrub snapshot — except after the first of several
+         exact entries, whose cold-to-warm transition almost never matches
+         entry 2 (recording less only means simulating an entry that a
+         snapshot might have skipped; it cannot change results).  The final
+         entry's snapshot is always recorded: it seeds the cross-call memo
+         for the next run of this executable. *)
+      let snap_after =
+        if entry_skip_on && (!entry > 1 || exact_entries = 1) then Some (snap_entry ())
+        else None
+      in
+      Array.fill reg_ready 0 max_regs 0;
+      let slog = ref [] in
+      (* Time runs continuously across kernel and remainder within an entry so
+         that loop-carried values (reductions) stall the remainder correctly. *)
+      let entry_clock = ref 0 in
+      List.iter
+        (fun (sched, trips, phase, pl, _) ->
+          if trips > 0 then
+            entry_clock :=
+              match sched.Schedule.kind with
+              | Schedule.Straight ->
+                run_straight st pl reg_ready ~stats ~start:!entry_clock ~trips ~phase
+                  ~max_sim_iters ~fetch_lines ~ctr ~slog
+              | Schedule.Pipelined { ii; stages } ->
+                run_pipelined st pl ~stats ~ii ~stages ~start:!entry_clock ~trips ~phase
+                  ~max_sim_iters ~fetch_lines ~ctr ~slog)
+        prepared;
+      stats.entry_overhead_cycles <- stats.entry_overhead_cycles + exe.entry_extra_cycles;
+      let entry_total = !entry_clock + exe.entry_extra_cycles in
+      last_entry_cycles := entry_total;
+      total := !total + entry_total;
+      ctr.c_entries <- ctr.c_entries + 1;
+      (match snap_after with
+      | Some sn -> prev_entry := Some (sn, List.rev !slog, entry_total)
+      | None -> ());
+      incr entry
   done;
   if exe.outer_trip > exact_entries then begin
     let extra_entries = exe.outer_trip - exact_entries in
@@ -342,6 +1031,24 @@ let run_profiled ?(max_sim_iters = 400) st exe =
     stats.entry_overhead_cycles <- stats.entry_overhead_cycles + scale stats.entry_overhead_cycles;
     total := !total + (extra_entries * !last_entry_cycles)
   end;
+  (if entry_skip_on then
+     match !prev_entry with
+     | Some (sn, records, d) ->
+       st.entry_memo <-
+         Some { m_exe = exe; m_iters = max_sim_iters; m_snap = sn; m_records = records; m_cycles = d }
+     | None -> ());
+  let tel = Telemetry.global in
+  let d1h, d1m, i1h, i1m, l2h, l2m = h0 in
+  Telemetry.incr tel ~pass:"simulator" "iters-simulated" ctr.c_iters;
+  Telemetry.incr tel ~pass:"simulator" "iters-fast-forwarded" ctr.c_ff_iters;
+  Telemetry.incr tel ~pass:"simulator" "entries-simulated" ctr.c_entries;
+  Telemetry.incr tel ~pass:"simulator" "entries-skipped" ctr.c_entries_skipped;
+  Telemetry.incr tel ~pass:"simulator" "l1d-hits" (Cache.hits st.l1d - d1h);
+  Telemetry.incr tel ~pass:"simulator" "l1d-misses" (Cache.misses st.l1d - d1m);
+  Telemetry.incr tel ~pass:"simulator" "l1i-hits" (Cache.hits st.l1i - i1h);
+  Telemetry.incr tel ~pass:"simulator" "l1i-misses" (Cache.misses st.l1i - i1m);
+  Telemetry.incr tel ~pass:"simulator" "l2-hits" (Cache.hits st.l2 - l2h);
+  Telemetry.incr tel ~pass:"simulator" "l2-misses" (Cache.misses st.l2 - l2m);
   (!total, stats)
 
 let run ?max_sim_iters st exe = fst (run_profiled ?max_sim_iters st exe)

@@ -25,6 +25,14 @@ type state
 val create_state : Machine.t -> state
 val reset_state : state -> unit
 
+val fast_forward : bool ref
+(** Master switch (default [true]) for the exact fast paths: fetch-hit
+    skipping, steady-state entry skipping and wrap-period iteration
+    fast-forwarding.  Cycle totals, {!stats} breakdowns and downstream
+    labels are bit-identical with the switch on or off (property-tested
+    against [Sim_reference]); only wall-clock time and the telemetry
+    counters differ.  Exists so benchmarks can time both paths. *)
+
 type executable = Pipeline_state.executable = {
   schedules : (Schedule.t * int * int) list;
   (** [(schedule, trips, phase)] in execution order: the unrolled kernel

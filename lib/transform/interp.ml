@@ -1,14 +1,3 @@
-type state = {
-  regs : (int, float) Hashtbl.t;
-  preds : (int, float) Hashtbl.t; (* predicate values live in the int regs too *)
-  memory : (int, float) Hashtbl.t;
-}
-
-let fresh_state () =
-  { regs = Hashtbl.create 64; preds = Hashtbl.create 8; memory = Hashtbl.create 256 }
-
-type outcome = { iterations_run : int; exited_early : bool }
-
 (* Exact, bounded mixing: IEEE remainder keeps magnitudes under the modulus
    without rounding error, so identical dataflow yields identical floats. *)
 let modulus = 1021.0
@@ -20,17 +9,82 @@ let bound x =
 let initial_reg_value id = bound ((float_of_int id *. 1.37) +. 5.0)
 let initial_mem_value addr = bound ((float_of_int addr *. 0.61) +. 11.0)
 
+(* The interpreter backs every equivalence property test, so its store is
+   array-backed rather than hashed: a dense growable register file and a
+   paged memory, both prefilled with the deterministic initial values so
+   reads never branch on "written yet?".  The [written] mask exists only
+   so {!memory_image} can list exactly the cells the program stored to —
+   the same set the old hashtable kept. *)
+let page_bits = 9
+let page_size = 1 lsl page_bits
+
+type page = {
+  vals : float array; (* prefilled with initial values *)
+  written : bool array;
+}
+
+type state = {
+  mutable regs : float array; (* dense by register id, prefilled *)
+  pages : (int, page) Hashtbl.t; (* address lsr page_bits -> page *)
+  mutable last_idx : int; (* one-entry page cache: loops touch few pages *)
+  mutable last_page : page;
+}
+
+let dummy_page = { vals = [||]; written = [||] }
+
+let fresh_state () =
+  {
+    regs = Array.init 64 initial_reg_value;
+    pages = Hashtbl.create 16;
+    last_idx = -1;
+    last_page = dummy_page;
+  }
+
+type outcome = { iterations_run : int; exited_early : bool }
+
 let reg_value st (r : Op.reg) =
-  match Hashtbl.find_opt st.regs r.Op.id with
-  | Some v -> v
-  | None -> initial_reg_value r.Op.id
+  let id = r.Op.id in
+  if id < Array.length st.regs then Array.unsafe_get st.regs id else initial_reg_value id
 
-let set_reg st (r : Op.reg) v = Hashtbl.replace st.regs r.Op.id v
+let set_reg st (r : Op.reg) v =
+  let id = r.Op.id in
+  let n = Array.length st.regs in
+  if id >= n then begin
+    let n' = max (2 * n) (id + 1) in
+    let a = Array.init n' (fun i -> if i < n then st.regs.(i) else initial_reg_value i) in
+    st.regs <- a
+  end;
+  Array.unsafe_set st.regs id v
 
-let mem_value st addr =
-  match Hashtbl.find_opt st.memory addr with
-  | Some v -> v
-  | None -> initial_mem_value addr
+let page_of st pidx =
+  if st.last_idx = pidx then st.last_page
+  else begin
+    let p =
+      match Hashtbl.find_opt st.pages pidx with
+      | Some p -> p
+      | None ->
+        let base = pidx lsl page_bits in
+        let p =
+          {
+            vals = Array.init page_size (fun i -> initial_mem_value (base + i));
+            written = Array.make page_size false;
+          }
+        in
+        Hashtbl.add st.pages pidx p;
+        p
+    in
+    st.last_idx <- pidx;
+    st.last_page <- p;
+    p
+  end
+
+let mem_value st addr = (page_of st (addr lsr page_bits)).vals.(addr land (page_size - 1))
+
+let set_mem st addr v =
+  let p = page_of st (addr lsr page_bits) in
+  let off = addr land (page_size - 1) in
+  p.vals.(off) <- v;
+  p.written.(off) <- true
 
 (* Predicate truth: an arbitrary-but-deterministic threshold on the
    defining compare's value. *)
@@ -105,7 +159,7 @@ let exec_op st loop ~iter (op : Op.t) =
       | value :: rest ->
         let addr_value = match rest with v :: _ -> Some v | [] -> None in
         let addr = address loop m ~iter ~addr_value in
-        Hashtbl.replace st.memory addr value
+        set_mem st addr value
       | [] -> ()
     end
     | Op.Call -> ()
@@ -176,7 +230,15 @@ let run_unrolled st (u : Unroll.t) =
 let register_value st r = reg_value st r
 
 let memory_image st =
-  Hashtbl.fold (fun addr v acc -> (addr, v) :: acc) st.memory []
+  Hashtbl.fold
+    (fun pidx p acc ->
+      let base = pidx lsl page_bits in
+      let cells = ref acc in
+      for off = page_size - 1 downto 0 do
+        if p.written.(off) then cells := (base + off, p.vals.(off)) :: !cells
+      done;
+      !cells)
+    st.pages []
   |> List.sort compare
 
 let equivalent s1 s2 live_out =

@@ -18,7 +18,8 @@
     unrolling either way. *)
 
 type state
-(** Registers, predicates and memory. *)
+(** Registers and memory: a dense growable register file and a paged
+    memory image, both prefilled with the deterministic initial values. *)
 
 val fresh_state : unit -> state
 

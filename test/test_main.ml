@@ -13,6 +13,7 @@ let () =
       ("sched", Test_sched.suite);
       ("pipeline", Test_pipeline.suite);
       ("sim", Test_sim.suite);
+      ("sim_equiv", Test_sim_equiv.suite);
       ("workloads", Test_workloads.suite);
       ("ml", Test_ml.suite);
       ("core", Test_core.suite);
