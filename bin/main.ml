@@ -285,6 +285,76 @@ let inspect_file_cmd =
     (Cmd.info "inspect-file" ~doc:"Parse loops from the textual format and sweep them.")
     Term.(const run $ config_term $ file $ swp)
 
+(* fuzz *)
+let fuzz_cmd =
+  let budget =
+    Arg.(value & opt int 2000 & info [ "budget" ] ~docv:"N" ~doc:"Number of generated cases.")
+  in
+  let fuzz_seed =
+    Arg.(
+      value
+      & opt int 42
+      & info [ "seed" ] ~docv:"N"
+          ~doc:
+            "Campaign seed.  The whole report, shrunk reproducers included, is a pure \
+             function of (seed, budget) — identical at any $(b,--jobs) setting.")
+  in
+  let corpus =
+    Arg.(
+      value
+      & opt string "corpus"
+      & info [ "corpus" ] ~docv:"DIR"
+          ~doc:
+            "Reproducer corpus: every .loop file is replayed before the campaign, and \
+             shrunk crashes are serialised back into it.")
+  in
+  let run seed budget corpus jobs telemetry =
+    with_telemetry telemetry @@ fun () ->
+    let jobs =
+      max 1 (match jobs with Some 0 -> Parallel.default_jobs () | Some j -> j | None -> 1)
+    in
+    let replay_violations =
+      match Fuzz.Driver.load_corpus corpus with
+      | Error e ->
+        Printf.eprintf "corpus: %s\n" e;
+        exit 2
+      | Ok entries ->
+        let violations =
+          List.concat_map
+            (fun (file, repro) ->
+              List.map
+                (fun (oracle, detail) ->
+                  Printf.printf "corpus %s [%s]: %s\n" file oracle detail;
+                  (file, oracle, detail))
+                (Fuzz.Driver.check_repro repro))
+            entries
+        in
+        Printf.printf "corpus replay: %d file(s), %d violation(s)\n" (List.length entries)
+          (List.length violations);
+        violations
+    in
+    let report = Fuzz.Driver.run ~jobs ~budget ~seed () in
+    List.iter
+      (fun (crash : Fuzz.Driver.crash) ->
+        let path = Fuzz.Driver.write_crash ~dir:corpus crash in
+        Printf.printf "wrote reproducer %s\n" path)
+      report.Fuzz.Driver.crashes;
+    print_string (Fuzz.Driver.summary report);
+    print_string (Fuzz.Driver.coverage_block report);
+    if
+      replay_violations <> []
+      || report.Fuzz.Driver.crashes <> []
+      || report.Fuzz.Driver.digest_collisions <> []
+    then exit 1
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Differential fuzzing: generate adversarial loops, check every transform and \
+          the simulator against the reference interpreter, shrink and serialise any \
+          failure.")
+    Term.(const run $ fuzz_seed $ budget $ corpus $ jobs_opt $ telemetry_flag)
+
 (* kernels *)
 let kernels_cmd =
   let run () =
@@ -311,7 +381,7 @@ let main =
        ~doc:"Predicting unroll factors using supervised classification (CGO 2005 reproduction).")
     [
       dataset_cmd; experiment_cmd; inspect_cmd; inspect_file_cmd; export_cmd;
-      kernels_cmd; machines_cmd;
+      fuzz_cmd; kernels_cmd; machines_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -1,0 +1,10 @@
+(** Namespace for the differential-fuzzing subsystem: [Fuzz.Gen] generates
+    adversarial loops, [Fuzz.Oracle] judges them against the reference
+    interpreter and frozen simulator, [Fuzz.Shrink] minimises failures, and
+    [Fuzz.Driver] runs budgeted campaigns over the worker pool and manages
+    the reproducer corpus. *)
+
+module Gen = Fuzz_gen
+module Oracle = Fuzz_oracle
+module Shrink = Fuzz_shrink
+module Driver = Fuzz_driver

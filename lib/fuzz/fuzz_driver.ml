@@ -1,0 +1,267 @@
+type crash = {
+  case : Fuzz_gen.case;
+  oracle : string;
+  detail : string;
+  shrunk : Loop.t;
+}
+
+type report = {
+  budget : int;
+  seed : int;
+  cases_run : int;
+  oracle_runs : (string * int) list;
+  op_coverage : (string * int) list;
+  feature_bins : (string * int array) list;
+  crashes : crash list;
+  buckets : (string * int) list;
+  digest_collisions : (string * string * string) list;
+}
+
+let bin_of v =
+  if v < 0.0 then 0
+  else if v = 0.0 then 1
+  else if v <= 1.0 then 2
+  else if v <= 4.0 then 3
+  else 4
+
+let bin_labels = [| "<0"; "=0"; "(0,1]"; "(1,4]"; ">4" |]
+
+let count_into tbl key n =
+  Hashtbl.replace tbl key (n + Option.value (Hashtbl.find_opt tbl key) ~default:0)
+
+let run ?cfg ?(jobs = 1) ?(telemetry = Telemetry.global) ~budget ~seed () =
+  let results =
+    Parallel.map ~jobs
+      (fun id ->
+        let case = Fuzz_gen.case ?cfg ~seed ~id () in
+        let outcome = Fuzz_oracle.run_case case in
+        let hist = Fuzz_gen.op_histogram case.Fuzz_gen.loop in
+        let feats = Features.extract case.Fuzz_gen.machine case.Fuzz_gen.loop in
+        (case, outcome, hist, feats))
+      (Array.init budget Fun.id)
+  in
+  let oracle_tbl = Hashtbl.create 16 in
+  let op_tbl = Hashtbl.create 16 in
+  let feature_bins =
+    Array.map (fun name -> (name, Array.make (Array.length bin_labels) 0)) Features.names
+  in
+  let digests = Hashtbl.create 64 in
+  let collisions = ref [] in
+  let crashes = ref [] in
+  Array.iter
+    (fun ((case : Fuzz_gen.case), (o : Fuzz_oracle.outcome), hist, feats) ->
+      List.iter (fun name -> count_into oracle_tbl name 1) o.Fuzz_oracle.checked;
+      List.iter (fun (kind, n) -> count_into op_tbl kind n) hist;
+      Array.iteri (fun i v -> (snd feature_bins.(i)).(bin_of v) <- (snd feature_bins.(i)).(bin_of v) + 1) feats;
+      (match o.Fuzz_oracle.digest with
+      | Some (key, content) -> (
+        match Hashtbl.find_opt digests key with
+        | Some other when other <> content -> collisions := (key, other, content) :: !collisions
+        | Some _ -> ()
+        | None -> Hashtbl.add digests key content)
+      | None -> ());
+      List.iter
+        (fun (oracle, detail) ->
+          (* Shrinking re-runs the oracle many times; sequential and after
+             the parallel phase, so reports are jobs-invariant. *)
+          let still_fails l =
+            Fuzz_oracle.check { case with Fuzz_gen.loop = l } ~oracle <> None
+          in
+          let shrunk = Fuzz_shrink.shrink still_fails case.Fuzz_gen.loop in
+          crashes := { case; oracle; detail; shrunk } :: !crashes)
+        o.Fuzz_oracle.violations)
+    results;
+  let crashes = List.rev !crashes in
+  let buckets =
+    let tbl = Hashtbl.create 8 in
+    List.iter
+      (fun ((case : Fuzz_gen.case), (o : Fuzz_oracle.outcome), _, _) ->
+        if o.Fuzz_oracle.violations <> [] then begin
+          let signature =
+            List.map fst o.Fuzz_oracle.violations |> List.sort_uniq compare
+            |> String.concat ","
+          in
+          ignore case;
+          count_into tbl signature 1
+        end)
+      (Array.to_list results);
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] |> List.sort compare
+  in
+  let sorted tbl = Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] |> List.sort compare in
+  let oracle_runs = sorted oracle_tbl and op_coverage = sorted op_tbl in
+  List.iter (fun (o, n) -> Telemetry.incr telemetry ~pass:"fuzz" ("oracle." ^ o) n) oracle_runs;
+  List.iter (fun (k, n) -> Telemetry.incr telemetry ~pass:"fuzz" ("op." ^ k) n) op_coverage;
+  Telemetry.record telemetry ~pass:"fuzz" ~seconds:0.0
+    ~metrics:[ ("cases", budget); ("crashes", List.length crashes) ]
+    ();
+  {
+    budget;
+    seed;
+    cases_run = budget;
+    oracle_runs;
+    op_coverage;
+    feature_bins = Array.to_list feature_bins;
+    crashes;
+    buckets;
+    digest_collisions = List.rev !collisions;
+  }
+
+let coverage_block r =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "coverage:\n  ops:\n";
+  List.iter
+    (fun kind ->
+      let n = Option.value (List.assoc_opt kind r.op_coverage) ~default:0 in
+      Buffer.add_string buf
+        (Printf.sprintf "    %-12s %8d%s\n" kind n (if n = 0 then "  MISSING" else "")))
+    Fuzz_gen.op_kinds;
+  Buffer.add_string buf "  oracles:\n";
+  List.iter
+    (fun name ->
+      let n = Option.value (List.assoc_opt name r.oracle_runs) ~default:0 in
+      Buffer.add_string buf
+        (Printf.sprintf "    %-28s %8d%s\n" name n (if n = 0 then "  MISSING" else "")))
+    Fuzz_oracle.oracle_names;
+  Buffer.add_string buf
+    (Printf.sprintf "  features (bins %s):\n" (String.concat " " (Array.to_list bin_labels)));
+  List.iter
+    (fun (name, bins) ->
+      Buffer.add_string buf
+        (Printf.sprintf "    %-28s %s\n" name
+           (String.concat " "
+              (Array.to_list (Array.map (Printf.sprintf "%6d") bins)))))
+    r.feature_bins;
+  Buffer.contents buf
+
+let summary r =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "fuzz: %d cases (seed %d): %d crash%s\n" r.cases_run r.seed
+       (List.length r.crashes)
+       (if List.length r.crashes = 1 then "" else "es"));
+  List.iter
+    (fun (signature, n) ->
+      Buffer.add_string buf (Printf.sprintf "  bucket %s: %d case%s\n" signature n
+                               (if n = 1 then "" else "s")))
+    r.buckets;
+  List.iter
+    (fun ({ case; oracle; detail; shrunk } : crash) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  case %d [%s]: %s (shrunk to %d ops, trip %d)\n"
+           case.Fuzz_gen.id oracle detail
+           (Array.length shrunk.Loop.body) shrunk.Loop.trip_actual))
+    r.crashes;
+  (match r.digest_collisions with
+  | [] -> ()
+  | l ->
+    Buffer.add_string buf
+      (Printf.sprintf "  %d compile-cache digest collision(s)!\n" (List.length l)));
+  Buffer.contents buf
+
+(* --- corpus ------------------------------------------------------------- *)
+
+type repro = {
+  rcase : Fuzz_gen.case;
+  roracle : string option;
+}
+
+let repro_to_string (c : Fuzz_gen.case) ~oracle =
+  Printf.sprintf
+    "# fuzz-id: %d\n# fuzz-factor: %d\n# fuzz-swp: %b\n# fuzz-rle: %b\n\
+     # fuzz-machine: %s\n# fuzz-oracle: %s\n%s"
+    c.Fuzz_gen.id c.Fuzz_gen.factor c.Fuzz_gen.swp c.Fuzz_gen.rle
+    c.Fuzz_gen.machine.Machine.mach_name oracle
+    (Loop_text.to_string c.Fuzz_gen.loop)
+
+let header_value lines key =
+  let prefix = Printf.sprintf "# fuzz-%s:" key in
+  List.find_map
+    (fun line ->
+      let line = String.trim line in
+      if String.length line > String.length prefix
+         && String.sub line 0 (String.length prefix) = prefix
+      then
+        Some
+          (String.trim
+             (String.sub line (String.length prefix)
+                (String.length line - String.length prefix)))
+      else None)
+    lines
+
+let parse_repro text =
+  let lines = String.split_on_char '\n' text in
+  match Loop_text.parse text with
+  | Error e -> Error e
+  | Ok loop ->
+    let get key = header_value lines key in
+    let int_of key default =
+      match get key with Some v -> int_of_string_opt v | None -> Some default
+    in
+    let bool_of key default =
+      match get key with Some v -> bool_of_string_opt v | None -> Some default
+    in
+    (match (int_of "id" 0, int_of "factor" 1, bool_of "swp" false, bool_of "rle" true) with
+    | Some id, Some factor, Some swp, Some rle ->
+      let machine =
+        match get "machine" with
+        | None -> Some Machine.itanium2
+        | Some name -> Machine.by_name name
+      in
+      (match machine with
+      | None -> Error "unknown machine in # fuzz-machine header"
+      | Some machine ->
+        if factor < 1 || factor > Unroll.max_factor then
+          Error "factor out of range in # fuzz-factor header"
+        else
+          Ok
+            {
+              rcase = { Fuzz_gen.id; loop; factor; swp; rle; machine };
+              roracle = get "oracle";
+            })
+    | _ -> Error "malformed # fuzz-* header")
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load_corpus dir =
+  if not (Sys.file_exists dir && Sys.is_directory dir) then Ok []
+  else begin
+    let files =
+      Sys.readdir dir |> Array.to_list
+      |> List.filter (fun f -> Filename.check_suffix f ".loop")
+      |> List.sort compare
+    in
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | f :: rest -> (
+        match parse_repro (read_file (Filename.concat dir f)) with
+        | Ok r -> go ((f, r) :: acc) rest
+        | Error e -> Error (Printf.sprintf "%s: %s" f e))
+    in
+    go [] files
+  end
+
+let check_repro { rcase; roracle } =
+  match roracle with
+  | Some oracle -> (
+    match Fuzz_oracle.check rcase ~oracle with
+    | None -> []
+    | Some detail -> [ (oracle, detail) ])
+  | None -> (Fuzz_oracle.run_case rcase).Fuzz_oracle.violations
+
+let slug s =
+  String.map (fun c -> if (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') then c else '-')
+    (String.lowercase_ascii s)
+
+let write_crash ~dir ({ case; oracle; shrunk; _ } : crash) =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let path = Filename.concat dir (Printf.sprintf "%s-%04d.loop" (slug oracle) case.Fuzz_gen.id) in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc (repro_to_string { case with Fuzz_gen.loop = shrunk } ~oracle));
+  path

@@ -1,0 +1,77 @@
+(** Fuzzing campaigns: budgeted case generation, parallel oracle runs,
+    sequential shrinking, crash bucketing, coverage accounting, and the
+    serialised-reproducer corpus.
+
+    A campaign is a pure function of [(cfg, budget, seed)]: case [id] is
+    generated from [Rng.derive seed "fuzz-case" id] and the worker pool
+    returns results in input order, so the report — including shrunk
+    reproducers — is bit-identical at any [jobs] setting. *)
+
+type crash = {
+  case : Fuzz_gen.case;  (** the original failing case *)
+  oracle : string;
+  detail : string;
+  shrunk : Loop.t;       (** minimised loop still violating [oracle] *)
+}
+
+type report = {
+  budget : int;
+  seed : int;
+  cases_run : int;
+  oracle_runs : (string * int) list;  (** oracle name → times executed *)
+  op_coverage : (string * int) list;  (** op kind → occurrences generated *)
+  feature_bins : (string * int array) list;
+      (** per {!Features} name, counts in bins [<0], [=0], [(0,1]], [(1,4]],
+          [>4] over all generated loops *)
+  crashes : crash list;
+  buckets : (string * int) list;
+      (** failing-oracle signature (sorted, comma-joined) → case count *)
+  digest_collisions : (string * string * string) list;
+      (** (cache key, content A, content B): same digest, different loop *)
+}
+
+val run :
+  ?cfg:Fuzz_gen.cfg ->
+  ?jobs:int ->
+  ?telemetry:Telemetry.t ->
+  budget:int ->
+  seed:int ->
+  unit ->
+  report
+(** Run cases [0 .. budget-1].  Oracle and op-kind coverage counters are
+    also published into [telemetry] (default {!Telemetry.global}) under the
+    ["fuzz"] pass as [oracle.*] and [op.*]. *)
+
+val coverage_block : report -> string
+(** The telemetry block: op kinds (with [MISSING] markers), oracle run
+    counts, and the feature histogram. *)
+
+val summary : report -> string
+(** Campaign verdict: cases, crash buckets, digest collisions. *)
+
+(** {1 Corpus} *)
+
+type repro = {
+  rcase : Fuzz_gen.case;      (** coordinates parsed from [# fuzz-*] headers *)
+  roracle : string option;    (** the oracle this reproducer once violated *)
+}
+
+val repro_to_string : Fuzz_gen.case -> oracle:string -> string
+(** Serialise a case: [# fuzz-*] header comments (factor, swp, rle,
+    machine, oracle) followed by the {!Loop_text} form. *)
+
+val parse_repro : string -> (repro, string) result
+
+val load_corpus : string -> ((string * repro) list, string) result
+(** All [*.loop] files in a directory, sorted by name.  A missing directory
+    is an empty corpus; an unparsable file is an [Error]. *)
+
+val check_repro : repro -> (string * string) list
+(** Replay: the named oracle (or, without one, the case's full schedule)
+    must {e hold} — a reproducer in the corpus documents a fixed bug.
+    Returns the violations, empty when the corpus entry passes. *)
+
+val write_crash : dir:string -> crash -> string
+(** Serialise a shrunk crash into [dir] as
+    [<oracle-slug>-<case-id>.loop]; returns the path.  Creates [dir] if
+    needed. *)

@@ -1,0 +1,417 @@
+type cfg = {
+  synth_prob : float;
+  comps_max : int;
+  chain_max : int;
+  rec_distance_max : int;
+  arrays_max : int;
+  indirect_prob : float;
+  guard_prob : float;
+  sel_prob : float;
+  mov_prob : float;
+  fmadd_prob : float;
+  div_prob : float;
+  call_prob : float;
+  exit_prob : float;
+  reduction_prob : float;
+  alias_prob : float;
+  dynamic_trip_prob : float;
+  small_array_prob : float;
+  strides : int array;
+}
+
+let default =
+  {
+    synth_prob = 0.5;
+    comps_max = 5;
+    chain_max = 5;
+    rec_distance_max = 4;
+    arrays_max = 3;
+    indirect_prob = 0.08;
+    guard_prob = 0.2;
+    sel_prob = 0.15;
+    mov_prob = 0.12;
+    fmadd_prob = 0.25;
+    div_prob = 0.05;
+    call_prob = 0.05;
+    exit_prob = 0.07;
+    reduction_prob = 0.3;
+    alias_prob = 0.35;
+    dynamic_trip_prob = 0.4;
+    small_array_prob = 0.25;
+    strides = [| 1; 1; 1; 2; 3; 4; 8 |];
+  }
+
+type case = {
+  id : int;
+  loop : Loop.t;
+  factor : int;
+  swp : bool;
+  rle : bool;
+  machine : Machine.t;
+}
+
+let machines = Array.of_list Machine.all
+
+let pick rng arr = arr.(Rng.int rng (Array.length arr))
+
+(* Trip counts concentrated where remainder-loop logic can be wrong. *)
+let adversarial_trip rng ~factor =
+  let f = factor in
+  match Rng.int rng 12 with
+  | 0 -> 0
+  | 1 -> 1
+  | 2 -> max 0 (f - 1)
+  | 3 -> f
+  | 4 -> f + 1
+  | 5 -> (2 * f) - 1
+  | 6 -> 2 * f
+  | 7 -> (3 * f) + 1
+  | 8 -> 1 + Rng.int rng 9
+  | 9 -> (f * (2 + Rng.int rng 6)) + Rng.int rng f
+  | 10 -> Synth.snap_trip rng (24 + Rng.int rng 200)
+  | _ -> 8 + Rng.int rng 56
+
+(* --- shared helpers for the test suites -------------------------------- *)
+
+let synth_profile seed =
+  match seed mod 4 with
+  | 0 -> Synth.fp_numeric
+  | 1 -> Synth.int_pointer
+  | 2 -> Synth.media
+  | _ -> Synth.scientific_c
+
+let synth_loop ?(prefix = "qf") seed =
+  let rng = Rng.create seed in
+  Synth.generate rng (synth_profile seed) ~name:(Printf.sprintf "%s%d" prefix seed)
+
+let with_exact_trip ?(dynamic = false) (l : Loop.t) trip =
+  {
+    l with
+    Loop.trip_actual = trip;
+    trip_static =
+      (if dynamic then None else Option.map (fun _ -> trip) l.Loop.trip_static);
+    exit_prob = 0.0;
+  }
+
+let with_array_lengths (l : Loop.t) len =
+  {
+    l with
+    Loop.arrays =
+      Array.map (fun (a : Loop.array_info) -> { a with Loop.length = len }) l.Loop.arrays;
+  }
+
+(* --- op-kind coverage --------------------------------------------------- *)
+
+let op_kind (op : Op.t) =
+  match op.Op.opcode with
+  | Op.Ialu -> "ialu"
+  | Op.Imul -> "imul"
+  | Op.Fadd -> "fadd"
+  | Op.Fmul -> "fmul"
+  | Op.Fmadd -> "fmadd"
+  | Op.Fdiv -> "fdiv"
+  | Op.Load { Op.mkind = Op.Indirect; _ } -> "load-ind"
+  | Op.Load _ -> "load"
+  | Op.Store { Op.mkind = Op.Indirect; _ } -> "store-ind"
+  | Op.Store _ -> "store"
+  | Op.Cmp -> "cmp"
+  | Op.Sel -> "sel"
+  | Op.Mov -> "mov"
+  | Op.Call -> "call"
+  | Op.Br Op.Backedge -> "br-backedge"
+  | Op.Br Op.Exit -> "br-exit"
+  | Op.Br Op.Internal -> "br-internal"
+
+let op_kinds =
+  [
+    "ialu"; "imul"; "fadd"; "fmul"; "fmadd"; "fdiv"; "load"; "load-ind"; "store";
+    "store-ind"; "cmp"; "sel"; "mov"; "call"; "br-backedge"; "br-exit";
+  ]
+
+let op_histogram (l : Loop.t) =
+  let tbl = Hashtbl.create 16 in
+  Array.iter
+    (fun op ->
+      let k = op_kind op in
+      Hashtbl.replace tbl k (1 + Option.value (Hashtbl.find_opt tbl k) ~default:0))
+    l.Loop.body;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] |> List.sort compare
+
+(* --- the structured generator ------------------------------------------ *)
+
+(* Mutable generation context around a Builder: pools of defined values per
+   class so later computations, selects and stores can reuse them. *)
+type ctx = {
+  b : Builder.t;
+  rng : Rng.t;
+  cfg : cfg;
+  n_arrays : int;
+  mutable ivals : Op.reg list;
+  mutable fvals : Op.reg list;
+  mutable preds : Op.reg list;
+  mutable loaded : int list; (* array ids the loop reads *)
+}
+
+let remember c (r : Op.reg) =
+  match r.Op.cls with
+  | Op.Int -> c.ivals <- r :: c.ivals
+  | Op.Flt -> c.fvals <- r :: c.fvals
+
+let any_array c = Rng.int c.rng c.n_arrays
+
+let stride_of c = pick c.rng c.cfg.strides
+
+let direct_load c ~cls ?(array = any_array c) ?(offset = Rng.int c.rng 3) () =
+  c.loaded <- array :: c.loaded;
+  let r = Builder.load c.b ~cls ~array ~stride:(stride_of c) ~offset () in
+  remember c r;
+  r
+
+let any_int c =
+  match c.ivals with
+  | [] -> direct_load c ~cls:Op.Int ()
+  | l -> List.nth l (Rng.int c.rng (List.length l))
+
+let any_flt c =
+  match c.fvals with
+  | [] -> direct_load c ~cls:Op.Flt ()
+  | l -> List.nth l (Rng.int c.rng (List.length l))
+
+let any_pred c =
+  match c.preds with
+  | [] ->
+    let p = Builder.cmp c.b [ any_int c ] in
+    c.preds <- p :: c.preds;
+    p
+  | l -> List.nth l (Rng.int c.rng (List.length l))
+
+let maybe_pred c = if Rng.float c.rng 1.0 < c.cfg.guard_prob then Some (any_pred c) else None
+
+(* One arithmetic step of class [cls] over existing values. *)
+let arith_step c ?pred cls v =
+  let r =
+    match cls with
+    | Op.Flt ->
+      if Rng.float c.rng 1.0 < c.cfg.fmadd_prob then
+        Builder.fmadd c.b ?pred [ v; any_flt c; any_flt c ]
+      else if Rng.float c.rng 1.0 < c.cfg.div_prob then
+        Builder.fdiv c.b ?pred [ v; any_flt c ]
+      else if Rng.bool c.rng then Builder.fmul c.b ?pred [ v; any_flt c ]
+      else Builder.fadd c.b ?pred [ v; any_flt c ]
+    | Op.Int ->
+      if Rng.bool c.rng then Builder.imul c.b ?pred [ v; any_int c ]
+      else Builder.ialu c.b ?pred [ v; any_int c ]
+  in
+  remember c r;
+  r
+
+let store_value c ?pred v =
+  (* With [alias_prob], target an array the loop also reads, at a nearby
+     offset — genuine (potential) memory dependences across iterations and
+     replicas, exactly what RLE and the dependence analysis must respect. *)
+  let array =
+    if c.loaded <> [] && Rng.float c.rng 1.0 < c.cfg.alias_prob then
+      List.nth c.loaded (Rng.int c.rng (List.length c.loaded))
+    else any_array c
+  in
+  Builder.store c.b ?pred ~array ~stride:(stride_of c) ~offset:(Rng.int c.rng 3) v
+
+(* A loop-carried recurrence at distance [d]: the fresh value enters a
+   rotation chain of [d] registers and is consumed [d] iterations later. *)
+let rotation c ~cls ~d =
+  let fresh () = if cls = Op.Flt then Builder.freg c.b else Builder.ireg c.b in
+  let regs = Array.init d (fun _ -> fresh ()) in
+  let oldest = regs.(d - 1) in
+  let v =
+    match cls with
+    | Op.Flt -> Builder.fmadd c.b [ oldest; any_flt c; any_flt c ]
+    | Op.Int -> Builder.ialu c.b [ oldest; any_int c ]
+  in
+  for i = d - 1 downto 1 do
+    Builder.assign c.b ~dst:regs.(i) regs.(i - 1)
+  done;
+  Builder.assign c.b ~dst:regs.(0) v;
+  Builder.mark_live_out c.b regs.(0);
+  remember c v;
+  v
+
+let computation c =
+  let cls = if Rng.bool c.rng then Op.Flt else Op.Int in
+  let pred = maybe_pred c in
+  let v = ref (direct_load c ~cls ()) in
+  let chain = 1 + Rng.int c.rng c.cfg.chain_max in
+  for _ = 1 to chain do
+    v := arith_step c ?pred cls !v
+  done;
+  if Rng.float c.rng 1.0 < c.cfg.sel_prob then begin
+    let a = !v in
+    let alt = if cls = Op.Flt then any_flt c else any_int c in
+    let r = Builder.sel c.b ~pred:(any_pred c) a alt in
+    remember c r;
+    v := r
+  end;
+  if Rng.float c.rng 1.0 < c.cfg.mov_prob then begin
+    let r = Builder.mov c.b !v in
+    remember c r;
+    v := r
+  end;
+  if Rng.float c.rng 1.0 < c.cfg.reduction_prob then begin
+    let d = 1 + Rng.int c.rng c.cfg.rec_distance_max in
+    if d = 1 then begin
+      let acc = if cls = Op.Flt then Builder.freg c.b else Builder.ireg c.b in
+      Builder.accumulate c.b ~acc ~op:(if cls = Op.Flt then `Fadd else `Ialu) [ !v ];
+      Builder.mark_live_out c.b acc
+    end
+    else ignore (rotation c ~cls ~d)
+  end;
+  if Rng.float c.rng 1.0 < 0.8 then store_value c ?pred:(maybe_pred c) !v;
+  if Rng.float c.rng 1.0 < 0.4 then Builder.mark_live_out c.b !v
+
+let indirect_pair c =
+  (* Index load feeding an indirect load (gather) and an indirect store
+     (scatter): the address-generation dependence must survive every
+     transform, and precise dependence analysis is off the table. *)
+  let k = direct_load c ~cls:Op.Int ~offset:0 () in
+  let tbl = any_array c in
+  let g =
+    Builder.load c.b ~mkind:Op.Indirect ~addr:k ~cls:Op.Flt ~array:tbl ~stride:0 ~offset:0 ()
+  in
+  remember c g;
+  let v = arith_step c Op.Flt g in
+  Builder.store c.b ~mkind:Op.Indirect ~addr:k ~array:(any_array c) ~stride:0 ~offset:0 v
+
+let alias_block c =
+  (* Same-array traffic at neighbouring offsets: in-iteration forwarding
+     (store then load of the same address), a cross-iteration distance-1
+     memory recurrence (load [i+1], store [i]), and a doomed store that a
+     correct DSE may remove only when nothing can read it in between. *)
+  let a = any_array c in
+  c.loaded <- a :: c.loaded;
+  let x = Builder.load c.b ~cls:Op.Int ~array:a ~stride:1 ~offset:1 () in
+  remember c x;
+  let y = Builder.imul c.b [ x; any_int c ] in
+  remember c y;
+  Builder.store c.b ~array:a ~stride:1 ~offset:0 y;
+  let z = Builder.load c.b ~cls:Op.Int ~array:a ~stride:1 ~offset:0 () in
+  remember c z;
+  let w = Builder.ialu c.b [ z; x ] in
+  remember c w;
+  Builder.store c.b ~array:a ~stride:1 ~offset:0 w;
+  Builder.mark_live_out c.b w
+
+let predicated_block c =
+  let x = direct_load c ~cls:Op.Flt () in
+  let p = Builder.cmp c.b [ x ] in
+  c.preds <- p :: c.preds;
+  let y = Builder.fadd c.b ~pred:p [ x; any_flt c ] in
+  remember c y;
+  let s = Builder.sel c.b ~pred:p y x in
+  remember c s;
+  let i = Builder.ialu c.b ~pred:p [ any_int c; any_int c ] in
+  remember c i;
+  store_value c ~pred:p s;
+  Builder.mark_live_out c.b s
+
+let exit_block c =
+  let v = direct_load c ~cls:Op.Int ~offset:0 () in
+  let p = Builder.cmp c.b [ v ] in
+  Builder.early_exit c.b ~pred:p
+
+(* Directed shapes, cycled by [id mod 10] so small budgets still cover the
+   whole op-kind and oracle space. *)
+let shape_count = 10
+
+let build_structured rng cfg ~shape ~factor ~name =
+  let dynamic =
+    if shape = 0 then Rng.bool rng else Rng.float rng 1.0 < cfg.dynamic_trip_prob
+  in
+  let trip =
+    if shape = 0 then pick rng [| 0; 1; max 0 (factor - 1); factor; factor + 1; 2 * factor |]
+    else adversarial_trip rng ~factor
+  in
+  let lang = pick rng [| Loop.C; Loop.Fortran; Loop.Fortran90 |] in
+  let aliased = match lang with Loop.C -> Rng.float rng 1.0 < 0.6 | _ -> false in
+  let b =
+    Builder.create ~nest_level:(1 + Rng.int rng 3) ~lang
+      ~trip_static:(if dynamic then None else Some trip)
+      ~aliased ~outer_trip:(1 + Rng.int rng 24) ~name ~trip ()
+  in
+  let max_stride = Array.fold_left max 1 cfg.strides in
+  let n_arrays = 1 + Rng.int rng cfg.arrays_max in
+  for i = 0 to n_arrays - 1 do
+    let len =
+      if Rng.float rng 1.0 < cfg.small_array_prob then 3 + Rng.int rng 14
+      else (max trip 1 * max_stride) + 16 + Rng.int rng 32
+    in
+    let elem = if Rng.bool rng then 8 else 4 in
+    ignore (Builder.add_array b ~elem_size:elem ~length:len (Printf.sprintf "a%d" i))
+  done;
+  let c = { b; rng; cfg; n_arrays; ivals = []; fvals = []; preds = []; loaded = [] } in
+  (match shape with
+  | 0 ->
+    (* remainder edge: a plain fp kernel whose only adversarial feature is
+       the trip count straddling the factor *)
+    let x = direct_load c ~cls:Op.Flt () in
+    let y = direct_load c ~cls:Op.Flt () in
+    let v = Builder.fmul c.b [ x; y ] in
+    remember c v;
+    let w = Builder.fadd c.b [ v; any_flt c ] in
+    remember c w;
+    store_value c w;
+    Builder.mark_live_out c.b w
+  | 1 ->
+    let d = 1 + Rng.int rng cfg.rec_distance_max in
+    let v = rotation c ~cls:Op.Flt ~d:(max 2 d) in
+    store_value c v;
+    if Rng.bool rng then ignore (rotation c ~cls:Op.Int ~d:(1 + Rng.int rng 2))
+  | 2 -> alias_block c
+  | 3 ->
+    indirect_pair c;
+    computation c
+  | 4 -> predicated_block c
+  | 5 ->
+    let x = direct_load c ~cls:Op.Flt () in
+    let q = Builder.fdiv c.b [ x; any_flt c ] in
+    remember c q;
+    Builder.call c.b;
+    store_value c q;
+    Builder.mark_live_out c.b q
+  | 6 ->
+    computation c;
+    exit_block c
+  | 9 ->
+    (* tiny body, the regime where high factors pay *)
+    let x = direct_load c ~cls:Op.Flt ~offset:0 () in
+    let v = arith_step c Op.Flt x in
+    store_value c v
+  | _ ->
+    (* mixed: everything by probability *)
+    let comps = 1 + Rng.int rng cfg.comps_max in
+    for _ = 1 to comps do
+      computation c
+    done;
+    if Rng.float rng 1.0 < cfg.indirect_prob then indirect_pair c;
+    if Rng.float rng 1.0 < cfg.call_prob then Builder.call c.b;
+    if Rng.float rng 1.0 < cfg.exit_prob then exit_block c);
+  Builder.finish b
+
+let loop rng cfg ~id ~factor ~name =
+  let shape = id mod shape_count in
+  if shape >= 7 && shape <= 8 && Rng.float rng 1.0 < cfg.synth_prob then begin
+    (* benchmark-profile loops keep the fuzzer anchored to the learning
+       workload's distribution; trips still land adversarially *)
+    let profile = synth_profile (Rng.int rng 4) in
+    let l = Synth.generate rng profile ~name in
+    let dynamic = Rng.float rng 1.0 < cfg.dynamic_trip_prob in
+    with_exact_trip ~dynamic l (adversarial_trip rng ~factor)
+  end
+  else build_structured rng cfg ~shape ~factor ~name
+
+let case ?(cfg = default) ~seed ~id () =
+  let rng = Rng.derive seed "fuzz-case" id in
+  let factor = 1 + Rng.int rng 8 in
+  let swp = id land 1 = 1 in
+  let rle = id land 2 = 0 in
+  let machine = machines.(id mod Array.length machines) in
+  let loop = loop rng cfg ~id ~factor ~name:(Printf.sprintf "fz%d" id) in
+  { id; loop; factor; swp; rle; machine }

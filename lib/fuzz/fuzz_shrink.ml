@@ -1,0 +1,125 @@
+let renumber body = Array.mapi (fun i (op : Op.t) -> { op with Op.uid = i }) body
+
+let with_trip (l : Loop.t) t =
+  {
+    l with
+    Loop.trip_actual = t;
+    trip_static = Option.map (fun _ -> t) l.Loop.trip_static;
+  }
+
+(* Candidate reductions, strongest first.  The overhead trio (induction
+   update, compare, backedge) is the last three ops and is never touched:
+   every transform and the validator assume its shape. *)
+let candidates (l : Loop.t) =
+  let n = Array.length l.Loop.body in
+  let core = max 0 (n - 3) in
+  let drops =
+    List.init core (fun i ->
+        let body =
+          Array.to_list l.Loop.body |> List.filteri (fun j _ -> j <> i) |> Array.of_list
+        in
+        { l with Loop.body = renumber body })
+  in
+  let trips =
+    let t = l.Loop.trip_actual in
+    [ 0; 1; 2; t / 2; t - 1 ]
+    |> List.filter (fun x -> x >= 0 && x < t)
+    |> List.sort_uniq compare
+    |> List.map (with_trip l)
+  in
+  let unpred =
+    List.concat
+      (List.init core (fun i ->
+           let op = l.Loop.body.(i) in
+           if op.Op.pred = None then []
+           else begin
+             let body = Array.copy l.Loop.body in
+             body.(i) <- { op with Op.pred = None };
+             [ { l with Loop.body = body } ]
+           end))
+  in
+  let liveouts =
+    List.map
+      (fun r -> { l with Loop.live_out = List.filter (fun r' -> r' <> r) l.Loop.live_out })
+      l.Loop.live_out
+  in
+  let drop_arrays =
+    if Array.length l.Loop.arrays <= 1 then []
+    else begin
+      let used = Hashtbl.create 8 in
+      Array.iter
+        (fun op ->
+          match Op.mref op with
+          | Some m -> Hashtbl.replace used m.Op.array ()
+          | None -> ())
+        l.Loop.body;
+      List.concat
+        (List.init (Array.length l.Loop.arrays) (fun j ->
+             if Hashtbl.mem used j then []
+             else begin
+               let arrays =
+                 Array.to_list l.Loop.arrays
+                 |> List.filteri (fun k _ -> k <> j)
+                 |> Array.of_list
+               in
+               let remap (op : Op.t) =
+                 match op.Op.opcode with
+                 | Op.Load m when m.Op.array > j ->
+                   { op with Op.opcode = Op.Load { m with Op.array = m.Op.array - 1 } }
+                 | Op.Store m when m.Op.array > j ->
+                   { op with Op.opcode = Op.Store { m with Op.array = m.Op.array - 1 } }
+                 | _ -> op
+               in
+               [ { l with Loop.arrays; body = Array.map remap l.Loop.body } ]
+             end))
+    end
+  in
+  let shrink_arrays =
+    if Array.exists (fun (a : Loop.array_info) -> a.Loop.length > 8) l.Loop.arrays then
+      [
+        {
+          l with
+          Loop.arrays =
+            Array.map
+              (fun (a : Loop.array_info) ->
+                { a with Loop.length = max 4 (a.Loop.length / 2) })
+              l.Loop.arrays;
+        };
+      ]
+    else []
+  in
+  let scalars =
+    (if l.Loop.outer_trip > 1 then [ { l with Loop.outer_trip = 1 } ] else [])
+    @ (if l.Loop.nest_level > 1 then [ { l with Loop.nest_level = 1 } ] else [])
+    @ if l.Loop.aliased then [ { l with Loop.aliased = false } ] else []
+  in
+  drops @ trips @ unpred @ liveouts @ drop_arrays @ shrink_arrays @ scalars
+
+let shrink ?(max_evals = 500) still_fails loop =
+  let evals = ref 0 in
+  let fails l =
+    if !evals >= max_evals then false
+    else begin
+      incr evals;
+      still_fails l
+    end
+  in
+  if not (fails loop) then loop
+  else begin
+    let current = ref loop in
+    let progress = ref true in
+    while !progress && !evals < max_evals do
+      progress := false;
+      let rec try_candidates = function
+        | [] -> ()
+        | c :: rest ->
+          if Loop.validate c = Ok () && fails c then begin
+            current := c;
+            progress := true
+          end
+          else try_candidates rest
+      in
+      try_candidates (candidates !current)
+    done;
+    !current
+  end

@@ -1,0 +1,15 @@
+(** Greedy minimisation of failing loops.
+
+    [shrink still_fails loop] repeatedly applies the first size reduction
+    that keeps [still_fails] true — dropping body ops (the loop overhead
+    trio is preserved), lowering the trip count toward the 0/1/factor
+    boundary, clearing predication, forgetting live-outs, dropping unused
+    arrays and shrinking array footprints — until no candidate reproduces
+    the failure or the evaluation budget is spent.  Every candidate is
+    revalidated ({!Loop.validate}); invalid reductions (e.g. removing a
+    [Cmp] something is guarded by) are skipped, so the result is always a
+    well-formed loop that still fails the oracle it came from. *)
+
+val shrink : ?max_evals:int -> (Loop.t -> bool) -> Loop.t -> Loop.t
+(** [max_evals] bounds calls to the predicate (default 500).  The input is
+    returned unchanged when it does not satisfy [still_fails]. *)

@@ -108,6 +108,10 @@ let mov t ?pred src =
   append t ~dst ~srcs:[ src ] ?pred Op.Mov;
   dst
 
+let assign t ?pred ~dst src =
+  if dst.Op.cls <> src.Op.cls then invalid_arg "Builder.assign: operand class mismatch";
+  append t ~dst ~srcs:[ src ] ?pred Op.Mov
+
 let sel t ~pred a b =
   if a.Op.cls <> b.Op.cls then invalid_arg "Builder.sel: operand class mismatch";
   let dst = fresh_reg t a.Op.cls in

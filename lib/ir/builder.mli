@@ -59,6 +59,14 @@ val accumulate : t -> ?pred:Op.reg -> acc:Op.reg -> op:[ `Fadd | `Fmadd | `Ialu 
     that creates a recurrence. *)
 
 val mov : t -> ?pred:Op.reg -> Op.reg -> Op.reg
+
+val assign : t -> ?pred:Op.reg -> dst:Op.reg -> Op.reg -> unit
+(** [assign t ~dst src] appends [dst <- mov src] into an {e existing}
+    register of the same class.  Writing a named register (rather than a
+    fresh one, as {!mov} does) is what rotation chains need: a sequence of
+    assigns [a(k) <- a(k-1); ...; a(0) <- v] carries [v] across [k]
+    iterations — a loop-carried dependence at distance [k]. *)
+
 val sel : t -> pred:Op.reg -> Op.reg -> Op.reg -> Op.reg
 val cmp : t -> ?pred:Op.reg -> Op.reg list -> Op.reg
 (** Compare producing a predicate (an integer register usable as [~pred]). *)

@@ -134,7 +134,11 @@ let assemble_pass =
         let outer_trip = st.Pipeline_state.source.Loop.outer_trip in
         let exit_prob = st.Pipeline_state.source.Loop.exit_prob in
         let trip = (u.Unroll.kernel_trips * u.Unroll.factor) + u.Unroll.remainder_trips in
-        let eff = effective_trips (max trip 1) exit_prob in
+        (* A zero-trip loop executes nothing: [effective_trips] clamps to at
+           least one iteration (a geometric exit always fires eventually),
+           which is right only when there is an iteration to run.  Without
+           this guard a trip-0 loop compiled at factor 1 executed once. *)
+        let eff = if trip = 0 then 0 else effective_trips trip exit_prob in
         let kernel_trips =
           if exit_prob > 0.0 then
             (* An exit mid-kernel still executes (and wastes) the whole

@@ -34,45 +34,59 @@ let eliminate_loads ~aliased body =
     in
     List.iter (Hashtbl.remove available) doomed
   in
+  (* A cached register is only a stand-in for the memory cell while it still
+     holds the stored/loaded value.  Any later definition of that register —
+     including a predicated one, which the unroller deliberately leaves
+     un-renamed across copies — invalidates every entry that points at it. *)
+  let kill_reg (d : Op.reg) =
+    let doomed =
+      Hashtbl.fold (fun k' (r : Op.reg) acc -> if r.Op.id = d.Op.id then k' :: acc else acc)
+        available []
+    in
+    List.iter (Hashtbl.remove available) doomed
+  in
   let eliminated = ref 0 in
   let rewritten =
     Array.map
       (fun (op : Op.t) ->
-        match op.Op.opcode with
-        | Op.Load m -> begin
-          match direct_unpredicated op with
-          | Some m' -> begin
-            let k = key_of m' in
-            match Hashtbl.find_opt available k with
-            | Some r ->
-              incr eliminated;
-              { op with Op.opcode = Op.Mov; srcs = [ r ] }
+        let op' =
+          match op.Op.opcode with
+          | Op.Load m -> begin
+            match direct_unpredicated op with
+            | Some m' -> begin
+              let k = key_of m' in
+              match Hashtbl.find_opt available k with
+              | Some r ->
+                incr eliminated;
+                { op with Op.opcode = Op.Mov; srcs = [ r ] }
+              | None -> op
+            end
             | None ->
-              (match op.Op.dst with
-              | Some d -> Hashtbl.replace available k d
-              | None -> ());
+              ignore m;
               op
           end
-          | None ->
-            ignore m;
-            op
-        end
-        | Op.Store m -> begin
-          match (direct_unpredicated op, op.Op.srcs) with
-          | Some m', [ v ] ->
-            let k = key_of m' in
-            kill_may_alias k;
-            Hashtbl.replace available k v;
-            op
-          | _ ->
-            (* Indirect or predicated store: conservative. *)
-            (match m.Op.mkind with
-            | Op.Indirect -> kill_all ()
-            | Op.Direct -> if aliased then kill_all () else kill_array m.Op.array);
-            op
-        end
-        | Op.Call -> kill_all (); op
-        | _ -> op)
+          | Op.Store m -> begin
+            match (direct_unpredicated op, op.Op.srcs) with
+            | Some m', [ v ] ->
+              let k = key_of m' in
+              kill_may_alias k;
+              Hashtbl.replace available k v;
+              op
+            | _ ->
+              (* Indirect or predicated store: conservative. *)
+              (match m.Op.mkind with
+              | Op.Indirect -> kill_all ()
+              | Op.Direct -> if aliased then kill_all () else kill_array m.Op.array);
+              op
+          end
+          | Op.Call -> kill_all (); op
+          | _ -> op
+        in
+        (match op'.Op.dst with Some d -> kill_reg d | None -> ());
+        (match (op'.Op.opcode, direct_unpredicated op', op'.Op.dst) with
+        | Op.Load _, Some m', Some d -> Hashtbl.replace available (key_of m') d
+        | _ -> ());
+        op')
       body
   in
   (rewritten, !eliminated)

@@ -1,25 +1,7 @@
 (* Tests for the textual loop format: round-tripping, hand-written
    programs, and error reporting. *)
 
-let structurally_equal (a : Loop.t) (b : Loop.t) =
-  let sig_of (l : Loop.t) =
-    ( Array.map
-        (fun (op : Op.t) ->
-          ( op.Op.opcode,
-            Option.map (fun (r : Op.reg) -> r.Op.cls) op.Op.dst,
-            List.length op.Op.srcs,
-            op.Op.pred <> None ))
-        l.Loop.body,
-      Array.map (fun (x : Loop.array_info) -> (x.Loop.aname, x.Loop.elem_size, x.Loop.length)) l.Loop.arrays,
-      l.Loop.nest_level,
-      l.Loop.lang,
-      l.Loop.trip_static,
-      l.Loop.trip_actual,
-      l.Loop.aliased,
-      l.Loop.outer_trip,
-      List.length l.Loop.live_out )
-  in
-  sig_of a = sig_of b
+let structurally_equal = Fuzz.Oracle.structurally_equal
 
 let test_roundtrip_kernels () =
   List.iter
@@ -35,20 +17,37 @@ let test_roundtrip_kernels () =
 
 let test_roundtrip_synthetic () =
   for seed = 0 to 150 do
-    let rng = Rng.create seed in
-    let profile =
-      match seed mod 4 with
-      | 0 -> Synth.fp_numeric
-      | 1 -> Synth.int_pointer
-      | 2 -> Synth.media
-      | _ -> Synth.scientific_c
-    in
-    let l = Synth.generate rng profile ~name:(Printf.sprintf "rt%d" seed) in
+    let l = Fuzz.Gen.synth_loop ~prefix:"rt" seed in
     match Loop_text.parse (Loop_text.to_string l) with
     | Error e -> Alcotest.failf "seed %d: %s" seed e
     | Ok l' ->
       if not (structurally_equal l l') then Alcotest.failf "seed %d: not equal" seed
   done
+
+(* The same property over the fuzzer's adversarial generator, whose loops
+   reach corners Synth never emits (rotation chains, indirect stores,
+   trip 0): parse ∘ print is the identity up to register numbering, and
+   the parse-renumbered form prints to a true fixed point. *)
+let prop_roundtrip_fuzz_gen =
+  QCheck.Test.make ~count:120 ~name:"parse/print round-trip on fuzzed loops"
+    QCheck.(make Gen.(0 -- 3000))
+    (fun id ->
+      let c = Fuzz.Gen.case ~seed:11 ~id () in
+      let l = c.Fuzz.Gen.loop in
+      let text = Loop_text.to_string l in
+      match Loop_text.parse text with
+      | Error e -> QCheck.Test.fail_reportf "case %d: %s" id e
+      | Ok l' ->
+        if not (structurally_equal l l') then
+          QCheck.Test.fail_reportf "case %d: not structurally equal" id
+        else begin
+          let normal = Loop_text.to_string l' in
+          match Loop_text.parse normal with
+          | Error e -> QCheck.Test.fail_reportf "case %d: normal form: %s" id e
+          | Ok l'' ->
+            Loop_text.to_string l'' = normal
+            || QCheck.Test.fail_reportf "case %d: normal form not a fixed point" id
+        end)
 
 let test_roundtrip_preserves_semantics () =
   (* Stronger than structural equality: the parsed loop must behave
@@ -174,6 +173,7 @@ let suite =
   [
     ("roundtrip kernels", `Quick, test_roundtrip_kernels);
     ("roundtrip synthetic", `Quick, test_roundtrip_synthetic);
+    QCheck_alcotest.to_alcotest prop_roundtrip_fuzz_gen;
     ("roundtrip semantics", `Quick, test_roundtrip_preserves_semantics);
     ("parse handwritten", `Quick, test_parse_handwritten);
     ("parse predication/exit", `Quick, test_parse_predication_and_exit);

@@ -15,6 +15,8 @@ let () =
       ("sim", Test_sim.suite);
       ("sim_equiv", Test_sim_equiv.suite);
       ("workloads", Test_workloads.suite);
+      ("fuzz", Test_fuzz.suite);
+      ("fuzz_corpus", Test_fuzz_corpus.suite);
       ("ml", Test_ml.suite);
       ("core", Test_core.suite);
       ("extensions", Test_extensions.suite);

@@ -7,67 +7,21 @@ let machine = Machine.itanium2
 
 (* --- semantics property ------------------------------------------------ *)
 
-(* Spill code writes to the allocator's "$spill" array; those cells are an
-   implementation detail of the compiled loop, not part of its observable
-   behaviour, so equivalence is checked modulo that address range. *)
-let spill_ranges (exe : Simulator.executable) =
-  List.filter_map
-    (fun ((s : Schedule.t), _, _) ->
-      Array.find_opt
-        (fun (a : Loop.array_info) -> a.Loop.aname = Regalloc.spill_array_name)
-        s.Schedule.loop.Loop.arrays
-      |> Option.map (fun (a : Loop.array_info) ->
-             (a.Loop.base, a.Loop.base + (a.Loop.elem_size * a.Loop.length))))
-    exe.Simulator.schedules
-
-let run_exe st (exe : Simulator.executable) =
-  (* Kernel then remainder, like Interp.run_unrolled: the remainder is
-     skipped when the kernel fired an early exit. *)
-  let exited = ref false in
-  List.iter
-    (fun ((s : Schedule.t), trips, phase) ->
-      if (not !exited) && trips > 0 then begin
-        let out = Interp.run st s.Schedule.loop ~trips ~phase in
-        if out.Interp.exited_early then exited := true
-      end)
-    exe.Simulator.schedules
-
-let equivalent_modulo_spills exe st_orig st_new live_out =
-  let ranges = spill_ranges exe in
-  let keep (addr, _) =
-    not (List.exists (fun (lo, hi) -> addr >= lo && addr < hi) ranges)
-  in
-  List.filter keep (Interp.memory_image st_orig)
-  = List.filter keep (Interp.memory_image st_new)
-  && List.for_all
-       (fun r -> Interp.register_value st_orig r = Interp.register_value st_new r)
-       live_out
+(* Executable interpretation and spill-modulo equivalence live in
+   Fuzz.Oracle, shared with the fuzzer's differential oracles. *)
+let run_exe = Fuzz.Oracle.run_exe
+let equivalent_modulo_spills = Fuzz.Oracle.equivalent_modulo_spills
 
 let gen =
   QCheck.Gen.(
     let* seed = 0 -- 60000 in
     let* f = 1 -- 8 in
     let* swp = bool in
-    let rng = Rng.create seed in
-    let profile =
-      match seed mod 4 with
-      | 0 -> Synth.fp_numeric
-      | 1 -> Synth.int_pointer
-      | 2 -> Synth.media
-      | _ -> Synth.scientific_c
-    in
-    let l = Synth.generate rng profile ~name:(Printf.sprintf "qp%d" seed) in
-    let trip = 1 + (seed mod 41) in
     (* exit_prob feeds the executable's *expected*-trip arithmetic, which
-       is a performance model, not a semantic one; zero it so the compiled
-       schedules carry exact trip counts. *)
+       is a performance model, not a semantic one; with_exact_trip zeroes
+       it so the compiled schedules carry exact trip counts. *)
     let l =
-      {
-        l with
-        Loop.trip_actual = trip;
-        trip_static = Option.map (fun _ -> trip) l.Loop.trip_static;
-        exit_prob = 0.0;
-      }
+      Fuzz.Gen.with_exact_trip (Fuzz.Gen.synth_loop ~prefix:"qp" seed) (1 + (seed mod 41))
     in
     return (l, f, swp))
 

@@ -44,29 +44,10 @@ let gen =
     let* swp = bool in
     let* iters = oneofl [ 40; 75; 200 ] in
     let* small_arrays = bool in
-    let rng = Rng.create seed in
-    let profile =
-      match seed mod 4 with
-      | 0 -> Synth.fp_numeric
-      | 1 -> Synth.int_pointer
-      | 2 -> Synth.media
-      | _ -> Synth.scientific_c
-    in
-    let l = Synth.generate rng profile ~name:(Printf.sprintf "qe%d" seed) in
+    let l = Fuzz.Gen.synth_loop ~prefix:"qe" seed in
     (* Small arrays wrap within the simulated window, which is what engages
        the wrap-period fast-forward. *)
-    let l =
-      if not small_arrays then l
-      else
-        {
-          l with
-          Loop.arrays =
-            Array.map
-              (fun (a : Loop.array_info) ->
-                { a with Loop.length = 3 + (seed mod 13) })
-              l.Loop.arrays;
-        }
-    in
+    let l = if small_arrays then Fuzz.Gen.with_array_lengths l (3 + (seed mod 13)) else l in
     let l = { l with Loop.trip_actual = 1 + (seed mod 900) } in
     return (l, f, swp, iters))
 
