@@ -355,6 +355,141 @@ let fuzz_cmd =
           failure.")
     Term.(const run $ fuzz_seed $ budget $ corpus $ jobs_opt $ telemetry_flag)
 
+(* train *)
+let train_cmd =
+  let output =
+    Arg.(value & opt string "model.artifact" & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Artifact output path.")
+  in
+  let swp =
+    Arg.(value & flag & info [ "swp" ] ~doc:"Label with software pipelining enabled.")
+  in
+  let journal =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "journal" ] ~docv:"FILE"
+          ~doc:
+            "Crash-safe label journal.  Measurements are appended as they complete; \
+             re-running with the same journal resumes the sweep, skipping every \
+             loop already journalled.")
+  in
+  let model =
+    Arg.(
+      value
+      & opt (enum [ ("nn", Train.Nn); ("svm", Train.Svm); ("best", Train.Best) ]) Train.Best
+      & info [ "model" ] ~docv:"M"
+          ~doc:"Which learner to package: 'nn', 'svm', or 'best' (higher LOOCV accuracy; default).")
+  in
+  let run config output swp journal model telemetry =
+    with_telemetry telemetry (fun () ->
+        let journal =
+          match journal with
+          | None -> None
+          | Some path -> (
+            match Label_store.open_ path with
+            | Ok j ->
+              if Label_store.recovered_records j > 0 then
+                Printf.eprintf "journal: resumed %d records from %s (%d torn bytes discarded)\n%!"
+                  (Label_store.recovered_records j) path (Label_store.truncated_bytes j);
+              Some j
+            | Error e ->
+              Printf.eprintf "journal: %s\n" e;
+              exit 2)
+        in
+        Fun.protect
+          ~finally:(fun () -> Option.iter Label_store.close journal)
+          (fun () ->
+            let artifact, report = Train.run ~progress:true ?journal config ~swp ~model in
+            Model_artifact.save artifact output;
+            Printf.printf "trained %s model on %d loops (%d measured), %d features\n"
+              report.Train.chosen report.Train.kept report.Train.measured
+              (Array.length report.Train.features);
+            Printf.printf "LOOCV accuracy: nn %.3f, svm %.3f\n" report.Train.nn_loocv
+              report.Train.svm_loocv;
+            Printf.printf "dataset digest: %s\n" report.Train.dataset_digest;
+            Printf.printf "wrote %s\n" output))
+  in
+  Cmd.v
+    (Cmd.info "train"
+       ~doc:
+         "Full training pipeline: sweep the suite (journalled, resumable), select \
+          features, fit and cross-validate both learners, write a versioned model \
+          artifact.")
+    Term.(const run $ config_term $ output $ swp $ journal $ model $ telemetry_flag)
+
+(* predict *)
+let predict_cmd =
+  let artifact =
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "artifact" ] ~docv:"FILE" ~doc:"Model artifact written by `unroll-ml train`.")
+  in
+  let kernels =
+    Arg.(value & flag & info [ "kernels" ] ~doc:"Predict for the built-in kernel loops.")
+  in
+  let file =
+    Arg.(
+      value
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"A .loop file (see `unroll-ml export`).")
+  in
+  let output =
+    Arg.(value & opt string "-" & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output path ('-' = stdout).")
+  in
+  let run config artifact kernels file output telemetry =
+    with_telemetry telemetry (fun () ->
+        let loops =
+          match (kernels, file) with
+          | true, None -> List.map (fun (name, maker) -> maker ~name ~trip:256) Kernels.all
+          | false, Some path -> begin
+            let contents =
+              let ic = open_in_bin path in
+              Fun.protect
+                ~finally:(fun () -> close_in ic)
+                (fun () -> really_input_string ic (in_channel_length ic))
+            in
+            match Loop_text.parse_many contents with
+            | Ok loops -> loops
+            | Error e ->
+              Printf.eprintf "parse error: %s\n" e;
+              exit 2
+          end
+          | _ ->
+            Printf.eprintf "predict: give exactly one of --kernels or a .loop FILE\n";
+            exit 2
+        in
+        let service =
+          match
+            Result.bind (Model_artifact.load artifact) (Predict_service.create config)
+          with
+          | Ok s -> s
+          | Error e ->
+            Printf.eprintf "artifact: %s\n" e;
+            exit 2
+        in
+        let factors = Predict_service.predict_batch service loops in
+        let buf = Buffer.create 256 in
+        List.iteri
+          (fun i loop ->
+            Buffer.add_string buf (Printf.sprintf "%s %d\n" loop.Loop.name factors.(i)))
+          loops;
+        if output = "-" then print_string (Buffer.contents buf)
+        else begin
+          let oc = open_out output in
+          Fun.protect
+            ~finally:(fun () -> close_out oc)
+            (fun () -> output_string oc (Buffer.contents buf));
+          Printf.printf "wrote %d predictions to %s\n" (List.length loops) output
+        end)
+  in
+  Cmd.v
+    (Cmd.info "predict"
+       ~doc:
+         "Batched prediction from a model artifact: load, verify provenance against \
+          the serving machine, print `name factor` per loop.")
+    Term.(const run $ config_term $ artifact $ kernels $ file $ output $ telemetry_flag)
+
 (* kernels *)
 let kernels_cmd =
   let run () =
@@ -381,7 +516,7 @@ let main =
        ~doc:"Predicting unroll factors using supervised classification (CGO 2005 reproduction).")
     [
       dataset_cmd; experiment_cmd; inspect_cmd; inspect_file_cmd; export_cmd;
-      fuzz_cmd; kernels_cmd; machines_cmd;
+      train_cmd; predict_cmd; fuzz_cmd; kernels_cmd; machines_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -19,7 +19,7 @@ let info progress fmt =
 
 (* §7: classification uses the union of the MIS top features and the greedy
    picks of both classifiers. *)
-let select_feature_subset ~progress (config : Config.t) dataset =
+let select_feature_subset ?(progress = false) (config : Config.t) dataset =
   let scaled = Scale.apply (Scale.fit dataset) dataset in
   let mis = Array.to_list (Mis.rank ~jobs:config.Config.jobs dataset) in
   let mis_top = List.filteri (fun i _ -> i < config.Config.mis_k) mis |> List.map fst in

@@ -32,6 +32,12 @@ type env = {
 val build_env : ?progress:bool -> Config.t -> env
 (** [progress] (default true) prints coarse progress to stderr. *)
 
+val select_feature_subset : ?progress:bool -> Config.t -> Dataset.t -> int array
+(** §7's committed feature subset: the union (first-appearance order) of
+    the MIS top-[mis_k] features and the greedy picks of both the NN and
+    the SVM.  Shared by {!build_env} and the {!Train} pipeline so the
+    experiments and a deployed artifact select identically. *)
+
 val fig1 : env -> string
 (** Near-neighbor classification on LDA-projected data (4 classes, ≥30%
     margin), with an example query. *)

@@ -15,12 +15,13 @@ let passes_filters l =
   && best >= float_of_int Measure.min_cycles_filter
   && mean /. best >= 1.05
 
-let collect ?progress ?(jobs = 1) (config : Config.t) ~swp benchmarks =
+let collect ?progress ?(jobs = 1) ?journal (config : Config.t) ~swp benchmarks =
   (* One task per loop.  Each loop's measurement RNG is derived from
      (noise_seed, benchmark, loop index) rather than threaded through a
      single sequential stream, so the noise a loop observes does not depend
      on which loops were measured before it — which is what makes the
-     parallel sweep bit-identical to the sequential one. *)
+     parallel sweep bit-identical to the sequential one, and a journalled
+     resume (skipping already-measured loops) bit-identical to both. *)
   let tasks =
     List.concat_map
       (fun (b : Suite.benchmark) ->
@@ -35,11 +36,38 @@ let collect ?progress ?(jobs = 1) (config : Config.t) ~swp benchmarks =
   let done_ = Atomic.make 0 in
   let progress_mutex = Mutex.create () in
   let measure (bench, i, loop, weight) =
-    let rng = Rng.derive config.Config.noise_seed bench i in
+    let key =
+      Option.map
+        (fun _ ->
+          Label_store.sweep_key ~machine:config.Config.machine ~swp
+            ~noise:config.Config.noise ~noise_seed:config.Config.noise_seed
+            ~runs:config.Config.runs ~max_sim_iters:config.Config.max_sim_iters
+            ~bench ~index:i loop)
+        journal
+    in
+    let journalled =
+      match (journal, key) with
+      | Some j, Some k -> Label_store.find_sweep j ~key:k ~n_factors:Unroll.max_factor
+      | _ -> None
+    in
     let cycles =
-      Measure.sweep ~noise:config.Config.noise ~runs:config.Config.runs
-        ~max_sim_iters:config.Config.max_sim_iters ~rng
-        ~machine:config.Config.machine ~swp loop
+      match journalled with
+      | Some cycles ->
+        Telemetry.incr Telemetry.global ~pass:"label-store" "resume-hits" 1;
+        cycles
+      | None ->
+        let rng = Rng.derive config.Config.noise_seed bench i in
+        let cycles =
+          Measure.sweep ~noise:config.Config.noise ~runs:config.Config.runs
+            ~max_sim_iters:config.Config.max_sim_iters ~rng
+            ~machine:config.Config.machine ~swp loop
+        in
+        (match (journal, key) with
+        | Some j, Some k ->
+          Telemetry.incr Telemetry.global ~pass:"label-store" "sweeps-measured" 1;
+          Label_store.append_sweep j ~key:k cycles
+        | _ -> ());
+        cycles
     in
     let d = Atomic.fetch_and_add done_ 1 + 1 in
     (match progress with

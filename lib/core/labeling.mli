@@ -24,13 +24,22 @@ val passes_filters : labeled -> bool
 val collect :
   ?progress:(done_:int -> total:int -> unit) ->
   ?jobs:int ->
+  ?journal:Label_store.t ->
   Config.t -> swp:bool -> Suite.benchmark list -> labeled list
 (** Sweeps every loop of every benchmark across [jobs] worker domains
     (default 1 = sequential).  Deterministic in the config: each loop's
     measurement RNG is derived from [(noise_seed, benchmark, loop index)],
     so the output is bit-identical for every [jobs] value.  [progress]
     callbacks are serialised but may arrive out of loop order when
-    [jobs > 1]. *)
+    [jobs > 1].
+
+    With [journal], measurements stream into the crash-safe
+    {!Label_store} as they complete, and loops whose full sweep is
+    already journalled are served from it without simulating — so a
+    killed sweep resumed from its journal produces output bit-identical
+    to an uninterrupted run (per-loop RNG derivation means skipping work
+    perturbs nothing).  Resume skips and fresh measurements are counted
+    in {!Telemetry.global} under ["label-store"]. *)
 
 val to_dataset : ?filtered:bool -> Config.t -> labeled list -> Dataset.t
 (** Feature extraction + labelling.  [filtered] (default true) applies

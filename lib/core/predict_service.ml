@@ -1,0 +1,101 @@
+type t = {
+  config : Config.t;
+  predictor : Predictor.t;
+  feature_names : string array;
+  telemetry : Telemetry.t option;
+  (* Feature vectors keyed by loop content (name blanked): the scaled,
+     projected vector [Predictor.featurize] would recompute.  Returning the
+     stored vector verbatim keeps batch predictions bit-identical to the
+     uncached path. *)
+  cache : (string, float array) Hashtbl.t;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create ?telemetry (config : Config.t) artifact =
+  match Model_artifact.verify_machine artifact config.Config.machine with
+  | Error _ as e -> e
+  | Ok () -> (
+    match Predictor.of_artifact artifact with
+    | Error _ as e -> e
+    | Ok predictor ->
+      Ok
+        {
+          config;
+          predictor;
+          feature_names = artifact.Model_artifact.feature_names;
+          telemetry;
+          cache = Hashtbl.create 256;
+          hits = 0;
+          misses = 0;
+        })
+
+let predictor t = t.predictor
+
+let loop_key (loop : Loop.t) =
+  Digest.string (Marshal.to_string { loop with Loop.name = "" } [])
+
+let featurize t loop =
+  let key = loop_key loop in
+  match Hashtbl.find_opt t.cache key with
+  | Some x ->
+    t.hits <- t.hits + 1;
+    x
+  | None ->
+    t.misses <- t.misses + 1;
+    let x = Predictor.featurize t.predictor t.config loop in
+    Hashtbl.replace t.cache key x;
+    x
+
+let record t field n =
+  match t.telemetry with
+  | None -> ()
+  | Some tel -> Telemetry.incr tel ~pass:"predict-service" field n
+
+let predict_batch t loops =
+  let loops = Array.of_list loops in
+  let n = Array.length loops in
+  let out = Array.make n 1 in
+  (* Unrollable loops go through the model; the rest stay at factor 1, the
+     same gate [Predictor.predict] applies. *)
+  let idx = ref [] in
+  for i = n - 1 downto 0 do
+    if Loop.unrollable loops.(i) then idx := i :: !idx
+  done;
+  let idx = Array.of_list !idx in
+  let hits0 = t.hits and misses0 = t.misses in
+  let vectors = Array.map (fun i -> featurize t loops.(i)) idx in
+  if Array.length idx > 0 then begin
+    (* Assemble the batch as one flat matrix via the same path the training
+       datasets take.  The rows come back out bit-identical, so this is a
+       pure layout step, but it keeps the service on the flat row-major
+       allocation pattern the numeric kernels expect and exercises
+       [points_matrix] from the serving side. *)
+    let n_classes = Unroll.max_factor in
+    let examples =
+      Array.to_list
+        (Array.mapi
+           (fun k x ->
+             {
+               Dataset.features = x;
+               label = 0;
+               tag = loops.(idx.(k)).Loop.name;
+               group = "predict";
+               costs = Array.make n_classes 0.;
+             })
+           vectors)
+    in
+    let ds = Dataset.create ~feature_names:t.feature_names ~n_classes examples in
+    let m, _labels = Dataset.points_matrix ds in
+    Array.iteri
+      (fun k i -> out.(i) <- Predictor.predict_scaled t.predictor (Mat.row m k))
+      idx
+  end;
+  record t "loops" n;
+  record t "vector-cache-hits" (t.hits - hits0);
+  record t "vector-cache-misses" (t.misses - misses0);
+  out
+
+let predict t loop = (predict_batch t [ loop ]).(0)
+let cache_hits t = t.hits
+let cache_misses t = t.misses

@@ -1,0 +1,40 @@
+(** The online half of the train/serve split: batched prediction from a
+    loaded artifact.
+
+    A service wraps one {!Model_artifact} — verified against the serving
+    machine, reconstructed through {!Predictor.of_artifact} — and answers
+    prediction traffic in batches: query loops are featurised once, the
+    scaled vectors assembled into one flat row-major matrix through
+    {!Dataset.points_matrix}, and classified row by row.  A
+    per-artifact feature-vector cache (keyed by loop content, names
+    blanked) means repeated loops — the common case for a compiler
+    serving many compilation units of the same program — skip feature
+    extraction and normalisation entirely.
+
+    Predictions are bit-identical to calling {!Predictor.predict} with
+    the same artifact's model loop by loop: the batch path shares the
+    featurisation ({!Predictor.featurize}) and classification
+    ({!Predictor.predict_scaled}) code, and caching returns the exact
+    vector it stored.  Batch sizes and cache hits are counted in
+    telemetry under the ["predict-service"] pass. *)
+
+type t
+
+val create : ?telemetry:Telemetry.t -> Config.t -> Model_artifact.t -> (t, string) result
+(** Fails if the artifact was trained for a different machine description
+    than [config]'s, or if its feature subset has drifted from this
+    build's feature table. *)
+
+val predictor : t -> Predictor.t
+(** The reconstructed in-compiler predictor (shared load path). *)
+
+val predict : t -> Loop.t -> int
+(** One loop; equivalent to a batch of one. *)
+
+val predict_batch : t -> Loop.t list -> int array
+(** Factors in 1..8, in input order.  Non-unrollable loops get 1 without
+    consulting the model, like {!Predictor.predict}. *)
+
+val cache_hits : t -> int
+val cache_misses : t -> int
+(** Feature-vector cache counters since {!create}. *)

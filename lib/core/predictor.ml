@@ -71,114 +71,94 @@ let train_tree (_config : Config.t) ~features ds =
 
 let project features x = Array.map (fun j -> x.(j)) features
 
-(* Persistence: a small CSV-backed format.  The first row tags the
-   predictor kind; the rest carry the scaler, the feature subset, and the
-   learned state (the NN database or the SVM dual coefficients plus
-   training points). *)
+(* --- versioned artifacts ------------------------------------------------
 
-let floats_row tag xs = tag :: List.map string_of_float (Array.to_list xs)
-let ints_row tag xs = tag :: List.map string_of_int (Array.to_list xs)
+   The deployment format (lib/store): provenance-stamped, checksummed,
+   bit-exact.  [to_artifact]/[of_artifact] are the single conversion the
+   CLI trainer, the predict service, and the in-compiler load path all
+   share, so a shipped model cannot diverge from the in-process one. *)
 
-let parse_floats = function
-  | _ :: rest -> Array.of_list (List.map float_of_string rest)
-  | [] -> failwith "Predictor.load: empty row"
-
-let parse_ints = function
-  | _ :: rest -> Array.of_list (List.map int_of_string rest)
-  | [] -> failwith "Predictor.load: empty row"
-
-let save t path =
+let to_artifact (config : Config.t) ~dataset_digest t =
+  let provenance =
+    {
+      Model_artifact.dataset_digest;
+      machine_name = config.Config.machine.Machine.mach_name;
+      machine_digest = Model_artifact.machine_digest config.Config.machine;
+      code_version = Model_artifact.code_version;
+    }
+  in
+  let names features = Array.map (fun j -> Features.names.(j)) features in
   match t with
   | Nn { nn_model; nn_scaler; nn_features } ->
-    let radius, classes, db = Knn.export nn_model in
+    let radius, n_classes, db = Knn.export nn_model in
     let mean, std = Scale.export nn_scaler in
-    let rows =
-      [ [ "nn" ]; [ "radius"; string_of_float radius ]; [ "classes"; string_of_int classes ] ]
-      @ [ ints_row "features" nn_features; floats_row "mean" mean; floats_row "std" std ]
-      @ Array.to_list
-          (Array.map
-             (fun (x, y) -> "point" :: string_of_int y :: List.map string_of_float (Array.to_list x))
-             db)
-    in
-    Csvio.write path rows
+    {
+      Model_artifact.provenance;
+      features = nn_features;
+      feature_names = names nn_features;
+      mean;
+      std;
+      payload = Model_artifact.Nn { radius; n_classes; db };
+    }
   | Svm { svm_model; svm_scaler; svm_features } ->
     let codewords, machines = Multiclass.export svm_model in
-    if Array.length machines = 0 then invalid_arg "Predictor.save: empty SVM";
+    if Array.length machines = 0 then invalid_arg "Predictor.to_artifact: empty SVM";
     let mean, std = Scale.export svm_scaler in
-    let points = Lssvm.training_points machines.(0) in
-    let kernel = Lssvm.kernel_of machines.(0) in
-    let rows =
-      [ [ "svm" ]; [ "kernel"; Kernel.name kernel ] ]
-      @ [ ints_row "features" svm_features; floats_row "mean" mean; floats_row "std" std ]
-      @ Array.to_list (Array.map (fun cw -> ints_row "codeword" cw) codewords)
-      @ Array.to_list (Array.map (fun m -> floats_row "alphas" (Lssvm.export m)) machines)
-      @ Array.to_list (Array.map (fun x -> floats_row "point" x) points)
-    in
-    Csvio.write path rows
+    {
+      Model_artifact.provenance;
+      features = svm_features;
+      feature_names = names svm_features;
+      mean;
+      std;
+      payload =
+        Model_artifact.Svm
+          {
+            kernel = Lssvm.kernel_of machines.(0);
+            codewords;
+            alphas = Array.map Lssvm.export machines;
+            points = Lssvm.training_points machines.(0);
+          };
+    }
   | Fixed _ | Orc | Oracle | Tree _ ->
-    invalid_arg "Predictor.save: only learned NN/SVM predictors persist"
+    invalid_arg "Predictor.to_artifact: only learned NN/SVM predictors persist"
 
-let load path =
-  match Csvio.read path with
-  | [ "nn" ] :: rest ->
-    let radius = ref 0.3 and classes = ref 8 in
-    let features = ref [||] and mean = ref [||] and std = ref [||] in
-    let db = ref [] in
-    List.iter
-      (fun row ->
-        match row with
-        | [ "radius"; r ] -> radius := float_of_string r
-        | [ "classes"; c ] -> classes := int_of_string c
-        | "features" :: _ -> features := parse_ints row
-        | "mean" :: _ -> mean := parse_floats row
-        | "std" :: _ -> std := parse_floats row
-        | "point" :: y :: xs ->
-          db := (Array.of_list (List.map float_of_string xs), int_of_string y) :: !db
-        | _ -> failwith "Predictor.load: unrecognised NN row")
-      rest;
-    let model = Knn.train ~radius:!radius ~n_classes:!classes (Array.of_list (List.rev !db)) in
-    Nn
-      {
-        nn_model = model;
-        nn_scaler = Scale.import ~mean:!mean ~std:!std;
-        nn_features = !features;
-      }
-  | [ "svm" ] :: rest ->
-    let kernel = ref Kernel.Linear in
-    let features = ref [||] and mean = ref [||] and std = ref [||] in
-    let codewords = ref [] and alphas = ref [] and points = ref [] in
-    List.iter
-      (fun row ->
-        match row with
-        | [ "kernel"; k ] -> begin
-          match Kernel.of_string k with
-          | Some kk -> kernel := kk
-          | None -> failwith ("Predictor.load: bad kernel " ^ k)
-        end
-        | "features" :: _ -> features := parse_ints row
-        | "mean" :: _ -> mean := parse_floats row
-        | "std" :: _ -> std := parse_floats row
-        | "codeword" :: _ -> codewords := parse_ints row :: !codewords
-        | "alphas" :: _ -> alphas := parse_floats row :: !alphas
-        | "point" :: _ -> points := parse_floats row :: !points
-        | _ -> failwith "Predictor.load: unrecognised SVM row")
-      rest;
-    let points = Array.of_list (List.rev !points) in
-    let machines =
-      Array.of_list
-        (List.rev_map (fun a -> Lssvm.import ~kernel:!kernel ~points ~alphas:a) !alphas)
-    in
-    let model =
-      Multiclass.import ~codewords:(Array.of_list (List.rev !codewords)) ~machines
-    in
-    Svm
-      {
-        svm_model = model;
-        svm_scaler = Scale.import ~mean:!mean ~std:!std;
-        svm_features = !features;
-      }
-  | _ -> failwith "Predictor.load: unsupported or malformed file"
-
+let of_artifact (a : Model_artifact.t) =
+  (* The artifact names the features it was trained on; a mismatch with
+     this build's feature table means the indices would silently select
+     different loop properties — reject instead. *)
+  let drift =
+    Array.to_list
+      (Array.map2
+         (fun j name ->
+           if j < 0 || j >= Features.count then Some (Printf.sprintf "index %d out of range" j)
+           else if Features.names.(j) <> name then
+             Some (Printf.sprintf "feature %d is %s here, %s in the artifact" j Features.names.(j) name)
+           else None)
+         a.Model_artifact.features a.Model_artifact.feature_names)
+    |> List.filter_map Fun.id
+  in
+  match drift with
+  | d :: _ -> Error ("Predictor.of_artifact: feature drift — " ^ d)
+  | [] -> (
+    let scaler = Scale.import ~mean:a.Model_artifact.mean ~std:a.Model_artifact.std in
+    match a.Model_artifact.payload with
+    | Model_artifact.Nn { radius; n_classes; db } ->
+      Ok
+        (Nn
+           {
+             nn_model = Knn.train ~radius ~n_classes db;
+             nn_scaler = scaler;
+             nn_features = a.Model_artifact.features;
+           })
+    | Model_artifact.Svm { kernel; codewords; alphas; points } ->
+      let machines = Array.map (fun al -> Lssvm.import ~kernel ~points ~alphas:al) alphas in
+      Ok
+        (Svm
+           {
+             svm_model = Multiclass.import ~codewords ~machines;
+             svm_scaler = scaler;
+             svm_features = a.Model_artifact.features;
+           }))
 
 let predict t (config : Config.t) ~swp ?cycles loop =
   (* Like ORC, the compiler leaves loops with calls or early exits rolled,
@@ -202,3 +182,22 @@ let predict t (config : Config.t) ~swp ?cycles loop =
   | Tree { tree_model; tree_scaler; tree_features } ->
     let x = project tree_features (Features.extract config.Config.machine loop) in
     1 + Decision_tree.predict tree_model (Scale.transform tree_scaler x)
+
+let featurize t (config : Config.t) loop =
+  let go features scaler =
+    Scale.transform scaler (project features (Features.extract config.Config.machine loop))
+  in
+  match t with
+  | Nn { nn_scaler; nn_features; _ } -> go nn_features nn_scaler
+  | Svm { svm_scaler; svm_features; _ } -> go svm_features svm_scaler
+  | Tree { tree_scaler; tree_features; _ } -> go tree_features tree_scaler
+  | Fixed _ | Orc | Oracle ->
+    invalid_arg "Predictor.featurize: only learned predictors have a feature space"
+
+let predict_scaled t x =
+  match t with
+  | Nn { nn_model; _ } -> 1 + Knn.predict nn_model x
+  | Svm { svm_model; _ } -> 1 + Multiclass.predict svm_model x
+  | Tree { tree_model; _ } -> 1 + Decision_tree.predict tree_model x
+  | Fixed _ | Orc | Oracle ->
+    invalid_arg "Predictor.predict_scaled: only learned predictors take feature vectors"

@@ -43,16 +43,17 @@ val train_svm : ?cap:int -> Config.t -> features:int array -> Dataset.t -> t
 
 val train_tree : Config.t -> features:int array -> Dataset.t -> t
 
-val save : t -> string -> unit
-(** Persist a trained predictor to a file (its own small text format).
-    §4.1: "the learned classifier can easily be incorporated into a
-    compiler" — a compiler ships the trained model as data, not code.
-    Supported for [Nn] and [Svm]; other predictors raise
-    [Invalid_argument] (they carry no learned state worth shipping). *)
+val to_artifact : Config.t -> dataset_digest:string -> t -> Model_artifact.t
+(** Package a learned NN/SVM predictor as a versioned, provenance-stamped
+    deployment artifact ({!Model_artifact}): model state, feature subset,
+    scale parameters, dataset/machine/code digests.  Raises
+    [Invalid_argument] for predictors with no learned state. *)
 
-val load : string -> t
-(** Inverse of {!save}.  Raises [Failure] with a diagnostic on malformed
-    input. *)
+val of_artifact : Model_artifact.t -> (t, string) result
+(** Reconstruct the in-compiler predictor from an artifact — the single
+    load path the CLI service and the compiler share.  Fails if the
+    artifact's feature subset does not name the same features this build
+    extracts (feature drift across code versions). *)
 
 val predict :
   t -> Config.t -> swp:bool -> ?cycles:int array -> Loop.t -> int
@@ -60,3 +61,15 @@ val predict :
     always get 1.  [cycles] (per-factor measurements) must be supplied for
     [Oracle]; raises [Invalid_argument] otherwise (not consulted for
     non-unrollable loops). *)
+
+val featurize : t -> Config.t -> Loop.t -> float array
+(** The scaled, feature-subset vector a learned predictor would classify
+    for this loop — extraction, projection and normalisation exactly as
+    {!predict} performs them.  Raises [Invalid_argument] for non-learned
+    predictors. *)
+
+val predict_scaled : t -> float array -> int
+(** Classify an already-{!featurize}d vector (factor in 1..8, no
+    unrollability check).  [predict t config ~swp loop] equals
+    [predict_scaled t (featurize t config loop)] for every unrollable
+    loop — the contract the batched {!Predict_service} relies on. *)

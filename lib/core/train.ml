@@ -1,0 +1,81 @@
+type model_choice = Nn | Svm | Best
+
+type report = {
+  measured : int;
+  kept : int;
+  features : int array;
+  nn_loocv : float;
+  svm_loocv : float;
+  chosen : string;
+  dataset_digest : string;
+}
+
+let info progress fmt =
+  if progress then Printf.eprintf (fmt ^^ "\n%!") else Printf.ifprintf stderr fmt
+
+let cap_examples (ds : Dataset.t) cap =
+  let n = Dataset.size ds in
+  if n <= cap then ds
+  else begin
+    let stride = float_of_int n /. float_of_int cap in
+    let keep = List.init cap (fun i -> int_of_float (float_of_int i *. stride)) in
+    {
+      ds with
+      Dataset.examples = Array.of_list (List.map (fun i -> ds.Dataset.examples.(i)) keep);
+    }
+  end
+
+let run ?(progress = false) ?journal (config : Config.t) ~swp ~model =
+  let jobs = config.Config.jobs in
+  info progress "train: generating suite (scale %.2f)" config.Config.scale;
+  let benchmarks = Suite.full ~scale:config.Config.scale ~seed:config.Config.seed in
+  let tick ~done_ ~total =
+    if progress && (done_ mod (max 1 (total / 10)) = 0 || done_ = total) then
+      Printf.eprintf "  sweep: %d/%d\n%!" done_ total
+  in
+  let labeled = Labeling.collect ~progress:tick ~jobs ?journal config ~swp benchmarks in
+  let ds = Labeling.to_dataset config labeled in
+  if Dataset.size ds = 0 then
+    failwith "Train.run: no loops survive the labelling filters at this scale";
+  let dataset_digest = Dataset.digest ds in
+  info progress "train: %d/%d loops survive filters (digest %s)" (Dataset.size ds)
+    (List.length labeled) dataset_digest;
+  let selected = Experiments.select_feature_subset ~progress config ds in
+  info progress "train: %d features committed" (Array.length selected);
+  (* LOOCV both learners on the committed subset — the same protocol as
+     Table 2 — to pick the artifact that would have won in-process. *)
+  let dss = Dataset.select_features ds selected in
+  let scaled = Scale.apply (Scale.fit dss) dss in
+  let truth = Dataset.labels scaled in
+  let nn_model =
+    Knn.train ~radius:config.Config.knn_radius ~n_classes:scaled.Dataset.n_classes
+      (Dataset.points scaled)
+  in
+  let nn_loocv = Metrics.accuracy ~pred:(Knn.loo_predictions ~jobs nn_model) ~truth in
+  let svm_ds = cap_examples scaled config.Config.loocv_svm_cap in
+  let svm_pred =
+    Multiclass.loo_predictions ~jobs ~n_classes:scaled.Dataset.n_classes
+      ~kernel:config.Config.svm_kernel ~gamma:config.Config.svm_gamma
+      (Dataset.points svm_ds)
+  in
+  let svm_loocv = Metrics.accuracy ~pred:svm_pred ~truth:(Dataset.labels svm_ds) in
+  info progress "train: LOOCV nn %.3f, svm %.3f" nn_loocv svm_loocv;
+  let choice =
+    match model with Nn -> `Nn | Svm -> `Svm | Best -> if nn_loocv > svm_loocv then `Nn else `Svm
+  in
+  let predictor =
+    match choice with
+    | `Nn -> Predictor.train_nn config ~features:selected ds
+    | `Svm -> Predictor.train_svm ~cap:config.Config.fig4_svm_cap config ~features:selected ds
+  in
+  let artifact = Predictor.to_artifact config ~dataset_digest predictor in
+  ( artifact,
+    {
+      measured = List.length labeled;
+      kept = Dataset.size ds;
+      features = selected;
+      nn_loocv;
+      svm_loocv;
+      chosen = Predictor.name predictor;
+      dataset_digest;
+    } )

@@ -1,0 +1,31 @@
+(** The offline half of the train/serve split: sweep → select → fit →
+    artifact.
+
+    [run] is the whole paper pipeline as one deterministic function of the
+    config: label the suite (optionally journalled so a killed sweep
+    resumes), build the filtered dataset, commit the §7 feature subset,
+    fit the NN and LS-SVM, score both by leave-one-out cross-validation,
+    and package the winner (or a forced choice) as a versioned
+    {!Model_artifact} stamped with the training dataset's digest.  The
+    CLI trainer, the CI golden job and the fixture generator all call
+    this one function, so a shipped artifact can never diverge from what
+    an in-process experiment would have trained. *)
+
+type model_choice = Nn | Svm | Best
+
+type report = {
+  measured : int;          (** loops swept (before filters) *)
+  kept : int;              (** examples surviving the paper's filters *)
+  features : int array;    (** committed feature subset *)
+  nn_loocv : float;        (** NN leave-one-out accuracy *)
+  svm_loocv : float;       (** SVM leave-one-out accuracy (capped set) *)
+  chosen : string;         (** ["nn"] or ["svm"] *)
+  dataset_digest : string;
+}
+
+val run :
+  ?progress:bool -> ?journal:Label_store.t ->
+  Config.t -> swp:bool -> model:model_choice -> Model_artifact.t * report
+(** [Best] picks the higher LOOCV accuracy; an exact tie goes to the SVM
+    (the paper's overall winner).  Raises [Failure] if the filtered
+    dataset is empty (scale too small to train anything). *)

@@ -80,6 +80,7 @@ let oracle_names =
     "sim-fast-vs-ref";
     "cache-roundtrip";
     "text-roundtrip";
+    "artifact-predict";
   ]
 
 let oracles_for ~id =
@@ -88,7 +89,8 @@ let oracles_for ~id =
   [ "unroll-interp"; "rle-interp"; pipeline_oracle_name ~swp ~rle; "text-roundtrip" ]
   @ (if id mod 3 = 0 then [ "pipeline-interp[noregalloc]" ] else [])
   @ (if id mod 4 = 0 then [ "cache-roundtrip" ] else [])
-  @ if id mod 4 = 1 then [ "sim-fast-vs-ref" ] else []
+  @ (if id mod 4 = 1 then [ "sim-fast-vs-ref" ] else [])
+  @ if id mod 4 = 2 then [ "artifact-predict" ] else []
 
 (* --- the oracles -------------------------------------------------------- *)
 
@@ -241,6 +243,86 @@ let check_text (c : Fuzz_gen.case) =
         else check_text_semantics loop l2
     end
 
+(* --- artifact round-trip oracle -----------------------------------------
+
+   Fixture predictors trained once per machine on the built-in kernels with
+   synthetic labels (i mod 8 — the oracle judges serialisation and the
+   serving path, not prediction quality), serialised to text, then compared
+   along two routes: the in-compiler path (Predictor.of_artifact on the
+   original artifact) and the serving path (Predict_service on the artifact
+   re-parsed from text).  Any disagreement means the text format or the
+   batched matrix path changed a bit somewhere. *)
+
+let artifact_fixtures : (string, string * string) Hashtbl.t = Hashtbl.create 4
+let artifact_mutex = Mutex.create ()
+
+let fixture_config machine = { Config.fast with Config.machine }
+
+let fixture_texts machine =
+  Mutex.protect artifact_mutex (fun () ->
+      match Hashtbl.find_opt artifact_fixtures machine.Machine.mach_name with
+      | Some t -> t
+      | None ->
+        let config = fixture_config machine in
+        let examples =
+          List.mapi
+            (fun i (name, maker) ->
+              let loop = maker ~name ~trip:256 in
+              {
+                Dataset.features = Features.extract machine loop;
+                label = i mod Unroll.max_factor;
+                tag = name;
+                group = "fuzz-fixture";
+                costs = Array.make Unroll.max_factor 0.;
+              })
+            Kernels.all
+        in
+        let ds =
+          Dataset.create ~feature_names:Features.names ~n_classes:Unroll.max_factor examples
+        in
+        let features = Array.init 12 (fun i -> i * 3) in
+        let dataset_digest = Dataset.digest ds in
+        let pack train = Model_artifact.to_string (Predictor.to_artifact config ~dataset_digest train) in
+        let t =
+          ( pack (Predictor.train_nn config ~features ds),
+            pack (Predictor.train_svm config ~features ds) )
+        in
+        Hashtbl.replace artifact_fixtures machine.Machine.mach_name t;
+        t)
+
+let check_artifact (c : Fuzz_gen.case) =
+  let machine = c.Fuzz_gen.machine in
+  let config = fixture_config machine in
+  let loop = c.Fuzz_gen.loop in
+  let nn_text, svm_text = fixture_texts machine in
+  let check_one kind text =
+    match Model_artifact.of_string text with
+    | Error e -> Some (Printf.sprintf "%s artifact does not re-parse: %s" kind e)
+    | Ok a ->
+      if Model_artifact.to_string a <> text then
+        Some (kind ^ " artifact is not a print fixed point")
+      else begin
+        match Predictor.of_artifact a with
+        | Error e -> Some (Printf.sprintf "%s of_artifact: %s" kind e)
+        | Ok p -> begin
+          match Predict_service.create config a with
+          | Error e -> Some (Printf.sprintf "%s predict service: %s" kind e)
+          | Ok service ->
+            let direct = Predictor.predict p config ~swp:c.Fuzz_gen.swp loop in
+            let batch = Predict_service.predict_batch service [ loop; loop ] in
+            let single = Predict_service.predict service loop in
+            if batch.(0) <> direct || batch.(1) <> direct || single <> direct then
+              Some
+                (Printf.sprintf "%s service predicts %d/%d/%d, in-compiler path %d" kind
+                   batch.(0) batch.(1) single direct)
+            else if Loop.unrollable loop && Predict_service.cache_hits service < 2 then
+              Some (kind ^ " vector cache never hit on a repeated loop")
+            else None
+        end
+      end
+  in
+  match check_one "nn" nn_text with Some v -> Some v | None -> check_one "svm" svm_text
+
 let check (c : Fuzz_gen.case) ~oracle =
   let f =
     match oracle with
@@ -254,6 +336,7 @@ let check (c : Fuzz_gen.case) ~oracle =
     | "sim-fast-vs-ref" -> check_sim
     | "cache-roundtrip" -> check_cache
     | "text-roundtrip" -> check_text
+    | "artifact-predict" -> check_artifact
     | other -> invalid_arg ("Fuzz_oracle.check: unknown oracle " ^ other)
   in
   try f c

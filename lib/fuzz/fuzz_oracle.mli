@@ -23,7 +23,13 @@
     - [text-roundtrip] — [Loop_text.parse ∘ to_string] is the identity up
       to register numbering (the parser renumbers registers in textual
       occurrence order), and the renumbered normal form is a true print
-      fixed point. *)
+      fixed point;
+    - [artifact-predict] — a fixture model serialised to the
+      {!Model_artifact} text format and served back through
+      {!Predict_service}'s batched matrix path predicts the case's loop
+      identically to {!Predictor.of_artifact}'s in-compiler path, the
+      artifact text is a print fixed point, and the feature-vector cache
+      hits on a repeated loop. *)
 
 type outcome = {
   checked : string list;                (** oracle names that ran *)
@@ -40,9 +46,10 @@ val pipeline_oracle_name : swp:bool -> rle:bool -> string
 
 val oracles_for : id:int -> string list
 (** The deterministic per-case schedule: the pure-transform, pipeline and
-    text oracles always run; the allocator-off, cache and simulator oracles
-    cycle with [id] (periods 3 and 4), so any contiguous id range of length
-    12 runs every oracle at least once. *)
+    text oracles always run; the allocator-off oracle cycles with period 3
+    and the cache, simulator and artifact oracles share the period-4 wheel,
+    so any contiguous id range of length 12 runs every oracle at least
+    once. *)
 
 val check : Fuzz_gen.case -> oracle:string -> string option
 (** [None] when the oracle holds on this case, [Some detail] otherwise.

@@ -76,6 +76,9 @@ let points_matrix t =
   Array.iteri (fun i e -> Array.blit e.features 0 a (i * d) d) t.examples;
   (m, Array.map (fun e -> e.label) t.examples)
 
+let digest t =
+  Digest.to_hex (Digest.string (Marshal.to_string (t.feature_names, t.n_classes, t.examples) []))
+
 let to_csv t path =
   let header =
     [ "tag"; "group"; "label"; "n_classes" ]

@@ -47,6 +47,12 @@ val points_matrix : t -> Mat.t * int array
     distance/Gram kernels, replacing per-example [float array array]
     copies on the hot path. *)
 
+val digest : t -> string
+(** Hex digest over the whole dataset — feature names, class count, and
+    every example (features, label, tag, group, costs).  The provenance
+    stamp a model artifact carries: two training runs that produce the
+    same digest trained on identical data. *)
+
 val to_csv : t -> string -> unit
 (** Persist as CSV: header row with feature names, then one row per example
     (tag, group, label, costs..., features...). *)

@@ -1,0 +1,252 @@
+type provenance = {
+  dataset_digest : string;
+  machine_name : string;
+  machine_digest : string;
+  code_version : string;
+}
+
+type payload =
+  | Nn of { radius : float; n_classes : int; db : (float array * int) array }
+  | Svm of {
+      kernel : Kernel.t;
+      codewords : int array array;
+      alphas : float array array;
+      points : float array array;
+    }
+
+type t = {
+  provenance : provenance;
+  features : int array;
+  feature_names : string array;
+  mean : float array;
+  std : float array;
+  payload : payload;
+}
+
+let version = 1
+let code_version = "unrollml-features38-v1"
+
+let machine_digest (m : Machine.t) = Digest.to_hex (Digest.string (Marshal.to_string m []))
+
+let kind t = match t.payload with Nn _ -> "nn" | Svm _ -> "svm"
+
+(* Floats are written as C99 hexadecimal literals: every bit of the
+   mantissa survives the round trip, so a loaded model predicts exactly
+   what the in-process model predicted.  [%h] prints nan/infinity in a
+   form [float_of_string] reads back. *)
+let hex f = Printf.sprintf "%h" f
+let floats xs = String.concat " " (List.map hex (Array.to_list xs))
+let ints xs = String.concat " " (List.map string_of_int (Array.to_list xs))
+
+let kernel_to_fields = function
+  | Kernel.Linear -> [ "linear" ]
+  | Kernel.Rbf g -> [ "rbf"; hex g ]
+  | Kernel.Poly { degree; bias } -> [ "poly"; string_of_int degree; hex bias ]
+
+let to_string t =
+  let buf = Buffer.create 4096 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf s; Buffer.add_char buf '\n') fmt in
+  line "unrollml-artifact v%d" version;
+  line "kind %s" (kind t);
+  line "code-version %s" t.provenance.code_version;
+  line "dataset-digest %s" t.provenance.dataset_digest;
+  line "machine %s %s" t.provenance.machine_name t.provenance.machine_digest;
+  line "features %s" (ints t.features);
+  line "feature-names %s" (String.concat " " (Array.to_list t.feature_names));
+  line "mean %s" (floats t.mean);
+  line "std %s" (floats t.std);
+  (match t.payload with
+  | Nn { radius; n_classes; db } ->
+    line "nn-radius %s" (hex radius);
+    line "nn-classes %d" n_classes;
+    Array.iter (fun (x, y) -> line "point %d %s" y (floats x)) db
+  | Svm { kernel; codewords; alphas; points } ->
+    line "kernel %s" (String.concat " " (kernel_to_fields kernel));
+    Array.iter (fun cw -> line "codeword %s" (ints cw)) codewords;
+    Array.iter (fun a -> line "alphas %s" (floats a)) alphas;
+    Array.iter (fun x -> line "point %s" (floats x)) points);
+  let body = Buffer.contents buf in
+  body ^ Printf.sprintf "checksum %s\n" (Digest.to_hex (Digest.string body))
+
+(* --- parsing ------------------------------------------------------------ *)
+
+exception Bad of string
+
+let failf fmt = Printf.ksprintf (fun s -> raise (Bad s)) fmt
+
+let float_field ~ctx s =
+  match float_of_string_opt s with
+  | Some f -> f
+  | None -> failf "%s: bad float %S" ctx s
+
+let int_field ~ctx s =
+  match int_of_string_opt s with
+  | Some i -> i
+  | None -> failf "%s: bad integer %S" ctx s
+
+let float_fields ~ctx rest = Array.of_list (List.map (float_field ~ctx) rest)
+let int_fields ~ctx rest = Array.of_list (List.map (int_field ~ctx) rest)
+
+let kernel_of_fields = function
+  | [ "linear" ] -> Kernel.Linear
+  | [ "rbf"; g ] -> Kernel.Rbf (float_field ~ctx:"kernel" g)
+  | [ "poly"; d; b ] ->
+    Kernel.Poly { degree = int_field ~ctx:"kernel" d; bias = float_field ~ctx:"kernel" b }
+  | fields -> failf "kernel: unknown form %S" (String.concat " " fields)
+
+let split_words s = String.split_on_char ' ' s |> List.filter (fun w -> w <> "")
+
+let of_string text =
+  try
+    (* The checksum line covers every byte before it; verify before
+       interpreting anything else so corruption fails fast and loudly. *)
+    let content_end =
+      let e = ref (String.length text) in
+      while !e > 0 && (text.[!e - 1] = '\n' || text.[!e - 1] = '\r' || text.[!e - 1] = ' ') do
+        decr e
+      done;
+      !e
+    in
+    if content_end = 0 then failf "empty artifact";
+    let check_start =
+      match String.rindex_from_opt text (content_end - 1) '\n' with
+      | Some i -> i + 1
+      | None -> failf "truncated artifact (no checksum line)"
+    in
+    let last_line = String.trim (String.sub text check_start (content_end - check_start)) in
+    (match split_words last_line with
+    | [ "checksum"; hex ] ->
+      let body = String.sub text 0 check_start in
+      if Digest.to_hex (Digest.string body) <> hex then
+        failf "checksum mismatch: artifact corrupt"
+    | _ -> failf "missing checksum line");
+    let lines =
+      String.split_on_char '\n' (String.sub text 0 check_start)
+      |> List.filter (fun l -> String.trim l <> "")
+    in
+    let header, rest =
+      match lines with
+      | first :: rest -> (first, rest)
+      | [] -> failf "empty artifact"
+    in
+    (match split_words header with
+    | [ "unrollml-artifact"; v ] ->
+      if v <> Printf.sprintf "v%d" version then
+        failf "unsupported artifact version %s (this build reads v%d)" v version
+    | _ -> failf "not a model artifact (bad header %S)" header);
+    let kind = ref "" and code_version = ref "" and dataset_digest = ref "" in
+    let machine_name = ref "" and machine_dig = ref "" in
+    let features = ref [||] and feature_names = ref [||] in
+    let mean = ref [||] and std = ref [||] in
+    let radius = ref nan and n_classes = ref 0 and kernel = ref None in
+    let db = ref [] and codewords = ref [] and alphas = ref [] and points = ref [] in
+    List.iter
+      (fun l ->
+        match split_words l with
+        | "kind" :: [ k ] -> kind := k
+        | "code-version" :: [ v ] -> code_version := v
+        | "dataset-digest" :: [ d ] -> dataset_digest := d
+        | "machine" :: [ name; d ] ->
+          machine_name := name;
+          machine_dig := d
+        | "features" :: rest -> features := int_fields ~ctx:"features" rest
+        | "feature-names" :: rest -> feature_names := Array.of_list rest
+        | "mean" :: rest -> mean := float_fields ~ctx:"mean" rest
+        | "std" :: rest -> std := float_fields ~ctx:"std" rest
+        | "nn-radius" :: [ r ] -> radius := float_field ~ctx:"nn-radius" r
+        | "nn-classes" :: [ c ] -> n_classes := int_field ~ctx:"nn-classes" c
+        | "kernel" :: rest -> kernel := Some (kernel_of_fields rest)
+        | "point" :: rest -> (
+          match !kind with
+          | "nn" -> (
+            match rest with
+            | y :: xs ->
+              db := (float_fields ~ctx:"point" xs, int_field ~ctx:"point" y) :: !db
+            | [] -> failf "nn point: missing label")
+          | "svm" -> points := float_fields ~ctx:"point" rest :: !points
+          | k -> failf "point before kind (kind %S)" k)
+        | "codeword" :: rest -> codewords := int_fields ~ctx:"codeword" rest :: !codewords
+        | "alphas" :: rest -> alphas := float_fields ~ctx:"alphas" rest :: !alphas
+        | w :: _ -> failf "unrecognised artifact line %S" w
+        | [] -> ())
+      rest;
+    let d = Array.length !features in
+    if Array.length !feature_names <> d then failf "feature-names/features length mismatch";
+    if Array.length !mean <> d || Array.length !std <> d then
+      failf "scale parameters do not match the feature subset";
+    let payload =
+      match !kind with
+      | "nn" ->
+        if Float.is_nan !radius then failf "nn artifact missing nn-radius";
+        if !n_classes <= 0 then failf "nn artifact missing nn-classes";
+        Nn { radius = !radius; n_classes = !n_classes; db = Array.of_list (List.rev !db) }
+      | "svm" ->
+        let kernel = match !kernel with Some k -> k | None -> failf "svm artifact missing kernel" in
+        let codewords = Array.of_list (List.rev !codewords) in
+        let alphas = Array.of_list (List.rev !alphas) in
+        if Array.length codewords = 0 then failf "svm artifact has no codewords";
+        if Array.length alphas = 0 then failf "svm artifact has no machines";
+        Svm { kernel; codewords; alphas; points = Array.of_list (List.rev !points) }
+      | k -> failf "unknown artifact kind %S" k
+    in
+    Ok
+      {
+        provenance =
+          {
+            dataset_digest = !dataset_digest;
+            machine_name = !machine_name;
+            machine_digest = !machine_dig;
+            code_version = !code_version;
+          };
+        features = !features;
+        feature_names = !feature_names;
+        mean = !mean;
+        std = !std;
+        payload;
+      }
+  with Bad msg -> Error ("Model_artifact: " ^ msg)
+
+let save t path =
+  let oc = open_out_bin path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (to_string t))
+
+let payload_points t =
+  match t.payload with Nn { db; _ } -> Array.length db | Svm { points; _ } -> Array.length points
+
+let load ?(telemetry = Telemetry.global) path =
+  let t0 = Unix.gettimeofday () in
+  let result =
+    match
+      (try
+         let ic = open_in_bin path in
+         Fun.protect
+           ~finally:(fun () -> close_in ic)
+           (fun () -> Ok (really_input_string ic (in_channel_length ic)))
+       with Sys_error e -> Error ("Model_artifact: " ^ e))
+    with
+    | Ok text -> of_string text
+    | Error _ as e -> e
+  in
+  (match result with
+  | Ok a ->
+    Telemetry.record telemetry ~pass:"artifact" ~seconds:(Unix.gettimeofday () -. t0)
+      ~metrics:[ ("loads", 1); ("points", payload_points a) ]
+      ()
+  | Error _ -> ());
+  result
+
+let verify_machine t (m : Machine.t) =
+  let d = machine_digest m in
+  if d = t.provenance.machine_digest then Ok ()
+  else
+    Error
+      (Printf.sprintf
+         "Model_artifact: machine mismatch — trained for %s (digest %s), serving %s (digest %s)"
+         t.provenance.machine_name t.provenance.machine_digest m.Machine.mach_name d)
+
+let verify_dataset t ~digest =
+  if digest = t.provenance.dataset_digest then Ok ()
+  else
+    Error
+      (Printf.sprintf "Model_artifact: dataset mismatch — trained on %s, given %s"
+         t.provenance.dataset_digest digest)

@@ -1,0 +1,83 @@
+(** Versioned, self-describing model artifacts — the train/serve split.
+
+    The paper's end product is a trained classifier compiled {e into} the
+    compiler: §4.1 argues "the learned classifier can easily be
+    incorporated into a compiler" because a model is data, not code.  This
+    module is that data: a trained predictor (NN radius model or LS-SVM
+    one-vs-rest machines), the committed feature subset from greedy
+    selection, the {!Scale} normalisation parameters, and provenance
+    digests — serialised as a line-oriented text format that round-trips
+    {e bit-identically} (floats are written as hexadecimal literals, so
+    [of_string (to_string a)] reproduces every prediction exactly).
+
+    An artifact is self-checking: the first line carries the format
+    version, the last line a digest of everything above it, and the header
+    records where the model came from (training-dataset digest, machine
+    name + digest, code version).  Loading rejects version mismatches and
+    content corruption outright; provenance digests are verified against
+    the serving environment with {!verify_machine} / {!verify_dataset}, so
+    a model trained for one machine description can never silently predict
+    for another. *)
+
+type provenance = {
+  dataset_digest : string;  (** hex digest of the training dataset ({!Dataset.digest}) *)
+  machine_name : string;
+  machine_digest : string;  (** hex digest of the full machine description *)
+  code_version : string;    (** {!code_version} of the trainer *)
+}
+
+type payload =
+  | Nn of {
+      radius : float;
+      n_classes : int;
+      db : (float array * int) array;  (** scaled training points + labels *)
+    }
+  | Svm of {
+      kernel : Kernel.t;
+      codewords : int array array;     (** ±1 output-code rows, one per class *)
+      alphas : float array array;      (** dual coefficients, one row per binary machine *)
+      points : float array array;      (** scaled training points shared by the machines *)
+    }
+
+type t = {
+  provenance : provenance;
+  features : int array;          (** committed feature subset (indices into the full vector) *)
+  feature_names : string array;  (** names of those features when the model was trained *)
+  mean : float array;            (** {!Scale} parameters over the subset *)
+  std : float array;
+  payload : payload;
+}
+
+val version : int
+(** Format version this build writes and the only one it reads. *)
+
+val code_version : string
+(** Identifies the training code; bumped when the feature definitions or
+    learner semantics change incompatibly. *)
+
+val machine_digest : Machine.t -> string
+(** Hex digest over every field of the machine description. *)
+
+val kind : t -> string
+(** ["nn"] or ["svm"]. *)
+
+val to_string : t -> string
+(** Serialise; deterministic (no timestamps), bit-exact floats. *)
+
+val of_string : string -> (t, string) result
+(** Parse and validate: the version line must match {!version} exactly and
+    the trailing checksum must match the content.  Errors name the
+    offending line. *)
+
+val save : t -> string -> unit
+
+val load : ?telemetry:Telemetry.t -> string -> (t, string) result
+(** {!of_string} over a file.  Load wall-time is recorded in [telemetry]
+    (default {!Telemetry.global}) under the ["artifact"] pass, with the
+    payload size as a counter. *)
+
+val verify_machine : t -> Machine.t -> (unit, string) result
+(** Fails unless the serving machine's digest equals the training one. *)
+
+val verify_dataset : t -> digest:string -> (unit, string) result
+(** Fails unless [digest] equals the recorded training-dataset digest. *)

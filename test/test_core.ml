@@ -289,12 +289,22 @@ let test_predictor_persistence_roundtrip () =
       [ ("q1", Kernels.daxpy); ("q2", Kernels.stencil3); ("q3", Kernels.int_sum) ]
   in
   let roundtrip p =
-    let path = Filename.temp_file "unrollml_model" ".csv" in
+    let path = Filename.temp_file "unrollml_model" ".artifact" in
     Fun.protect
       ~finally:(fun () -> Sys.remove path)
       (fun () ->
-        Predictor.save p path;
-        let p' = Predictor.load path in
+        let a = Predictor.to_artifact config ~dataset_digest:(Dataset.digest ds) p in
+        Model_artifact.save a path;
+        let a' =
+          match Model_artifact.load path with
+          | Ok a' -> a'
+          | Error e -> Alcotest.fail ("artifact load: " ^ e)
+        in
+        let p' =
+          match Predictor.of_artifact a' with
+          | Ok p' -> p'
+          | Error e -> Alcotest.fail ("of_artifact: " ^ e)
+        in
         List.iter
           (fun loop ->
             Alcotest.(check int)
@@ -308,7 +318,9 @@ let test_predictor_persistence_roundtrip () =
 
 let test_predictor_save_rejects_unlearned () =
   Alcotest.(check bool) "oracle not saveable" true
-    (try Predictor.save Predictor.Oracle "/tmp/nope.csv"; false
+    (try
+       ignore (Predictor.to_artifact config ~dataset_digest:"-" Predictor.Oracle);
+       false
      with Invalid_argument _ -> true)
 
 let suite =

@@ -19,5 +19,6 @@ let () =
       ("fuzz_corpus", Test_fuzz_corpus.suite);
       ("ml", Test_ml.suite);
       ("core", Test_core.suite);
+      ("store", Test_store.suite);
       ("extensions", Test_extensions.suite);
     ]
