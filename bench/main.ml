@@ -165,10 +165,11 @@ let run_parallel_bench config compile_rows =
   Compile_cache.clear Compile_cache.global;
   let par, t_par = time (fun () -> Labeling.collect ~jobs config ~swp:false benchmarks) in
   let identical =
-    List.for_all2
-      (fun (a : Labeling.labeled) (b : Labeling.labeled) ->
-        a.Labeling.bench = b.Labeling.bench && a.Labeling.cycles = b.Labeling.cycles)
-      seq par
+    Array.length seq = Array.length par
+    && Array.for_all2
+         (fun (a : Labeling.labeled) (b : Labeling.labeled) ->
+           a.Labeling.bench = b.Labeling.bench && a.Labeling.cycles = b.Labeling.cycles)
+         seq par
   in
   (* A repeat of the sequential sweep on the now-warm cache shows the
      content-addressed hit path. *)
@@ -178,14 +179,14 @@ let run_parallel_bench config compile_rows =
   Printf.printf
     "loops=%d  sequential %.2fs | %d jobs %.2fs (%.2fx) | warm-cache rerun %.2fs \
      (%d hits) | identical=%b\n"
-    (List.length seq) t_seq jobs t_par (t_seq /. Float.max t_par 1e-9) t_warm warm_hits
+    (Array.length seq) t_seq jobs t_par (t_seq /. Float.max t_par 1e-9) t_warm warm_hits
     identical;
   let ns name = try List.assoc name compile_rows with Not_found -> nan in
   Printf.printf
     "{\"bench\":\"pipeline\",\"loops\":%d,\"jobs\":%d,\"seq_s\":%.3f,\"par_s\":%.3f,\
      \"speedup\":%.2f,\"identical\":%b,\"warm_s\":%.3f,\"warm_hits\":%d,\
      \"hit_rate\":%.3f,\"compile_cold_ns\":%.0f,\"compile_cached_ns\":%.0f}\n"
-    (List.length seq) jobs t_seq t_par
+    (Array.length seq) jobs t_seq t_par
     (t_seq /. Float.max t_par 1e-9)
     identical t_warm warm_hits
     (Compile_cache.hit_rate Compile_cache.global)

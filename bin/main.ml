@@ -53,7 +53,8 @@ let jobs_opt =
     & info [ "j"; "jobs" ] ~docv:"N"
         ~doc:
           "Worker domains for labelling sweeps and cross-validation loops (results \
-           are identical for any value; 0 = all cores).")
+           are identical for any value; 0 = all cores, or the UNROLLML_JOBS \
+           environment variable when set).")
 
 let telemetry_flag =
   Arg.(
@@ -120,7 +121,7 @@ let dataset_cmd =
         let ds = Labeling.to_dataset config labeled in
         Dataset.to_csv ds output;
         Printf.printf "wrote %d labelled loops (of %d measured) to %s\n" (Dataset.size ds)
-          (List.length labeled) output)
+          (Array.length labeled) output)
   in
   Cmd.v
     (Cmd.info "dataset" ~doc:"Generate the 72-benchmark suite, label every loop, write a CSV.")

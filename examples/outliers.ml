@@ -15,7 +15,7 @@ let () =
   Printf.eprintf "labelling...\n%!";
   let benchmarks = Suite.full ~scale:config.Config.scale ~seed:config.Config.seed in
   let labeled = Labeling.collect config ~swp:false benchmarks in
-  let kept = List.filter Labeling.passes_filters labeled in
+  let kept = List.filter Labeling.passes_filters (Array.to_list labeled) in
   let dataset = Labeling.to_dataset config labeled in
   let scaled = Scale.apply (Scale.fit dataset) dataset in
   let pairs = Dataset.points scaled in

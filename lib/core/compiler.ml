@@ -7,19 +7,20 @@ let run_compiled (config : Config.t) exe =
   Simulator.run ~max_sim_iters:config.Config.max_sim_iters state exe
 
 let predictions_for config ~swp predictor labeled =
-  Array.of_list
-    (List.map
-       (fun (l : Labeling.labeled) ->
-         Predictor.predict predictor config ~swp ~cycles:l.Labeling.cycles l.Labeling.loop)
-       labeled)
+  Array.map
+    (fun (l : Labeling.labeled) ->
+      Predictor.predict predictor config ~swp ~cycles:l.Labeling.cycles l.Labeling.loop)
+    labeled
 
 let benchmark_speedup config ~swp predictor ~baseline (b : Suite.benchmark) labeled =
   let mine =
-    List.filter (fun (l : Labeling.labeled) -> l.Labeling.bench = b.Suite.bname) labeled
+    Array.of_list
+      (List.filter
+         (fun (l : Labeling.labeled) -> l.Labeling.bench = b.Suite.bname)
+         (Array.to_list labeled))
   in
-  match mine with
-  | [] -> 1.0
-  | _ ->
+  if Array.length mine = 0 then 1.0
+  else begin
     (* Relative loop time under a predictor, weighted by each loop's share
        of baseline loop runtime.  Both pick arrays come from
        [predictions_for] — the single place per-loop factors are chosen. *)
@@ -27,7 +28,7 @@ let benchmark_speedup config ~swp predictor ~baseline (b : Suite.benchmark) labe
     let base = predictions_for config ~swp baseline mine in
     let ratio =
       let num = ref 0.0 and den = ref 0.0 in
-      List.iteri
+      Array.iteri
         (fun i (l : Labeling.labeled) ->
           let c_p = float_of_int l.Labeling.cycles.(picks.(i) - 1) in
           let c_b = float_of_int l.Labeling.cycles.(base.(i) - 1) in
@@ -38,20 +39,27 @@ let benchmark_speedup config ~swp predictor ~baseline (b : Suite.benchmark) labe
     in
     let f = b.Suite.loop_fraction in
     1.0 /. ((1.0 -. f) +. (f *. ratio))
+  end
 
 let speedup_rows ?(jobs = 1) (config : Config.t) ~swp ~features ~benchmarks ~dataset
     labeled =
   (* Leave-one-benchmark-out protocol (§6.1): for each benchmark, train the
      learners on every other benchmark's loops, then realise the speedup on
      the held-out one.  The retrainings are independent, so they fan out
-     over [jobs] worker domains; rows come back in benchmark order. *)
-  Parallel.map_list ~jobs
+     over [jobs] worker domains; rows come back in benchmark order.  Within
+     a row the NN and SVM trainings are themselves independent, so when the
+     scheduler has room they run as a nested fork-join — idle workers steal
+     one half instead of waiting out the row. *)
+  Parallel.map ~jobs
     (fun (b : Suite.benchmark) ->
       let train = Dataset.without_group dataset b.Suite.bname in
-      let nn = Predictor.train_nn config ~features train in
-      let svm =
-        Predictor.train_svm ~cap:config.Config.fig4_svm_cap config ~features train
+      let nn, svm =
+        Parallel.fork_join
+          ~jobs:(if jobs > 1 then 2 else 1)
+          (fun () -> Predictor.train_nn config ~features train)
+          (fun () ->
+            Predictor.train_svm ~cap:config.Config.fig4_svm_cap config ~features train)
       in
       let sp p = benchmark_speedup config ~swp p ~baseline:Predictor.Orc b labeled in
       (b.Suite.bname, b.Suite.fp, sp nn, sp svm, sp Predictor.Oracle))
-    benchmarks
+    (Array.of_list benchmarks)

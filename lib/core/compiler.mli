@@ -19,13 +19,13 @@ val run_compiled : Config.t -> Simulator.executable -> int
     already included in the executable's outer trips). *)
 
 val predictions_for :
-  Config.t -> swp:bool -> Predictor.t -> Labeling.labeled list -> int array
+  Config.t -> swp:bool -> Predictor.t -> Labeling.labeled array -> int array
 (** The factor the predictor picks for every labelled loop (oracle
     predictors consult the measurements). *)
 
 val benchmark_speedup :
   Config.t -> swp:bool -> Predictor.t -> baseline:Predictor.t ->
-  Suite.benchmark -> Labeling.labeled list -> float
+  Suite.benchmark -> Labeling.labeled array -> float
 (** Whole-benchmark speedup of [Predictor.t] over [baseline] (> 1.0 is
     faster), using each loop's measured per-factor cycles, the loop
     weights, and the benchmark's loop fraction.  Per-loop picks go through
@@ -35,10 +35,11 @@ val speedup_rows :
   ?jobs:int ->
   Config.t -> swp:bool -> features:int array ->
   benchmarks:Suite.benchmark list -> dataset:Dataset.t ->
-  Labeling.labeled list ->
-  (string * bool * float * float * float) list
+  Labeling.labeled array ->
+  (string * bool * float * float * float) array
 (** One row per benchmark under the leave-one-benchmark-out protocol of
     §6.1: [(name, is_fp, nn, svm, oracle)] speedups over the ORC baseline.
     The NN and SVM are retrained per benchmark on the other benchmarks'
     loops (restricted to [features]); retrainings run across [jobs] worker
-    domains (default 1) with order-independent output. *)
+    domains (default 1), with the two learners of a row trained as a
+    nested fork-join, and order-independent output. *)

@@ -3,15 +3,15 @@ type speedup_row = string * bool * float * float * float
 type env = {
   config : Config.t;
   benchmarks : Suite.benchmark list;
-  labeled_off : Labeling.labeled list;
-  labeled_on : Labeling.labeled list;
-  filtered_off : Labeling.labeled list;
-  filtered_on : Labeling.labeled list;
+  labeled_off : Labeling.labeled array;
+  labeled_on : Labeling.labeled array;
+  filtered_off : Labeling.labeled array;
+  filtered_on : Labeling.labeled array;
   dataset_off : Dataset.t;
   dataset_on : Dataset.t;
   selected : int array;
-  rows_off : speedup_row list Lazy.t;
-  rows_on : speedup_row list Lazy.t;
+  rows_off : speedup_row array Lazy.t;
+  rows_on : speedup_row array Lazy.t;
 }
 
 let info progress fmt =
@@ -68,8 +68,11 @@ let build_env ?(progress = true) (config : Config.t) =
     Labeling.collect ~progress:(tick "swp-on") ~jobs:config.Config.jobs config
       ~swp:true benchmarks
   in
-  let filtered_off = List.filter Labeling.passes_filters labeled_off in
-  let filtered_on = List.filter Labeling.passes_filters labeled_on in
+  let filter_labeled labeled =
+    Array.of_list (List.filter Labeling.passes_filters (Array.to_list labeled))
+  in
+  let filtered_off = filter_labeled labeled_off in
+  let filtered_on = filter_labeled labeled_on in
   let dataset_off = Labeling.to_dataset config labeled_off in
   let dataset_on = Labeling.to_dataset config labeled_on in
   info progress "dataset: %d/%d loops survive filters (swp off), %d (swp on)"
@@ -172,11 +175,10 @@ let table2 env =
   let svm_truth = Dataset.labels svm_ds in
   let svm_costs = Array.map (fun e -> e.Dataset.costs) svm_ds.Dataset.examples in
   let orc_pred =
-    Array.of_list
-      (List.map
-         (fun (l : Labeling.labeled) ->
-           Orc_heuristic.no_swp config.Config.machine l.Labeling.loop - 1)
-         env.filtered_off)
+    Array.map
+      (fun (l : Labeling.labeled) ->
+        Orc_heuristic.no_swp config.Config.machine l.Labeling.loop - 1)
+      env.filtered_off
   in
   let nn_rank = Metrics.rank_distribution ~pred:nn_pred ~costs in
   let svm_rank = Metrics.rank_distribution ~pred:svm_pred ~costs:svm_costs in
@@ -436,7 +438,7 @@ let render_speedups ~title rows =
         ("Oracle v. ORC", Table.Right);
       ]
   in
-  List.iter
+  Array.iter
     (fun (name, _, nn, svm, oracle) ->
       Table.add_row t
         [
@@ -447,8 +449,10 @@ let render_speedups ~title rows =
         ])
     rows;
   Table.add_separator t;
-  let agg f rows = Stats.geomean (Array.of_list (List.map f rows)) in
-  let fp_rows = List.filter (fun (_, fp, _, _, _) -> fp) rows in
+  let agg f rows = Stats.geomean (Array.map f rows) in
+  let fp_rows =
+    Array.of_list (List.filter (fun (_, fp, _, _, _) -> fp) (Array.to_list rows))
+  in
   Table.add_row t
     [
       "GEOMEAN (all 24)";
@@ -463,13 +467,15 @@ let render_speedups ~title rows =
       Table.cell_pct (agg (fun (_, _, _, v, _) -> v) fp_rows -. 1.0);
       Table.cell_pct (agg (fun (_, _, _, _, v) -> v) fp_rows -. 1.0);
     ];
-  let wins f = List.length (List.filter (fun r -> f r > 1.0) rows) in
+  let wins f =
+    Array.fold_left (fun acc r -> if f r > 1.0 then acc + 1 else acc) 0 rows
+  in
   Table.to_string t
   ^ Printf.sprintf "SVM beats ORC on %d of %d benchmarks; NN on %d of %d\n"
       (wins (fun (_, _, _, v, _) -> v))
-      (List.length rows)
+      (Array.length rows)
       (wins (fun (_, _, v, _, _) -> v))
-      (List.length rows)
+      (Array.length rows)
 
 let fig4 env =
   render_speedups
@@ -486,8 +492,10 @@ let fig5 env =
 let summary env =
   let rows_off = speedup_rows env ~swp:false in
   let rows_on = speedup_rows env ~swp:true in
-  let agg f rows = Stats.geomean (Array.of_list (List.map f rows)) -. 1.0 in
-  let fp = List.filter (fun (_, fp, _, _, _) -> fp) in
+  let agg f rows = Stats.geomean (Array.map f rows) -. 1.0 in
+  let fp rows =
+    Array.of_list (List.filter (fun (_, fp, _, _, _) -> fp) (Array.to_list rows))
+  in
   let t =
     Table.create ~title:"Summary: paper claim vs this reproduction"
       [ ("Claim", Table.Left); ("Paper", Table.Right); ("Here", Table.Right) ]
@@ -525,14 +533,13 @@ let summary env =
     (Table.cell_pct (agg (fun (_, _, _, v, _) -> v) rows_on));
   row "oracle speedup, SWP on" "4.4%"
     (Table.cell_pct (agg (fun (_, _, _, _, v) -> v) rows_on));
+  let improved rows =
+    Array.fold_left (fun acc (_, _, _, v, _) -> if v > 1.0 then acc + 1 else acc) 0 rows
+  in
   row "benchmarks improved, SWP off" "19 of 24"
-    (Printf.sprintf "%d of %d"
-       (List.length (List.filter (fun (_, _, _, v, _) -> v > 1.0) rows_off))
-       (List.length rows_off));
+    (Printf.sprintf "%d of %d" (improved rows_off) (Array.length rows_off));
   row "benchmarks improved, SWP on" "16 of 24"
-    (Printf.sprintf "%d of %d"
-       (List.length (List.filter (fun (_, _, _, v, _) -> v > 1.0) rows_on))
-       (List.length rows_on));
+    (Printf.sprintf "%d of %d" (improved rows_on) (Array.length rows_on));
   Table.to_string t
 
 (* ------------------------------------------------------------------ *)

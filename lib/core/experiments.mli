@@ -14,17 +14,17 @@ type speedup_row = string * bool * float * float * float
 type env = {
   config : Config.t;
   benchmarks : Suite.benchmark list;
-  labeled_off : Labeling.labeled list;  (** all loops, SWP disabled *)
-  labeled_on : Labeling.labeled list;   (** all loops, SWP enabled *)
-  filtered_off : Labeling.labeled list; (** filter-surviving, dataset order *)
-  filtered_on : Labeling.labeled list;
+  labeled_off : Labeling.labeled array;  (** all loops, SWP disabled *)
+  labeled_on : Labeling.labeled array;   (** all loops, SWP enabled *)
+  filtered_off : Labeling.labeled array; (** filter-surviving, dataset order *)
+  filtered_on : Labeling.labeled array;
   dataset_off : Dataset.t;
   dataset_on : Dataset.t;
   selected : int array;
   (** feature subset used for classification (§7: union of the MIS top-k
       and the greedy picks for both classifiers) *)
-  rows_off : speedup_row list Lazy.t;
-  rows_on : speedup_row list Lazy.t;
+  rows_off : speedup_row array Lazy.t;
+  rows_on : speedup_row array Lazy.t;
   (** per-benchmark speedups from {!Compiler.speedup_rows}, computed on
       first demand and shared between the figure drivers and {!summary} *)
 }

@@ -78,10 +78,13 @@ let collect ?progress ?(jobs = 1) ?journal (config : Config.t) ~swp benchmarks =
     | None -> ());
     { bench; loop; weight; cycles }
   in
-  Array.to_list (Parallel.map ~jobs measure tasks)
+  Parallel.map ~jobs measure tasks
 
 let to_dataset ?(filtered = true) (config : Config.t) labeled =
-  let keep = if filtered then List.filter passes_filters labeled else labeled in
+  let keep =
+    if filtered then List.filter passes_filters (Array.to_list labeled)
+    else Array.to_list labeled
+  in
   let examples =
     List.map
       (fun l ->

@@ -25,7 +25,7 @@ val collect :
   ?progress:(done_:int -> total:int -> unit) ->
   ?jobs:int ->
   ?journal:Label_store.t ->
-  Config.t -> swp:bool -> Suite.benchmark list -> labeled list
+  Config.t -> swp:bool -> Suite.benchmark list -> labeled array
 (** Sweeps every loop of every benchmark across [jobs] worker domains
     (default 1 = sequential).  Deterministic in the config: each loop's
     measurement RNG is derived from [(noise_seed, benchmark, loop index)],
@@ -41,7 +41,7 @@ val collect :
     perturbs nothing).  Resume skips and fresh measurements are counted
     in {!Telemetry.global} under ["label-store"]. *)
 
-val to_dataset : ?filtered:bool -> Config.t -> labeled list -> Dataset.t
+val to_dataset : ?filtered:bool -> Config.t -> labeled array -> Dataset.t
 (** Feature extraction + labelling.  [filtered] (default true) applies
     {!passes_filters}.  Labels are 0-based (factor − 1); costs are the
     measured cycles. *)

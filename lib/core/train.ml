@@ -39,7 +39,7 @@ let run ?(progress = false) ?journal (config : Config.t) ~swp ~model =
     failwith "Train.run: no loops survive the labelling filters at this scale";
   let dataset_digest = Dataset.digest ds in
   info progress "train: %d/%d loops survive filters (digest %s)" (Dataset.size ds)
-    (List.length labeled) dataset_digest;
+    (Array.length labeled) dataset_digest;
   let selected = Experiments.select_feature_subset ~progress config ds in
   info progress "train: %d features committed" (Array.length selected);
   (* LOOCV both learners on the committed subset — the same protocol as
@@ -71,7 +71,7 @@ let run ?(progress = false) ?journal (config : Config.t) ~swp ~model =
   let artifact = Predictor.to_artifact config ~dataset_digest predictor in
   ( artifact,
     {
-      measured = List.length labeled;
+      measured = Array.length labeled;
       kept = Dataset.size ds;
       features = selected;
       nn_loocv;

@@ -31,14 +31,12 @@ let count_into tbl key n =
 
 let run ?cfg ?(jobs = 1) ?(telemetry = Telemetry.global) ~budget ~seed () =
   let results =
-    Parallel.map ~jobs
-      (fun id ->
+    Parallel.tabulate ~jobs budget (fun id ->
         let case = Fuzz_gen.case ?cfg ~seed ~id () in
         let outcome = Fuzz_oracle.run_case case in
         let hist = Fuzz_gen.op_histogram case.Fuzz_gen.loop in
         let feats = Features.extract case.Fuzz_gen.machine case.Fuzz_gen.loop in
         (case, outcome, hist, feats))
-      (Array.init budget Fun.id)
   in
   let oracle_tbl = Hashtbl.create 16 in
   let op_tbl = Hashtbl.create 16 in

@@ -132,8 +132,7 @@ let gram ?(jobs = 1) m =
     done
   in
   let n_blocks = (n + block - 1) / block in
-  ignore
-    (Parallel.map ~jobs (fun b -> fill_rows (b * block)) (Array.init n_blocks Fun.id));
+  Parallel.iter ~jobs n_blocks (fun b -> fill_rows (b * block));
   out
 
 let pairwise_dist2 ?(jobs = 1) m =
@@ -170,8 +169,7 @@ let pairwise_dist2 ?(jobs = 1) m =
     done
   in
   let n_blocks = (n + block - 1) / block in
-  ignore
-    (Parallel.map ~jobs (fun b -> fill_rows (b * block)) (Array.init n_blocks Fun.id));
+  Parallel.iter ~jobs n_blocks (fun b -> fill_rows (b * block));
   out
 
 let equal ?(eps = 1e-9) m n =

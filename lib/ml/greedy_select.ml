@@ -1,29 +1,28 @@
 (* Reduce candidate evaluations in candidate order: the first strictly
    lower error wins, so the pick does not depend on [jobs]. *)
 let best_of errs =
-  let best = ref None in
-  List.iter
-    (fun (f, err) ->
-      match !best with
-      | Some (_, e) when e <= err -> ()
-      | _ -> best := Some (f, err))
-    errs;
-  !best
+  Array.fold_left
+    (fun best (f, err) ->
+      match best with
+      | Some (_, e) when e <= err -> best
+      | _ -> Some (f, err))
+    None errs
 
 let run ?(jobs = 1) ~n_features ~k error =
   let chosen = ref [] in
-  let remaining = ref (List.init n_features (fun i -> i)) in
+  let remaining = ref (Array.init n_features Fun.id) in
   let picks = ref [] in
   for _ = 1 to min k n_features do
     (* Candidate evaluations within a round are independent. *)
     let errs =
-      Parallel.map_list ~jobs (fun f -> (f, error (List.rev (f :: !chosen)))) !remaining
+      Parallel.map ~jobs (fun f -> (f, error (List.rev (f :: !chosen)))) !remaining
     in
     match best_of errs with
     | None -> ()
     | Some (f, err) ->
       chosen := f :: !chosen;
-      remaining := List.filter (fun g -> g <> f) !remaining;
+      remaining :=
+        Array.of_list (List.filter (fun g -> g <> f) (Array.to_list !remaining));
       picks := (f, err) :: !picks
   done;
   List.rev !picks
@@ -57,13 +56,17 @@ let run_pairwise ?(jobs = 1) ?telemetry ?(name = "select") ~k engine eval =
      for round = 1 to min k d do
        let t0 = Unix.gettimeofday () in
        let remaining =
-         List.filter (fun f -> not (Pairwise.is_committed engine f)) (List.init d Fun.id)
+         Array.of_list
+           (List.filter
+              (fun f -> not (Pairwise.is_committed engine f))
+              (List.init d Fun.id))
        in
        (* Candidate evaluations only read the committed triangle; the same
           candidate-order reduction as [run] keeps picks jobs-invariant. *)
-       let errs = Parallel.map_list ~jobs (fun f -> (f, eval f)) remaining in
+       let errs = Parallel.map ~jobs (fun f -> (f, eval f)) remaining in
        let best = best_of errs in
-       round_telemetry telemetry ~name ~round ~t0 ~candidates:(List.length remaining) best;
+       round_telemetry telemetry ~name ~round ~t0 ~candidates:(Array.length remaining)
+         best;
        match best with
        | None -> raise Exit
        | Some (f, err) ->

@@ -92,11 +92,9 @@ let loo_predictions ?jobs t =
      identical for every [jobs] value. *)
   let d2 = Mat.pairwise_dist2 ?jobs t.points in
   let dd = Mat.data d2 in
-  Parallel.map ?jobs
-    (fun i ->
+  Parallel.tabulate ?jobs n (fun i ->
       let base = i * n in
       fst (classify_dists t ~skip:i (fun k -> sqrt (dd.(base + k) /. dims))))
-    (Array.init n Fun.id)
 
 let export t =
   (t.radius, t.classes, Array.mapi (fun i l -> (Mat.row t.points i, l)) t.labels)

@@ -11,11 +11,9 @@ let run ?(jobs = 1) ~train ~predict pairs =
   let n = Array.length pairs in
   (* Each fold is independent and results land at their fold's index, so
      the output does not depend on [jobs]. *)
-  Parallel.map ~jobs
-    (fun i ->
+  Parallel.tabulate ~jobs n (fun i ->
       let model = train (without_index pairs i) in
       predict model (fst pairs.(i)))
-    (Array.init n Fun.id)
 
 let accuracy ?jobs ~train ~predict pairs =
   let preds = run ?jobs ~train ~predict pairs in
@@ -45,16 +43,18 @@ let without_group groups pairs g =
 
 let grouped ?(jobs = 1) ~groups ~train ~predict pairs =
   if Array.length groups <> Array.length pairs then invalid_arg "Loocv.grouped: sizes";
-  let distinct = List.sort_uniq compare (Array.to_list groups) in
+  let distinct = Array.of_list (List.sort_uniq compare (Array.to_list groups)) in
   let per_group =
-    Parallel.map_list ~jobs
+    Parallel.map ~jobs
       (fun g ->
         let model = train (without_group groups pairs g) in
-        List.init (Array.length pairs) Fun.id
-        |> List.filter (fun i -> groups.(i) = g)
-        |> List.map (fun i -> (i, predict model (fst pairs.(i)))))
+        let mine = ref [] in
+        for i = Array.length pairs - 1 downto 0 do
+          if groups.(i) = g then mine := (i, predict model (fst pairs.(i))) :: !mine
+        done;
+        !mine)
       distinct
   in
   let out = Array.make (Array.length pairs) 0 in
-  List.iter (List.iter (fun (i, p) -> out.(i) <- p)) per_group;
+  Array.iter (List.iter (fun (i, p) -> out.(i) <- p)) per_group;
   out

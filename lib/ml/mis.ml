@@ -57,11 +57,9 @@ let rank ?bins ?(jobs = 1) (ds : Dataset.t) =
   let n = Mat.rows m and d = Mat.cols m in
   let a = Mat.data m in
   let scored =
-    Parallel.map ~jobs
-      (fun j ->
+    Parallel.tabulate ~jobs d (fun j ->
         let col = Array.init n (fun i -> a.((i * d) + j)) in
         (j, score ?bins col labels))
-      (Array.init d Fun.id)
   in
   Array.sort (fun (_, x) (_, y) -> compare y x) scored;
   scored

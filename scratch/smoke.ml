@@ -1,15 +1,31 @@
-let machine = Machine.itanium2
+(* quick sanity for the new Parallel runtime *)
 let () =
-  let b = Builder.create ~lang:Loop.Fortran ~name:"sm_best" ~trip:4096 ~nest_level:2
-      ~outer_trip:32 () in
-  let x = Builder.add_array b ~length:4112 "x" in
-  let v = Builder.load b ~cls:Op.Flt ~array:x ~stride:1 ~offset:0 () in
-  Builder.store b ~array:x ~stride:1 ~offset:0 (Builder.fmul b [ v; v ]);
-  let loop = Builder.finish b in
-  List.iter (fun strip ->
-    let exe = Strip_mine.executable machine ~swp:false loop ~strip ~unroll:4 in
-    let st = Simulator.create_state machine in
-    ignore (Simulator.run st exe);
-    Printf.printf "strip %d: %d (chunks=%d extra=%d)\n" strip (Simulator.run st exe)
-      (List.length exe.Simulator.schedules) exe.Simulator.entry_extra_cycles)
-    [256; 512; 1024; 2048; 4096]
+  (* basic map determinism *)
+  let seq = Parallel.map ~jobs:1 (fun x -> x * x) (Array.init 1000 Fun.id) in
+  let par = Parallel.map ~jobs:4 (fun x -> x * x) (Array.init 1000 Fun.id) in
+  assert (seq = par);
+  (* nested *)
+  let nested j =
+    Parallel.tabulate ~jobs:j 20 (fun i ->
+        let inner = Parallel.tabulate ~jobs:2 10 (fun k -> (i * 31) + k) in
+        Array.fold_left ( + ) 0 inner)
+  in
+  assert (nested 1 = nested 4);
+  (* fork_join *)
+  let a, b = Parallel.fork_join (fun () -> 1 + 1) (fun () -> "x" ^ "y") in
+  assert (a = 2 && b = "xy");
+  (* exceptions: first by index *)
+  (try
+     ignore (Parallel.map ~jobs:4 (fun i -> if i mod 3 = 0 then failwith (string_of_int i) else i) (Array.init 100 Fun.id));
+     assert false
+   with Failure s -> assert (s = "0"));
+  (* skew: steal counters move *)
+  let t0 = Telemetry.counter Telemetry.global ~pass:"parallel" "steals" in
+  let busy n = let r = ref 0 in for i = 1 to n do r := !r + i done; Sys.opaque_identity !r in
+  ignore (Parallel.map ~jobs:2 (fun i -> if i < 32 then busy 2_000_000 else busy 100) (Array.init 64 Fun.id));
+  let t1 = Telemetry.counter Telemetry.global ~pass:"parallel" "steals" in
+  Printf.printf "steals during skewed map: %d\n" (t1 - t0);
+  Printf.printf "tasks=%d batches=%d\n"
+    (Telemetry.counter Telemetry.global ~pass:"parallel" "tasks")
+    (Telemetry.counter Telemetry.global ~pass:"parallel" "batches");
+  print_endline "smoke ok"

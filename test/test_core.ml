@@ -123,8 +123,8 @@ let labeled_cache = lazy (
 
 let test_labeling_shapes () =
   let labeled = Lazy.force labeled_cache in
-  Alcotest.(check bool) "collected something" true (List.length labeled > 50);
-  List.iter
+  Alcotest.(check bool) "collected something" true (Array.length labeled > 50);
+  Array.iter
     (fun (l : Labeling.labeled) ->
       Alcotest.(check int) "8 measurements" 8 (Array.length l.Labeling.cycles);
       let b = Labeling.best_factor l in
@@ -136,9 +136,9 @@ let test_labeling_shapes () =
 
 let test_labeling_filters () =
   let labeled = Lazy.force labeled_cache in
-  let kept = List.filter Labeling.passes_filters labeled in
+  let kept = List.filter Labeling.passes_filters (Array.to_list labeled) in
   Alcotest.(check bool) "filters keep a majority" true
-    (List.length kept * 2 > List.length labeled);
+    (List.length kept * 2 > Array.length labeled);
   List.iter
     (fun (l : Labeling.labeled) ->
       Alcotest.(check bool) "kept loops are unrollable" true
@@ -150,7 +150,7 @@ let test_labeling_dataset () =
   let ds = Labeling.to_dataset config labeled in
   Alcotest.(check int) "feature count" 38 (Array.length ds.Dataset.feature_names);
   Alcotest.(check int) "classes" 8 ds.Dataset.n_classes;
-  Alcotest.(check int) "filtered size" (List.length (List.filter Labeling.passes_filters labeled))
+  Alcotest.(check int) "filtered size" (List.length (List.filter Labeling.passes_filters (Array.to_list labeled)))
     (Dataset.size ds)
 
 let test_labeling_deterministic () =
@@ -158,7 +158,10 @@ let test_labeling_deterministic () =
   let a = Labeling.collect config ~swp:false benchmarks in
   let b = Labeling.collect config ~swp:false benchmarks in
   Alcotest.(check bool) "same labels" true
-    (List.for_all2 (fun (x : Labeling.labeled) y -> x.Labeling.cycles = y.Labeling.cycles) a b)
+    (Array.length a = Array.length b
+    && Array.for_all2
+         (fun (x : Labeling.labeled) y -> x.Labeling.cycles = y.Labeling.cycles)
+         a b)
 
 (* --- Predictor / Compiler --- *)
 

@@ -134,8 +134,8 @@ let small_benchmarks () =
   |> List.filteri (fun i _ -> i < 6)
 
 let check_labels_equal l1 l2 =
-  Alcotest.(check int) "same loop count" (List.length l1) (List.length l2);
-  List.iter2
+  Alcotest.(check int) "same loop count" (Array.length l1) (Array.length l2);
+  Array.iter2
     (fun (a : Labeling.labeled) (b : Labeling.labeled) ->
       Alcotest.(check string) "bench order" a.Labeling.bench b.Labeling.bench;
       Alcotest.(check string) "loop order" a.Labeling.loop.Loop.name b.Labeling.loop.Loop.name;

@@ -179,6 +179,139 @@ let test_csv_escape () =
   Alcotest.(check string) "comma" "\"a,b\"" (Csvio.escape "a,b");
   Alcotest.(check string) "quote" "\"a\"\"b\"" (Csvio.escape "a\"b")
 
+(* --- Parallel scheduler --- *)
+
+(* Spin for a task-dependent but deterministic amount of work, so schedules
+   differ across runs without timers. *)
+let busy n =
+  let acc = ref 0 in
+  for i = 1 to n do
+    acc := !acc + i
+  done;
+  ignore (Sys.opaque_identity !acc)
+
+let test_parallel_map_identical () =
+  let input = Array.init 257 (fun i -> i) in
+  let f x = (x * x) + (x mod 7) in
+  let seq = Parallel.map ~jobs:1 f input in
+  List.iter
+    (fun j ->
+      Alcotest.(check (array int))
+        (Printf.sprintf "map at j=%d" j)
+        seq
+        (Parallel.map ~jobs:j f input))
+    [ 2; 4; 8 ]
+
+let test_parallel_tabulate_iter () =
+  let n = 100 in
+  let expect = Array.init n (fun i -> 3 * i) in
+  Alcotest.(check (array int)) "tabulate" expect (Parallel.tabulate ~jobs:4 n (fun i -> 3 * i));
+  let out = Array.make n 0 in
+  Parallel.iter ~jobs:4 n (fun i -> out.(i) <- 3 * i);
+  Alcotest.(check (array int)) "iter writes disjoint slots" expect out
+
+let test_parallel_nested_identical () =
+  let outer j =
+    Parallel.tabulate ~jobs:j 12 (fun i ->
+        let inner = Parallel.tabulate ~jobs:3 8 (fun k -> (i * 31) + (k * k)) in
+        Array.fold_left ( + ) 0 inner)
+  in
+  let seq = outer 1 in
+  Alcotest.(check (array int)) "nested j=4" seq (outer 4);
+  Alcotest.(check (array int)) "nested j=8" seq (outer 8)
+
+let test_parallel_first_exception_by_index () =
+  (* Several tasks raise; the re-raised one must be the lowest input index
+     at every job count, even though a thief often finishes index 40
+     before the owner reaches index 17. *)
+  let f i =
+    busy ((i * 131) mod 997);
+    if i mod 23 = 17 then failwith (string_of_int i) else i
+  in
+  List.iter
+    (fun j ->
+      match Parallel.map ~jobs:j f (Array.init 120 Fun.id) with
+      | _ -> Alcotest.fail "expected Failure"
+      | exception Failure s ->
+        Alcotest.(check string) (Printf.sprintf "first raise at j=%d" j) "17" s)
+    [ 1; 2; 8 ]
+
+let test_fork_join () =
+  let a, b = Parallel.fork_join (fun () -> busy 1000; 41 + 1) (fun () -> "ab" ^ "c") in
+  Alcotest.(check int) "left" 42 a;
+  Alcotest.(check string) "right" "abc" b;
+  (* When both sides raise, the left exception wins. *)
+  (match Parallel.fork_join (fun () -> failwith "left") (fun () -> failwith "right") with
+  | _ -> Alcotest.fail "expected Failure"
+  | exception Failure s -> Alcotest.(check string) "left wins" "left" s);
+  match Parallel.fork_join ~jobs:1 (fun () -> 1) (fun () -> 2) with
+  | a, b ->
+    Alcotest.(check int) "sequential left" 1 a;
+    Alcotest.(check int) "sequential right" 2 b
+
+let test_steal_counter_skew () =
+  (* Seed two deques with a deliberately skewed split: the first chunk is
+     all heavy tasks, the second all trivial ones.  The helper that drains
+     the light chunk must steal from the heavy one for the batch to finish,
+     so the global steal counter has to move. *)
+  let steals0 = Telemetry.counter Telemetry.global ~pass:"parallel" "steals" in
+  let tasks0 = Telemetry.counter Telemetry.global ~pass:"parallel" "tasks" in
+  let n = 64 in
+  ignore
+    (Parallel.map ~jobs:2
+       (fun i -> busy (if i < n / 2 then 400_000 else 10))
+       (Array.init n Fun.id));
+  let steals = Telemetry.counter Telemetry.global ~pass:"parallel" "steals" - steals0 in
+  let tasks = Telemetry.counter Telemetry.global ~pass:"parallel" "tasks" - tasks0 in
+  Alcotest.(check int) "every task counted" n tasks;
+  Alcotest.(check bool) "steals happened under skew" true (steals >= 1)
+
+let test_default_jobs_env_override () =
+  let set v = Unix.putenv "UNROLLML_JOBS" v in
+  let before = try Some (Sys.getenv "UNROLLML_JOBS") with Not_found -> None in
+  Fun.protect
+    ~finally:(fun () -> set (Option.value before ~default:""))
+    (fun () ->
+      set "5";
+      Alcotest.(check int) "env override" 5 (Parallel.default_jobs ());
+      set "0";
+      Alcotest.(check bool) "non-positive ignored" true (Parallel.default_jobs () >= 1);
+      set "nope";
+      Alcotest.(check bool) "garbage ignored" true (Parallel.default_jobs () >= 1);
+      set "";
+      Alcotest.(check bool) "uncapped recommended count" true
+        (Parallel.default_jobs () = Domain.recommended_domain_count ()))
+
+(* Chaos: random task costs, random raisers, random nesting — results and
+   the identity of the raised exception must match the sequential run at
+   every job count. *)
+let prop_parallel_chaos =
+  let gen =
+    QCheck.Gen.(
+      list_size (1 -- 40)
+        (triple (0 -- 2000) (0 -- 9) bool))
+  in
+  let print = QCheck.Print.(list (fun (c, r, n) -> Printf.sprintf "(%d,%d,%b)" c r n)) in
+  QCheck.Test.make ~count:30 ~name:"parallel chaos: jobs-invariant results and raises"
+    (QCheck.make ~print gen)
+    (fun spec ->
+      let tasks = Array.of_list spec in
+      let f (cost, raise_mod, nest) i =
+        busy cost;
+        if raise_mod = 3 && i mod 5 = 2 then failwith (string_of_int i);
+        if nest then
+          Array.fold_left ( + ) i (Parallel.tabulate ~jobs:2 4 (fun k -> i + k))
+        else i
+      in
+      let run jobs =
+        match Parallel.map ~jobs (fun i -> f tasks.(i) i) (Array.init (Array.length tasks) Fun.id)
+        with
+        | r -> Ok r
+        | exception Failure s -> Error s
+      in
+      let seq = run 1 in
+      run 2 = seq && run 8 = seq)
+
 (* --- QCheck properties --- *)
 
 let prop_median_bounded =
@@ -236,6 +369,14 @@ let suite =
     ("csv roundtrip", `Quick, test_csv_roundtrip_simple);
     ("csv quoting", `Quick, test_csv_roundtrip_quoting);
     ("csv escape", `Quick, test_csv_escape);
+    ("parallel map jobs-invariant", `Quick, test_parallel_map_identical);
+    ("parallel tabulate/iter", `Quick, test_parallel_tabulate_iter);
+    ("parallel nested jobs-invariant", `Quick, test_parallel_nested_identical);
+    ("parallel first exception by index", `Quick, test_parallel_first_exception_by_index);
+    ("parallel fork_join", `Quick, test_fork_join);
+    ("parallel steals under skew", `Quick, test_steal_counter_skew);
+    ("parallel default_jobs env", `Quick, test_default_jobs_env_override);
+    QCheck_alcotest.to_alcotest prop_parallel_chaos;
     QCheck_alcotest.to_alcotest prop_median_bounded;
     QCheck_alcotest.to_alcotest prop_rank_is_permutation;
     QCheck_alcotest.to_alcotest prop_csv_roundtrip;
