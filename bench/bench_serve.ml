@@ -1,0 +1,57 @@
+(* SLO bench for `unroll-ml serve`: an in-process server over the golden
+   NN artifact, hammered by ramped client concurrency (1 / 8 / 32
+   connections by default, tens of thousands of requests total) drawn from
+   the workload suite plus Fuzz.Gen adversarial loops.
+
+   Records p50/p99/p999 latency, throughput, shed rate, the server's
+   batch-size histogram and cache counters to BENCH_serve.json (a CI
+   artifact next to BENCH_ml/BENCH_sim/BENCH_par).  Exits non-zero unless
+   every batched server response is bit-identical to the sequential
+   Predict_service answer and the mid-run hot reload dropped nothing.
+
+   Latency percentiles are client-observed over loopback with all client
+   threads sharing one domain, so read them as an upper bound; the
+   batching and throughput curves are the point. *)
+
+let env_int name default =
+  match Sys.getenv_opt name with
+  | Some s -> ( try max 1 (int_of_string (String.trim s)) with _ -> default)
+  | None -> default
+
+let () =
+  let artifact =
+    Option.value
+      (Sys.getenv_opt "UNROLLML_SERVE_ARTIFACT")
+      ~default:"test/fixtures/golden_nn.artifact"
+  in
+  if not (Sys.file_exists artifact) then begin
+    Printf.eprintf "bench_serve: artifact %s not found (run from the repo root)\n" artifact;
+    exit 2
+  end;
+  (* The golden artifacts are trained at the fixture config; only the
+     machine matters for serving (provenance gate + featurisation). *)
+  let config = { Config.fast with Config.scale = 0.05 } in
+  let requests_per_level = env_int "UNROLLML_BENCH_SERVE_REQUESTS" 8000 in
+  let pool = Serve_bench.loop_pool ~size:(env_int "UNROLLML_BENCH_SERVE_POOL" 512) config in
+  Printf.printf
+    "serve bench: artifact=%s pool=%d loops, %d requests/level at conc %s\n%!"
+    artifact (Array.length pool) requests_per_level
+    (String.concat "/" (List.map string_of_int Serve_bench.default_levels));
+  match
+    Serve_bench.run ~requests_per_level ~config ~artifact ~pool ()
+  with
+  | Error e ->
+    Printf.eprintf "bench_serve: %s\n" e;
+    exit 1
+  | Ok r ->
+    print_endline r.Serve_bench.json;
+    let oc = open_out "BENCH_serve.json" in
+    output_string oc (r.Serve_bench.json ^ "\n");
+    close_out oc;
+    if not r.Serve_bench.identical then begin
+      Printf.eprintf
+        "bench_serve: FAILED (mismatches=%d reloads=%d) — batched serving must be \
+         bit-identical to sequential prediction\n"
+        r.Serve_bench.mismatches r.Serve_bench.reloads;
+      exit 1
+    end

@@ -193,6 +193,28 @@ let run_parallel_bench config compile_rows =
     (ns "unroll-ml/compile-u4-cold")
     (ns "unroll-ml/compile-u4-cached")
 
+(* ---------------- prediction serving ---------------- *)
+
+(* A reduced pass of the serve load generator (bench/bench_serve.exe runs
+   the full ramp), so the aggregate summary lines cover serving alongside
+   the ML, simulator and parallel numbers. *)
+let run_serve_bench () =
+  hr "Prediction server: concurrent load, micro-batching";
+  let artifact =
+    List.find_opt Sys.file_exists
+      [ "test/fixtures/golden_nn.artifact"; "fixtures/golden_nn.artifact" ]
+  in
+  match artifact with
+  | None -> print_endline "skipped: golden artifact fixture not found (run from the repo root)"
+  | Some artifact -> (
+    let config = { Config.fast with Config.scale = 0.05 } in
+    let pool = Serve_bench.loop_pool ~size:256 config in
+    match
+      Serve_bench.run ~levels:[ 1; 8 ] ~requests_per_level:1500 ~config ~artifact ~pool ()
+    with
+    | Error e -> Printf.printf "serve bench failed: %s\n" e
+    | Ok r -> print_endline r.Serve_bench.json)
+
 let () =
   let config = Config.of_env () in
   Printf.printf
@@ -204,4 +226,5 @@ let () =
   let env = Experiments.build_env config in
   run_experiments env;
   let rows = run_microbenches env in
-  run_parallel_bench config rows
+  run_parallel_bench config rows;
+  run_serve_bench ()

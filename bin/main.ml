@@ -422,9 +422,19 @@ let train_cmd =
 let predict_cmd =
   let artifact =
     Arg.(
-      required
+      value
       & opt (some file) None
       & info [ "artifact" ] ~docv:"FILE" ~doc:"Model artifact written by `unroll-ml train`.")
+  in
+  let remote =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "remote" ] ~docv:"HOST:PORT"
+          ~doc:
+            "Query a running `unroll-ml serve` instead of loading an artifact \
+             locally.  Output is identical to the local path, so the two can be \
+             bit-diffed.")
   in
   let kernels =
     Arg.(value & flag & info [ "kernels" ] ~doc:"Predict for the built-in kernel loops.")
@@ -438,7 +448,7 @@ let predict_cmd =
   let output =
     Arg.(value & opt string "-" & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output path ('-' = stdout).")
   in
-  let run config artifact kernels file output telemetry =
+  let run config artifact remote kernels file output telemetry =
     with_telemetry telemetry (fun () ->
         let loops =
           match (kernels, file) with
@@ -460,16 +470,56 @@ let predict_cmd =
             Printf.eprintf "predict: give exactly one of --kernels or a .loop FILE\n";
             exit 2
         in
-        let service =
-          match
-            Result.bind (Model_artifact.load artifact) (Predict_service.create config)
-          with
-          | Ok s -> s
-          | Error e ->
-            Printf.eprintf "artifact: %s\n" e;
+        let factors =
+          match (remote, artifact) with
+          | Some addr, _ -> begin
+            (* The remote path speaks the same Wire codec as the server and
+               the load bench; responses come back in request order. *)
+            let client =
+              match Serve_client.connect addr with
+              | Ok c -> c
+              | Error e ->
+                Printf.eprintf "remote: %s\n" e;
+                exit 2
+            in
+            Fun.protect
+              ~finally:(fun () -> Serve_client.close client)
+              (fun () ->
+                match Serve_client.predict_all client loops with
+                | Error e ->
+                  Printf.eprintf "remote: %s\n" e;
+                  exit 2
+                | Ok responses ->
+                  Array.map
+                    (function
+                      | Wire.Factor f -> f
+                      | Wire.Busy ->
+                        Printf.eprintf "remote: server shed the request (busy)\n";
+                        exit 1
+                      | Wire.Okay _ ->
+                        Printf.eprintf "remote: unexpected control response\n";
+                        exit 1
+                      | Wire.Failure e ->
+                        Printf.eprintf "remote: %s\n" e;
+                        exit 1)
+                    responses)
+          end
+          | None, Some artifact -> begin
+            let service =
+              match
+                Result.bind (Model_artifact.load artifact) (Predict_service.create config)
+              with
+              | Ok s -> s
+              | Error e ->
+                Printf.eprintf "artifact: %s\n" e;
+                exit 2
+            in
+            Predict_service.predict_batch service loops
+          end
+          | None, None ->
+            Printf.eprintf "predict: give --artifact FILE or --remote HOST:PORT\n";
             exit 2
         in
-        let factors = Predict_service.predict_batch service loops in
         let buf = Buffer.create 256 in
         List.iteri
           (fun i loop ->
@@ -487,9 +537,154 @@ let predict_cmd =
   Cmd.v
     (Cmd.info "predict"
        ~doc:
-         "Batched prediction from a model artifact: load, verify provenance against \
-          the serving machine, print `name factor` per loop.")
-    Term.(const run $ config_term $ artifact $ kernels $ file $ output $ telemetry_flag)
+         "Batched prediction from a model artifact (or a running server with \
+          --remote): verify provenance against the serving machine, print `name \
+          factor` per loop.")
+    Term.(
+      const run $ config_term $ artifact $ remote $ kernels $ file $ output
+      $ telemetry_flag)
+
+(* serve *)
+let serve_cmd =
+  let model =
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "model" ] ~docv:"FILE" ~doc:"Model artifact written by `unroll-ml train`.")
+  in
+  let port =
+    Arg.(value & opt int 7811 & info [ "port" ] ~docv:"P" ~doc:"Listen port (0 = ephemeral).")
+  in
+  let host =
+    Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"ADDR" ~doc:"Bind address.")
+  in
+  let batch_window_us =
+    Arg.(
+      value
+      & opt int 2000
+      & info [ "batch-window-us" ] ~docv:"US"
+          ~doc:
+            "Micro-batching window in microseconds: how long a forming batch waits \
+             for more requests before firing (it fires early when the arrival \
+             stream pauses or the cap is hit).")
+  in
+  let batch_cap =
+    Arg.(value & opt int 64 & info [ "batch-cap" ] ~docv:"N" ~doc:"Max loops per prediction batch.")
+  in
+  let queue_cap =
+    Arg.(
+      value
+      & opt int 1024
+      & info [ "queue-cap" ] ~docv:"N"
+          ~doc:"Admission-control bound: beyond this queue depth requests are shed (busy).")
+  in
+  let cache_cap =
+    Arg.(
+      value
+      & opt int Predict_service.default_cache_capacity
+      & info [ "cache-cap" ] ~docv:"N"
+          ~doc:"Feature-vector cache entries kept (FIFO eviction; 0 disables).")
+  in
+  let drain_timeout =
+    Arg.(
+      value
+      & opt float 5.0
+      & info [ "drain-timeout" ] ~docv:"S"
+          ~doc:"Seconds to wait for connections to close during graceful shutdown.")
+  in
+  let run config model port host batch_window_us batch_cap queue_cap cache_cap
+      drain_timeout telemetry =
+    with_telemetry telemetry (fun () ->
+        let opts =
+          {
+            Serve.host;
+            port;
+            jobs = config.Config.jobs;
+            batch_window = float_of_int (max 0 batch_window_us) /. 1e6;
+            batch_cap = max 1 batch_cap;
+            queue_cap = max 1 queue_cap;
+            cache_capacity = max 0 cache_cap;
+            drain_timeout = Float.max 0. drain_timeout;
+          }
+        in
+        match Serve.listen ~opts config ~artifact:model with
+        | Error e ->
+          Printf.eprintf "%s\n" e;
+          exit 2
+        | Ok server ->
+          (* SIGINT/SIGTERM drain gracefully; SIGHUP hot-reloads the model
+             path in place.  Handlers only flip atomic flags the accept loop
+             polls — nothing signal-unsafe runs here. *)
+          let stop _ = Serve.stop server in
+          Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
+          Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
+          Sys.set_signal Sys.sighup
+            (Sys.Signal_handle (fun _ -> Serve.request_reload server model));
+          Printf.printf
+            "unroll-ml serve: listening on %s:%d (model %s, batch window %dus cap \
+             %d, queue %d, jobs %d)\n%!"
+            host (Serve.port server) model batch_window_us opts.Serve.batch_cap
+            opts.Serve.queue_cap opts.Serve.jobs;
+          Serve.run server;
+          print_string (Serve.stats_text server))
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Serve predictions over TCP: connections are multiplexed into adaptive \
+          micro-batches with admission control and backpressure; SIGHUP (or the \
+          `reload` control frame) hot-swaps the model without dropping requests.")
+    Term.(
+      const run $ config_term $ model $ port $ host $ batch_window_us $ batch_cap
+      $ queue_cap $ cache_cap $ drain_timeout $ telemetry_flag)
+
+(* ctl *)
+let ctl_cmd =
+  let addr =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"HOST:PORT" ~doc:"A running `unroll-ml serve`.")
+  in
+  let command =
+    Arg.(
+      non_empty
+      & pos_right 0 string []
+      & info [] ~docv:"CMD"
+          ~doc:"Control command: ping | stats | reload PATH | shutdown.")
+  in
+  let run addr command =
+    match Serve_client.connect addr with
+    | Error e ->
+      Printf.eprintf "ctl: %s\n" e;
+      exit 2
+    | Ok client ->
+      Fun.protect
+        ~finally:(fun () -> Serve_client.close client)
+        (fun () ->
+          match Serve_client.control client (String.concat " " command) with
+          | Ok (Wire.Okay text) ->
+            print_string text;
+            if text = "" || text.[String.length text - 1] <> '\n' then print_newline ()
+          | Ok (Wire.Failure e) ->
+            Printf.eprintf "ctl: %s\n" e;
+            exit 1
+          | Ok Wire.Busy ->
+            Printf.eprintf "ctl: server busy\n";
+            exit 1
+          | Ok (Wire.Factor _) ->
+            Printf.eprintf "ctl: unexpected prediction response\n";
+            exit 1
+          | Error e ->
+            Printf.eprintf "ctl: %s\n" e;
+            exit 1)
+  in
+  Cmd.v
+    (Cmd.info "ctl"
+       ~doc:
+         "Send a control frame to a running server: ping, stats, hot reload, or \
+          graceful shutdown.")
+    Term.(const run $ addr $ command)
 
 (* kernels *)
 let kernels_cmd =
@@ -517,7 +712,7 @@ let main =
        ~doc:"Predicting unroll factors using supervised classification (CGO 2005 reproduction).")
     [
       dataset_cmd; experiment_cmd; inspect_cmd; inspect_file_cmd; export_cmd;
-      train_cmd; predict_cmd; fuzz_cmd; kernels_cmd; machines_cmd;
+      train_cmd; predict_cmd; serve_cmd; ctl_cmd; fuzz_cmd; kernels_cmd; machines_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -6,13 +6,27 @@ type t = {
   (* Feature vectors keyed by loop content (name blanked): the scaled,
      projected vector [Predictor.featurize] would recompute.  Returning the
      stored vector verbatim keeps batch predictions bit-identical to the
-     uncached path. *)
+     uncached path.
+
+     The cache is bounded: a long-lived server would otherwise grow it
+     without limit as distinct loops stream past.  Eviction is FIFO over
+     insertion order — deterministic given the request order, and exact
+     because entries are never re-inserted while present.  All cache state
+     is guarded by [lock] so concurrent [predict_batch] calls (the serve
+     path swaps services under load) stay safe. *)
   cache : (string, float array) Hashtbl.t;
+  order : string Queue.t;
+  capacity : int;
+  lock : Mutex.t;
   mutable hits : int;
   mutable misses : int;
+  mutable evictions : int;
 }
 
-let create ?telemetry (config : Config.t) artifact =
+let default_cache_capacity = 8192
+
+let create ?telemetry ?(cache_capacity = default_cache_capacity) (config : Config.t)
+    artifact =
   match Model_artifact.verify_machine artifact config.Config.machine with
   | Error _ as e -> e
   | Ok () -> (
@@ -25,9 +39,13 @@ let create ?telemetry (config : Config.t) artifact =
           predictor;
           feature_names = artifact.Model_artifact.feature_names;
           telemetry;
-          cache = Hashtbl.create 256;
+          cache = Hashtbl.create (min 256 (max 16 cache_capacity));
+          order = Queue.create ();
+          capacity = max 0 cache_capacity;
+          lock = Mutex.create ();
           hits = 0;
           misses = 0;
+          evictions = 0;
         })
 
 let predictor t = t.predictor
@@ -36,23 +54,47 @@ let loop_key (loop : Loop.t) =
   Digest.string (Marshal.to_string { loop with Loop.name = "" } [])
 
 let featurize t loop =
-  let key = loop_key loop in
-  match Hashtbl.find_opt t.cache key with
-  | Some x ->
-    t.hits <- t.hits + 1;
-    x
-  | None ->
+  if t.capacity = 0 then begin
+    (* Caching disabled: every lookup is a miss and nothing is stored. *)
+    Mutex.lock t.lock;
     t.misses <- t.misses + 1;
-    let x = Predictor.featurize t.predictor t.config loop in
-    Hashtbl.replace t.cache key x;
-    x
+    Mutex.unlock t.lock;
+    Predictor.featurize t.predictor t.config loop
+  end
+  else begin
+    let key = loop_key loop in
+    Mutex.lock t.lock;
+    match Hashtbl.find_opt t.cache key with
+    | Some x ->
+      t.hits <- t.hits + 1;
+      Mutex.unlock t.lock;
+      x
+    | None ->
+      t.misses <- t.misses + 1;
+      Mutex.unlock t.lock;
+      let x = Predictor.featurize t.predictor t.config loop in
+      Mutex.lock t.lock;
+      (* Another batch may have raced the same key in; keep the incumbent so
+         the FIFO order stays one entry per key. *)
+      if not (Hashtbl.mem t.cache key) then begin
+        Hashtbl.replace t.cache key x;
+        Queue.push key t.order;
+        while Hashtbl.length t.cache > t.capacity do
+          let oldest = Queue.pop t.order in
+          Hashtbl.remove t.cache oldest;
+          t.evictions <- t.evictions + 1
+        done
+      end;
+      Mutex.unlock t.lock;
+      x
+  end
 
 let record t field n =
   match t.telemetry with
   | None -> ()
   | Some tel -> Telemetry.incr tel ~pass:"predict-service" field n
 
-let predict_batch t loops =
+let predict_batch ?(jobs = 1) t loops =
   let loops = Array.of_list loops in
   let n = Array.length loops in
   let out = Array.make n 1 in
@@ -63,7 +105,9 @@ let predict_batch t loops =
     if Loop.unrollable loops.(i) then idx := i :: !idx
   done;
   let idx = Array.of_list !idx in
-  let hits0 = t.hits and misses0 = t.misses in
+  let hits0 = t.hits and misses0 = t.misses and evict0 = t.evictions in
+  (* Featurisation stays sequential so cache insertion order — and with it
+     FIFO eviction — is deterministic in the request order. *)
   let vectors = Array.map (fun i -> featurize t loops.(i)) idx in
   if Array.length idx > 0 then begin
     (* Assemble the batch as one flat matrix via the same path the training
@@ -87,15 +131,19 @@ let predict_batch t loops =
     in
     let ds = Dataset.create ~feature_names:t.feature_names ~n_classes examples in
     let m, _labels = Dataset.points_matrix ds in
-    Array.iteri
-      (fun k i -> out.(i) <- Predictor.predict_scaled t.predictor (Mat.row m k))
-      idx
+    (* Row classifications are independent and land at their input index, so
+       fanning them over the domain pool is bit-identical at any [jobs]. *)
+    Parallel.iter ~jobs (Array.length idx) (fun k ->
+        out.(idx.(k)) <- Predictor.predict_scaled t.predictor (Mat.row m k))
   end;
   record t "loops" n;
   record t "vector-cache-hits" (t.hits - hits0);
   record t "vector-cache-misses" (t.misses - misses0);
+  record t "vector-cache-evictions" (t.evictions - evict0);
   out
 
 let predict t loop = (predict_batch t [ loop ]).(0)
 let cache_hits t = t.hits
 let cache_misses t = t.misses
+let cache_evictions t = t.evictions
+let cache_size t = Hashtbl.length t.cache

@@ -9,21 +9,36 @@
     per-artifact feature-vector cache (keyed by loop content, names
     blanked) means repeated loops — the common case for a compiler
     serving many compilation units of the same program — skip feature
-    extraction and normalisation entirely.
+    extraction and normalisation entirely.  The cache is bounded
+    ([cache_capacity] entries, FIFO eviction in insertion order), so a
+    long-lived server's footprint stays flat no matter how many distinct
+    loops stream past.
 
     Predictions are bit-identical to calling {!Predictor.predict} with
-    the same artifact's model loop by loop: the batch path shares the
-    featurisation ({!Predictor.featurize}) and classification
-    ({!Predictor.predict_scaled}) code, and caching returns the exact
-    vector it stored.  Batch sizes and cache hits are counted in
-    telemetry under the ["predict-service"] pass. *)
+    the same artifact's model loop by loop — at any [jobs] value: the
+    batch path shares the featurisation ({!Predictor.featurize}) and
+    classification ({!Predictor.predict_scaled}) code, caching returns
+    the exact vector it stored, and parallel classification writes each
+    row's answer at its input index.  Batch sizes and cache
+    hit/miss/eviction counts land in telemetry under the
+    ["predict-service"] pass.  A service is safe to share between
+    domains (the cache is lock-protected). *)
 
 type t
 
-val create : ?telemetry:Telemetry.t -> Config.t -> Model_artifact.t -> (t, string) result
+val default_cache_capacity : int
+(** Cache entries kept when [cache_capacity] is not given (8192). *)
+
+val create :
+  ?telemetry:Telemetry.t ->
+  ?cache_capacity:int ->
+  Config.t ->
+  Model_artifact.t ->
+  (t, string) result
 (** Fails if the artifact was trained for a different machine description
     than [config]'s, or if its feature subset has drifted from this
-    build's feature table. *)
+    build's feature table.  [cache_capacity] bounds the feature-vector
+    cache; [0] disables caching entirely. *)
 
 val predictor : t -> Predictor.t
 (** The reconstructed in-compiler predictor (shared load path). *)
@@ -31,10 +46,16 @@ val predictor : t -> Predictor.t
 val predict : t -> Loop.t -> int
 (** One loop; equivalent to a batch of one. *)
 
-val predict_batch : t -> Loop.t list -> int array
+val predict_batch : ?jobs:int -> t -> Loop.t list -> int array
 (** Factors in 1..8, in input order.  Non-unrollable loops get 1 without
-    consulting the model, like {!Predictor.predict}. *)
+    consulting the model, like {!Predictor.predict}.  [jobs] (default 1)
+    fans the per-row classification over the {!Parallel} domain pool;
+    results are bit-identical at any value. *)
 
 val cache_hits : t -> int
 val cache_misses : t -> int
+val cache_evictions : t -> int
 (** Feature-vector cache counters since {!create}. *)
+
+val cache_size : t -> int
+(** Entries currently cached (at most the capacity). *)

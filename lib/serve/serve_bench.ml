@@ -1,0 +1,270 @@
+type level = {
+  conc : int;
+  requests : int;
+  wall_s : float;
+  rps : float;
+  p50_us : float;
+  p99_us : float;
+  p999_us : float;
+  shed : int;
+  errors : int;
+}
+
+type result_t = {
+  levels : level list;
+  identical : bool;
+  mismatches : int;
+  total_requests : int;
+  reloads : int;
+  batch_hist : (int * int) list;
+  cache_hits : int;
+  cache_misses : int;
+  cache_evictions : int;
+  json : string;
+}
+
+let default_levels = [ 1; 8; 32 ]
+
+let loop_pool ?(size = 512) (config : Config.t) =
+  let suite = Suite.full ~scale:(Float.min config.Config.scale 0.15) ~seed:config.Config.seed in
+  let arr = Array.of_list (List.map snd (Suite.all_loops suite)) in
+  if Array.length arr >= size then Array.sub arr 0 size
+  else
+    let extra = size - Array.length arr in
+    let fz =
+      Array.init extra (fun i ->
+          let rng = Rng.create (9000 + i) in
+          Fuzz_gen.loop rng Fuzz_gen.default ~id:i
+            ~factor:(1 + (i mod Unroll.max_factor))
+            ~name:(Printf.sprintf "fz%d" i))
+    in
+    Array.append arr fz
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then Float.nan
+  else sorted.(max 0 (min (n - 1) (int_of_float (Float.ceil (p *. float_of_int n)) - 1)))
+
+let stats_assoc text =
+  List.filter_map
+    (fun line ->
+      match String.split_on_char ' ' line with
+      | [ k; v ] -> Option.map (fun n -> (k, n)) (int_of_string_opt v)
+      | _ -> None)
+    (String.split_on_char '\n' text)
+
+let stat assoc key = Option.value ~default:0 (List.assoc_opt key assoc)
+
+let server_stats addr =
+  match Serve_client.connect addr with
+  | Error e -> Error e
+  | Ok c ->
+    Fun.protect
+      ~finally:(fun () -> Serve_client.close c)
+      (fun () ->
+        match Serve_client.control c "stats" with
+        | Ok (Wire.Okay text) -> Ok (stats_assoc text)
+        | Ok r -> Error ("unexpected stats response: " ^ Wire.response_payload r)
+        | Error e -> Error e)
+
+(* One client thread: [per] synchronous request/response pairs over its own
+   connection, retrying sheds, recording per-request latency.  Returns
+   (latencies_us, mismatches, busy_retries, errors). *)
+let client_run addr pool expected ~offset ~per =
+  let lat = Array.make per Float.nan in
+  let mism = ref 0 and busy = ref 0 and errors = ref 0 in
+  (match Serve_client.connect addr with
+  | Error _ -> errors := per
+  | Ok c ->
+    Fun.protect
+      ~finally:(fun () -> Serve_client.close c)
+      (fun () ->
+        (try
+           for i = 0 to per - 1 do
+             let idx = (offset + i) mod Array.length pool in
+             let t0 = Unix.gettimeofday () in
+             let rec attempt tries =
+               match Serve_client.predict c pool.(idx) with
+               | Ok (Wire.Factor f) ->
+                 if f <> expected.(idx) then incr mism
+               | Ok Wire.Busy ->
+                 incr busy;
+                 if tries < 200 then begin
+                   Thread.yield ();
+                   attempt (tries + 1)
+                 end
+                 else incr errors
+               | Ok _ -> incr errors
+               | Error _ ->
+                 incr errors;
+                 raise Exit
+             in
+             attempt 0;
+             lat.(i) <- (Unix.gettimeofday () -. t0) *. 1e6
+           done
+         with Exit -> ())));
+  (lat, !mism, !busy, !errors)
+
+let json_of_level l =
+  Printf.sprintf
+    "{\"conc\":%d,\"requests\":%d,\"wall_s\":%.3f,\"rps\":%.0f,\"p50_us\":%.1f,\
+     \"p99_us\":%.1f,\"p999_us\":%.1f,\"shed\":%d,\"errors\":%d}"
+    l.conc l.requests l.wall_s l.rps l.p50_us l.p99_us l.p999_us l.shed l.errors
+
+let run ?(levels = default_levels) ?(requests_per_level = 8000) ?opts ?(progress = true)
+    ~config ~artifact ~pool () =
+  let opts =
+    let base =
+      match opts with
+      | Some o -> o
+      | None ->
+        {
+          Serve.default_opts with
+          Serve.jobs = max 2 (Parallel.default_jobs ());
+          batch_window = 0.001;
+        }
+    in
+    { base with Serve.port = 0 }
+  in
+  (* Local sequential ground truth first: the gate every server response is
+     bit-diffed against. *)
+  let local =
+    Result.bind (Model_artifact.load ~telemetry:(Telemetry.create ()) artifact)
+      (Predict_service.create ~telemetry:(Telemetry.create ()) config)
+  in
+  match local with
+  | Error e -> Error ("serve-bench: " ^ e)
+  | Ok local_service -> (
+    let expected = Predict_service.predict_batch local_service (Array.to_list pool) in
+    let telemetry = Telemetry.create () in
+    match Serve.listen ~opts ~telemetry config ~artifact with
+    | Error e -> Error e
+    | Ok server ->
+      let server_domain = Domain.spawn (fun () -> Serve.run server) in
+      let addr = Printf.sprintf "127.0.0.1:%d" (Serve.port server) in
+      let mismatches = ref 0 and errors_total = ref 0 in
+      let reload_ok = ref true in
+      let max_level = List.fold_left max 1 levels in
+      let run_level conc =
+        let per = max 1 (requests_per_level / conc) in
+        let total = per * conc in
+        let shed0 =
+          match server_stats addr with Ok a -> stat a "shed" | Error _ -> 0
+        in
+        let slots = Array.make conc None in
+        let t0 = Unix.gettimeofday () in
+        let threads =
+          List.init conc (fun k ->
+              Thread.create
+                (fun () ->
+                  slots.(k) <- Some (client_run addr pool expected ~offset:(k * per) ~per))
+                ())
+        in
+        (* At the top of the ramp, hot-reload the (same) artifact mid-run:
+           the swap must drop nothing and change nothing. *)
+        let reloader =
+          if conc = max_level then
+            Some
+              (Thread.create
+                 (fun () ->
+                   Thread.delay 0.05;
+                   match Serve_client.connect addr with
+                   | Error _ -> reload_ok := false
+                   | Ok c ->
+                     Fun.protect
+                       ~finally:(fun () -> Serve_client.close c)
+                       (fun () ->
+                         match Serve_client.control c ("reload " ^ artifact) with
+                         | Ok (Wire.Okay _) -> ()
+                         | _ -> reload_ok := false))
+                 ())
+          else None
+        in
+        List.iter Thread.join threads;
+        Option.iter Thread.join reloader;
+        let wall = Unix.gettimeofday () -. t0 in
+        let lats = ref [] and mism = ref 0 and errs = ref 0 in
+        Array.iter
+          (function
+            | Some (lat, m, _busy, e) ->
+              lats := lat :: !lats;
+              mism := !mism + m;
+              errs := !errs + e
+            | None -> errs := !errs + per)
+          slots;
+        mismatches := !mismatches + !mism;
+        errors_total := !errors_total + !errs;
+        let all = Array.concat !lats in
+        let ok = Array.of_seq (Seq.filter (fun x -> not (Float.is_nan x)) (Array.to_seq all)) in
+        Array.sort compare ok;
+        let shed1 =
+          match server_stats addr with Ok a -> stat a "shed" | Error _ -> shed0
+        in
+        let l =
+          {
+            conc;
+            requests = total;
+            wall_s = wall;
+            rps = float_of_int (Array.length ok) /. Float.max wall 1e-9;
+            p50_us = percentile ok 0.50;
+            p99_us = percentile ok 0.99;
+            p999_us = percentile ok 0.999;
+            shed = shed1 - shed0;
+            errors = !errs;
+          }
+        in
+        if progress then
+          Printf.printf
+            "serve  conc=%-3d %d req in %.2fs | %.0f req/s | p50 %.0fus p99 %.0fus \
+             p999 %.0fus | shed %d errors %d\n%!"
+            conc total wall l.rps l.p50_us l.p99_us l.p999_us l.shed l.errors;
+        l
+      in
+      let level_stats = List.map run_level levels in
+      let final = match server_stats addr with Ok a -> a | Error _ -> [] in
+      (match Serve_client.connect addr with
+      | Ok c ->
+        ignore (Serve_client.control c "shutdown");
+        Serve_client.close c
+      | Error _ -> Serve.stop server);
+      Domain.join server_domain;
+      let batch_hist =
+        List.filter_map
+          (fun (k, v) ->
+            match String.index_opt k '-' with
+            | Some _ when String.length k > 9 && String.sub k 0 9 = "batch-le-" ->
+              Option.map
+                (fun le -> (le, v))
+                (int_of_string_opt (String.sub k 9 (String.length k - 9)))
+            | _ -> None)
+          final
+      in
+      let reloads = stat final "reloads" in
+      let total_requests = List.fold_left (fun a l -> a + l.requests) 0 level_stats in
+      let identical = !mismatches = 0 && !errors_total = 0 && !reload_ok && reloads >= 1 in
+      let json =
+        Printf.sprintf
+          "{\"bench\":\"serve\",\"pool_loops\":%d,\"requests\":%d,\"identical\":%b,\
+           \"mismatches\":%d,\"errors\":%d,\"reloads\":%d,\"levels\":[%s],\
+           \"batch_hist\":[%s],\"cache_hits\":%d,\"cache_misses\":%d,\
+           \"cache_evictions\":%d}"
+          (Array.length pool) total_requests identical !mismatches !errors_total reloads
+          (String.concat "," (List.map json_of_level level_stats))
+          (String.concat ","
+             (List.map (fun (le, n) -> Printf.sprintf "[%d,%d]" le n) batch_hist))
+          (stat final "cache-hits") (stat final "cache-misses")
+          (stat final "cache-evictions")
+      in
+      Ok
+        {
+          levels = level_stats;
+          identical;
+          mismatches = !mismatches;
+          total_requests;
+          reloads;
+          batch_hist;
+          cache_hits = stat final "cache-hits";
+          cache_misses = stat final "cache-misses";
+          cache_evictions = stat final "cache-evictions";
+          json;
+        })

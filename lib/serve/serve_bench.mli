@@ -1,0 +1,63 @@
+(** SLO load generator for the prediction server.
+
+    Starts an in-process server (ephemeral port, its own telemetry sink,
+    batcher on its own domain) over a model artifact, then replays
+    loop-prediction requests at ramped client concurrency — each client
+    thread holds its own connection and issues synchronous
+    request/response pairs, so server-side micro-batching across
+    connections is what turns concurrency into batch occupancy.
+
+    Per level it records client-observed p50/p99/p999 latency, throughput
+    and the shed count; at the highest level it fires a hot reload (same
+    artifact) mid-run to prove the swap drops nothing.  Every response is
+    bit-diffed against sequential {!Predict_service} predictions computed
+    locally before the run — a throughput number from wrong answers is
+    worthless, so [identical = false] (or any transport error) fails the
+    bench.  The batch-size histogram, reload and cache counters come back
+    from the server's ["stats"] control frame. *)
+
+type level = {
+  conc : int;  (** concurrent client connections *)
+  requests : int;  (** total requests completed at this level *)
+  wall_s : float;
+  rps : float;
+  p50_us : float;
+  p99_us : float;
+  p999_us : float;
+  shed : int;  (** server-side sheds during this level *)
+  errors : int;  (** transport errors / unexpected responses *)
+}
+
+type result_t = {
+  levels : level list;
+  identical : bool;  (** every Factor response matched the local prediction *)
+  mismatches : int;
+  total_requests : int;
+  reloads : int;
+  batch_hist : (int * int) list;  (** [(bucket upper bound, batches)] *)
+  cache_hits : int;
+  cache_misses : int;
+  cache_evictions : int;
+  json : string;  (** the whole result as one JSON object *)
+}
+
+val default_levels : int list
+(** Ramped concurrency: [1; 8; 32]. *)
+
+val loop_pool : ?size:int -> Config.t -> Loop.t array
+(** Distinct request loops: the workload suite's loops plus {!Fuzz_gen}
+    structured adversarial loops, deterministically generated, truncated
+    or topped up to [size] (default 512). *)
+
+val run :
+  ?levels:int list ->
+  ?requests_per_level:int ->
+  ?opts:Serve.opts ->
+  ?progress:bool ->
+  config:Config.t ->
+  artifact:string ->
+  pool:Loop.t array ->
+  unit ->
+  (result_t, string) result
+(** Run the bench.  [opts.port] is forced to 0 (ephemeral) and
+    [opts.jobs] defaults to the host width. *)

@@ -1,0 +1,83 @@
+type t = {
+  fd : Unix.file_descr;
+  rd : Wire.reader;
+}
+
+let parse_addr addr =
+  match String.rindex_opt addr ':' with
+  | Some i ->
+    let host = String.sub addr 0 i in
+    let port = String.sub addr (i + 1) (String.length addr - i - 1) in
+    let host = if host = "" then "127.0.0.1" else host in
+    (match int_of_string_opt port with
+    | Some p when p > 0 && p < 65536 -> Ok (host, p)
+    | _ -> Error (Printf.sprintf "bad port in %S" addr))
+  | None -> (
+    match int_of_string_opt addr with
+    | Some p when p > 0 && p < 65536 -> Ok ("127.0.0.1", p)
+    | _ -> Error (Printf.sprintf "expected HOST:PORT, got %S" addr))
+
+let connect addr =
+  match parse_addr addr with
+  | Error _ as e -> e
+  | Ok (host, port) -> (
+    (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+    let inet =
+      match Unix.inet_addr_of_string host with
+      | a -> Ok a
+      | exception Failure _ -> (
+        match Unix.gethostbyname host with
+        | { Unix.h_addr_list = [||]; _ } -> Error ("no address for host " ^ host)
+        | h -> Ok h.Unix.h_addr_list.(0)
+        | exception Not_found -> Error ("unknown host " ^ host))
+    in
+    match inet with
+    | Error _ as e -> e
+    | Ok inet -> (
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      try
+        Unix.connect fd (Unix.ADDR_INET (inet, port));
+        (try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ());
+        Ok { fd; rd = Wire.reader fd }
+      with Unix.Unix_error (e, _, _) ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        Error
+          (Printf.sprintf "connect %s:%d: %s" host port (Unix.error_message e))))
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let send t req =
+  try Ok (Wire.write_payload t.fd (Wire.request_payload req))
+  with Unix.Unix_error (e, _, _) -> Error ("send: " ^ Unix.error_message e)
+
+let recv t =
+  match Wire.next t.rd with
+  | `Payload p -> Wire.parse_response p
+  | `Eof -> Error "connection closed by server"
+  | `Corrupt msg -> Error ("corrupt response: " ^ msg)
+
+let rpc t req = Result.bind (send t req) (fun () -> recv t)
+let predict t loop = rpc t (Wire.Predict loop)
+let control t cmd = rpc t (Wire.Control cmd)
+
+let predict_all ?(depth = 64) t loops =
+  let loops = Array.of_list loops in
+  let n = Array.length loops in
+  let out = Array.make n Wire.Busy in
+  let err = ref None in
+  let sent = ref 0 and received = ref 0 in
+  while !err = None && !received < n do
+    while !err = None && !sent < n && !sent - !received < depth do
+      (match send t (Wire.Predict loops.(!sent)) with
+      | Ok () -> incr sent
+      | Error e -> err := Some e)
+    done;
+    if !err = None then begin
+      match recv t with
+      | Ok r ->
+        out.(!received) <- r;
+        incr received
+      | Error e -> err := Some e
+    end
+  done;
+  match !err with None -> Ok out | Some e -> Error e

@@ -1,0 +1,37 @@
+(** Client side of the {!Wire} protocol — the piece [unroll-ml predict
+    --remote], [unroll-ml ctl], the load-generator bench and the tests
+    share.
+
+    A client is one connection.  Requests may be pipelined (the server
+    answers strictly in request order per connection); {!predict_all}
+    does bounded-depth pipelining so arbitrarily long loop lists cannot
+    wedge on socket buffers.  A client is not thread-safe — give each
+    concurrent load-generator thread its own connection, which is also
+    what makes the server batch. *)
+
+type t
+
+val connect : string -> (t, string) result
+(** [connect "host:port"] (or [":port"] / ["port"] for localhost). *)
+
+val close : t -> unit
+
+val send : t -> Wire.request -> (unit, string) result
+(** Fire one request without waiting — pipelining. *)
+
+val recv : t -> (Wire.response, string) result
+(** Block for the next response. *)
+
+val rpc : t -> Wire.request -> (Wire.response, string) result
+(** [send] then [recv]. *)
+
+val predict : t -> Loop.t -> (Wire.response, string) result
+
+val predict_all : ?depth:int -> t -> Loop.t list -> (Wire.response array, string) result
+(** Predict every loop, pipelined [depth] (default 64) requests deep;
+    responses land at their input index.  Stops at the first transport
+    error. *)
+
+val control : t -> string -> (Wire.response, string) result
+(** Send a control command (["ping"], ["stats"], ["reload PATH"],
+    ["shutdown"]) and wait for the verdict. *)

@@ -1,0 +1,129 @@
+let max_payload = 1 lsl 20
+let digest_len = 16
+let header_len = 4 + digest_len
+
+(* --- frame layer -------------------------------------------------------- *)
+
+type decoded =
+  | Payload of string * int
+  | Incomplete
+  | Corrupt of string
+
+let encode payload =
+  let n = String.length payload in
+  if n > max_payload then invalid_arg "Wire.encode: payload too large";
+  let b = Bytes.create (header_len + n) in
+  Bytes.set_uint8 b 0 ((n lsr 24) land 0xff);
+  Bytes.set_uint8 b 1 ((n lsr 16) land 0xff);
+  Bytes.set_uint8 b 2 ((n lsr 8) land 0xff);
+  Bytes.set_uint8 b 3 (n land 0xff);
+  Bytes.blit_string (Digest.string payload) 0 b 4 digest_len;
+  Bytes.blit_string payload 0 b header_len n;
+  Bytes.unsafe_to_string b
+
+let decode ?(pos = 0) buf =
+  let avail = String.length buf - pos in
+  if avail < 4 then Incomplete
+  else begin
+    let byte i = Char.code buf.[pos + i] in
+    let n = (byte 0 lsl 24) lor (byte 1 lsl 16) lor (byte 2 lsl 8) lor byte 3 in
+    if n > max_payload then
+      Corrupt (Printf.sprintf "frame length %d exceeds the %d-byte cap" n max_payload)
+    else if avail < header_len + n then Incomplete
+    else begin
+      let digest = String.sub buf (pos + 4) digest_len in
+      let payload = String.sub buf (pos + header_len) n in
+      if Digest.string payload <> digest then Corrupt "frame digest mismatch"
+      else Payload (payload, header_len + n)
+    end
+  end
+
+(* --- messages ------------------------------------------------------------ *)
+
+type request =
+  | Predict of Loop.t
+  | Control of string
+
+type response =
+  | Factor of int
+  | Busy
+  | Okay of string
+  | Failure of string
+
+let request_payload = function
+  | Predict loop -> "P" ^ Marshal.to_string (loop : Loop.t) []
+  | Control cmd -> "C" ^ cmd
+
+let parse_request p =
+  if String.length p = 0 then Error "empty request payload"
+  else
+    match p.[0] with
+    | 'P' -> (
+      (* The digest framing already vouches for the bytes; this guard turns
+         a malformed-but-well-digested payload into a connection error
+         instead of an exception. *)
+      try Ok (Predict (Marshal.from_string p 1 : Loop.t))
+      with _ -> Error "undecodable loop in predict request")
+    | 'C' -> Ok (Control (String.sub p 1 (String.length p - 1)))
+    | c -> Error (Printf.sprintf "unknown request tag %C" c)
+
+let response_payload = function
+  | Factor f ->
+    if f < 1 || f > 255 then invalid_arg "Wire.response_payload: factor out of range";
+    "F" ^ String.make 1 (Char.chr f)
+  | Busy -> "B"
+  | Okay text -> "O" ^ text
+  | Failure text -> "E" ^ text
+
+let parse_response p =
+  if String.length p = 0 then Error "empty response payload"
+  else
+    match p.[0] with
+    | 'F' when String.length p = 2 -> Ok (Factor (Char.code p.[1]))
+    | 'F' -> Error "malformed factor response"
+    | 'B' when String.length p = 1 -> Ok Busy
+    | 'B' -> Error "malformed busy response"
+    | 'O' -> Ok (Okay (String.sub p 1 (String.length p - 1)))
+    | 'E' -> Ok (Failure (String.sub p 1 (String.length p - 1)))
+    | c -> Error (Printf.sprintf "unknown response tag %C" c)
+
+(* --- blocking socket I/O ------------------------------------------------- *)
+
+let write_payload fd payload =
+  let s = encode payload in
+  let n = String.length s in
+  let written = ref 0 in
+  while !written < n do
+    written := !written + Unix.write_substring fd s !written (n - !written)
+  done
+
+type reader = {
+  fd : Unix.file_descr;
+  buf : Buffer.t;
+  chunk : Bytes.t;
+}
+
+let reader fd = { fd; buf = Buffer.create 4096; chunk = Bytes.create 65536 }
+
+let next r =
+  let rec go () =
+    match decode (Buffer.contents r.buf) with
+    | Payload (p, consumed) ->
+      let rest = Buffer.sub r.buf consumed (Buffer.length r.buf - consumed) in
+      Buffer.clear r.buf;
+      Buffer.add_string r.buf rest;
+      `Payload p
+    | Corrupt msg -> `Corrupt msg
+    | Incomplete -> (
+      match Unix.read r.fd r.chunk 0 (Bytes.length r.chunk) with
+      | 0 ->
+        if Buffer.length r.buf = 0 then `Eof
+        else `Corrupt "connection closed mid-frame (torn frame)"
+      | n ->
+        Buffer.add_subbytes r.buf r.chunk 0 n;
+        go ()
+      | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE | Unix.EBADF), _, _) ->
+        if Buffer.length r.buf = 0 then `Eof
+        else `Corrupt "connection reset mid-frame (torn frame)")
+  in
+  go ()

@@ -20,5 +20,6 @@ let () =
       ("ml", Test_ml.suite);
       ("core", Test_core.suite);
       ("store", Test_store.suite);
+      ("serve", Test_serve.suite);
       ("extensions", Test_extensions.suite);
     ]
