@@ -1,0 +1,205 @@
+(* Incremental-training microbenchmarks.
+
+   Three sections, each gated on bit-identity before its timing counts —
+   an incremental speedup over a differently-rounded answer is worthless:
+
+   - ridge-system: one appended training point into a standing
+     [Lssvm.system] (rank-1 Cholesky bordering + 8 one-vs-rest solves)
+     against a cold [system_of_points] + [system_train] at n+1, for
+     n in UNROLLML_BENCH_TRAIN_SIZES (default 500,2000,8000).  The
+     alphas of all 8 machines must match the cold path bit for bit; the
+     target at n=8000 is >= 10x.
+   - pairwise-append: one appended example into a committed
+     [Pairwise] engine against a rebuild + recommit, gated on
+     [nn_loo_error_count] equality for every candidate feature.
+   - warm-greedy: [Greedy_select.Warm.nn_run] across growing dataset
+     generations against from-scratch [nn_run], gated on identical picks
+     (the certification contract: warm output equals batch output).
+
+   Results go to stdout and BENCH_train.json (one JSON object; a CI
+   artifact next to BENCH_ml.json and BENCH_par.json). *)
+
+let d = 16
+let n_classes = 8
+let kernel = Kernel.Rbf 0.05
+let gamma = 10.0
+
+let sizes =
+  match Sys.getenv_opt "UNROLLML_BENCH_TRAIN_SIZES" with
+  | Some s ->
+    List.filter_map
+      (fun x -> int_of_string_opt (String.trim x))
+      (String.split_on_char ',' s)
+  | None -> [ 500; 2000; 8000 ]
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let v = f () in
+  (v, Unix.gettimeofday () -. t0)
+
+(* Deterministic synthetic workload: per-feature label signal of graded
+   strength plus noise, so greedy selection has a clear (but noisy)
+   feature ordering — the regime certification is built for — without
+   depending on the suite generator. *)
+let gen_point st label =
+  Array.init d (fun j ->
+      (float_of_int label *. 0.8 *. float_of_int j /. float_of_int d)
+      +. Random.State.float st 2.0 -. 1.0)
+
+let gen_data st n =
+  let labels = Array.init n (fun _ -> Random.State.int st n_classes) in
+  let points = Array.map (fun l -> gen_point st l) labels in
+  (points, labels)
+
+let targets_of labels n =
+  Array.init n_classes (fun c ->
+      Array.init n (fun i -> if labels.(i) = c then 1.0 else -1.0))
+
+let bits_equal a b =
+  Array.length a = Array.length b
+  && Array.for_all2 (fun u v -> Int64.bits_of_float u = Int64.bits_of_float v) a b
+
+let machines_equal a b =
+  Array.length a = Array.length b
+  && Array.for_all2 (fun x y -> bits_equal (Lssvm.export x) (Lssvm.export y)) a b
+
+(* --- section 1: ridge system ------------------------------------------- *)
+
+let ridge_point n =
+  let st = Random.State.make [| 42; n |] in
+  let points, labels = gen_data st (n + 1) in
+  let targets = targets_of labels (n + 1) in
+  let sys = Lssvm.system_of_points ~kernel ~gamma (Array.sub points 0 n) in
+  let inc, t_inc =
+    time (fun () ->
+        Lssvm.system_append sys points.(n);
+        Lssvm.system_train sys targets)
+  in
+  let full, t_full =
+    time (fun () ->
+        Lssvm.system_train (Lssvm.system_of_points ~kernel ~gamma points) targets)
+  in
+  let identical = machines_equal inc full in
+  let speedup = t_full /. Float.max t_inc 1e-9 in
+  Printf.printf "ridge-system n=%-5d append+train %.4fs | cold retrain %.3fs (%.1fx) | identical=%b\n%!"
+    n t_inc t_full speedup identical;
+  (n, t_inc, t_full, speedup, identical)
+
+(* --- section 2: pairwise append ---------------------------------------- *)
+
+let pairwise_bench () =
+  let n = 4000 in
+  let st = Random.State.make [| 43; n |] in
+  let points, labels = gen_data st (n + 2) in
+  let flat k =
+    let a = Array.make (k * d) 0.0 in
+    Array.iteri (fun i p -> if i < k then Array.blit p 0 a (i * d) d) points;
+    Mat.of_flat k d a
+  in
+  let commits = [ 0; 3; 7; 11 ] in
+  let engine = Pairwise.create (flat n) in
+  List.iter (Pairwise.commit engine) commits;
+  (* First append pays the one-off capacity doubling (the engine starts at
+     exact capacity); the second is the steady-state O(n·committed) cost. *)
+  Pairwise.append engine points.(n);
+  let (), t_inc = time (fun () -> Pairwise.append engine points.(n + 1)) in
+  let rebuilt, t_full =
+    time (fun () ->
+        let e = Pairwise.create (flat (n + 2)) in
+        List.iter (Pairwise.commit e) commits;
+        e)
+  in
+  let labels = Array.sub labels 0 (n + 2) in
+  let identical = ref true in
+  for c = 0 to d - 1 do
+    if not (Pairwise.is_committed engine c) then
+      if
+        Pairwise.nn_loo_error_count ~cand:c engine ~labels
+        <> Pairwise.nn_loo_error_count ~cand:c rebuilt ~labels
+      then identical := false
+  done;
+  if Pairwise.nn_loo_error_count engine ~labels <> Pairwise.nn_loo_error_count rebuilt ~labels
+  then identical := false;
+  let speedup = t_full /. Float.max t_inc 1e-9 in
+  Printf.printf "pairwise     n=%-5d append %.4fs | rebuild+recommit %.3fs (%.1fx) | identical=%b\n%!"
+    n t_inc t_full speedup !identical;
+  (n, t_inc, t_full, speedup, !identical)
+
+(* --- section 3: warm greedy -------------------------------------------- *)
+
+let dataset_of points labels n =
+  let feature_names = Array.init d (Printf.sprintf "f%d") in
+  let examples =
+    List.init n (fun i ->
+        {
+          Dataset.features = Array.copy points.(i);
+          label = labels.(i);
+          tag = Printf.sprintf "loop%d" i;
+          group = Printf.sprintf "bench%d" (i / 40);
+          costs = Array.make n_classes 0.0;
+        })
+  in
+  Dataset.create ~feature_names ~n_classes examples
+
+let warm_bench () =
+  let k = 5 in
+  let n0 = 900 and step = 8 and gens = 4 in
+  let n_max = n0 + (step * gens) in
+  let st = Random.State.make [| 44; n_max |] in
+  let points, labels = gen_data st n_max in
+  let cache = Greedy_select.Warm.create () in
+  let t_warm = ref 0.0 and t_full = ref 0.0 in
+  let identical = ref true in
+  for g = 0 to gens do
+    let n = n0 + (g * step) in
+    let ds = dataset_of points labels n in
+    let warm, tw = time (fun () -> Greedy_select.Warm.nn_run ~k cache ds) in
+    let full, tf = time (fun () -> Greedy_select.nn_run ~k ds) in
+    t_warm := !t_warm +. tw;
+    t_full := !t_full +. tf;
+    if warm <> full then identical := false
+  done;
+  let speedup = !t_full /. Float.max !t_warm 1e-9 in
+  Printf.printf
+    "warm-greedy  n=%d..%d (%d gens, k=%d) warm %.3fs | from-scratch %.3fs (%.1fx) | \
+     identical=%b (certified %d of %d warm rounds)\n%!"
+    n0 n_max gens k !t_warm !t_full speedup !identical
+    (Greedy_select.Warm.certified_rounds cache)
+    (Greedy_select.Warm.certified_rounds cache + Greedy_select.Warm.full_rounds cache);
+  (n_max, !t_warm, !t_full, speedup, !identical)
+
+(* --- driver ------------------------------------------------------------- *)
+
+let json_point (n, t_inc, t_full, speedup, identical) =
+  Printf.sprintf
+    "{\"n\":%d,\"incremental_s\":%.5f,\"full_s\":%.4f,\"speedup\":%.1f,\"identical\":%b}"
+    n t_inc t_full speedup identical
+
+let () =
+  let ridge = List.map ridge_point sizes in
+  let pairwise = pairwise_bench () in
+  let warm = warm_bench () in
+  let ok (_, _, _, _, i) = i in
+  let identical = List.for_all ok ridge && ok pairwise && ok warm in
+  let target_met =
+    (* The headline claim: one appended point at the largest size trains
+       >= 10x faster than a cold retrain.  Only meaningful at n >= 2000 —
+       smaller systems are too fast for the ratio to be stable. *)
+    List.for_all
+      (fun (n, _, _, speedup, _) -> n < 2000 || speedup >= 10.0)
+      ridge
+  in
+  Printf.printf "bit-identity everywhere: %b | >=10x at large n: %b\n%!" identical target_met;
+  let json =
+    Printf.sprintf
+      "{\"bench\":\"incremental-training\",\"identical\":%b,\"target_met\":%b,\
+       \"ridge\":[%s],\"pairwise\":%s,\"warm_greedy\":%s}"
+      identical target_met
+      (String.concat "," (List.map json_point ridge))
+      (json_point pairwise) (json_point warm)
+  in
+  print_endline json;
+  let oc = open_out "BENCH_train.json" in
+  output_string oc (json ^ "\n");
+  close_out oc;
+  if not (identical && target_met) then exit 1

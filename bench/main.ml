@@ -215,6 +215,57 @@ let run_serve_bench () =
     | Error e -> Printf.printf "serve bench failed: %s\n" e
     | Ok r -> print_endline r.Serve_bench.json)
 
+(* ---------------- incremental training ---------------- *)
+
+(* A reduced pass of the incremental-training bench (bench/bench_train.exe
+   runs the full sizes up to n=8000): one appended point into a standing
+   ridge system against a cold retrain, gated on bit-identical alphas. *)
+let run_train_bench () =
+  hr "Incremental training: rank-1 ridge update vs cold retrain";
+  let n = 600 and d = 16 and n_classes = 8 in
+  let kernel = Kernel.Rbf 0.05 and gamma = 10.0 in
+  let st = Random.State.make [| 42; n |] in
+  let labels = Array.init (n + 1) (fun _ -> Random.State.int st n_classes) in
+  let points =
+    Array.map
+      (fun _ -> Array.init d (fun _ -> Random.State.float st 2.0 -. 1.0))
+      labels
+  in
+  let targets =
+    Array.init n_classes (fun c ->
+        Array.init (n + 1) (fun i -> if labels.(i) = c then 1.0 else -1.0))
+  in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let sys = Lssvm.system_of_points ~kernel ~gamma (Array.sub points 0 n) in
+  let inc, t_inc =
+    time (fun () ->
+        Lssvm.system_append sys points.(n);
+        Lssvm.system_train sys targets)
+  in
+  let full, t_full =
+    time (fun () ->
+        Lssvm.system_train (Lssvm.system_of_points ~kernel ~gamma points) targets)
+  in
+  let identical =
+    Array.for_all2
+      (fun a b ->
+        let xa = Lssvm.export a and xb = Lssvm.export b in
+        Array.length xa = Array.length xb
+        && Array.for_all2
+             (fun u v -> Int64.bits_of_float u = Int64.bits_of_float v)
+             xa xb)
+      inc full
+  in
+  Printf.printf
+    "n=%d  append+train %.4fs | cold retrain %.3fs (%.1fx) | identical=%b\n" n t_inc
+    t_full
+    (t_full /. Float.max t_inc 1e-9)
+    identical
+
 let () =
   let config = Config.of_env () in
   Printf.printf
@@ -227,4 +278,5 @@ let () =
   run_experiments env;
   let rows = run_microbenches env in
   run_parallel_bench config rows;
-  run_serve_bench ()
+  run_serve_bench ();
+  run_train_bench ()

@@ -381,42 +381,155 @@ let train_cmd =
       & info [ "model" ] ~docv:"M"
           ~doc:"Which learner to package: 'nn', 'svm', or 'best' (higher LOOCV accuracy; default).")
   in
-  let run config output swp journal model telemetry =
-    with_telemetry telemetry (fun () ->
-        let journal =
-          match journal with
-          | None -> None
-          | Some path -> (
-            match Label_store.open_ path with
-            | Ok j ->
-              if Label_store.recovered_records j > 0 then
-                Printf.eprintf "journal: resumed %d records from %s (%d torn bytes discarded)\n%!"
-                  (Label_store.recovered_records j) path (Label_store.truncated_bytes j);
-              Some j
-            | Error e ->
-              Printf.eprintf "journal: %s\n" e;
-              exit 2)
-        in
+  let follow =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "follow" ] ~docv:"FILE"
+          ~doc:
+            "Online training: tail a label journal another process is writing \
+             (see {!--journal}) and refit as sweeps complete, instead of \
+             measuring in-process.  Each refit rewrites --output atomically and \
+             appends a provenance line to OUTPUT.lineage.")
+  in
+  let every =
+    Arg.(
+      value
+      & opt int 64
+      & info [ "every" ] ~docv:"N"
+          ~doc:"With --follow: refit after every N newly completed sweeps (default 64).")
+  in
+  let idle_exit =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "idle-exit" ] ~docv:"S"
+          ~doc:
+            "With --follow: once the journal has been quiet for S seconds, emit a \
+             final artifact and exit (default: follow forever).")
+  in
+  (* Online training: tail a journal another process is writing, refit every
+     [--every] completed sweeps, and atomically replace the artifact so a
+     concurrent `ctl reload` can never observe a half-written file.  Each
+     emitted version appends a lineage line (version, parent digest, own
+     digest, dataset digest) to OUTPUT.lineage — the digest chain that ties a
+     served model back through every generation to its training data.  The
+     digests live in the sidecar, not the artifact, so an online artifact
+     stays bit-identical to the batch retrain over the same journal. *)
+  let run_follow config ~output ~swp ~model ~path ~every ~idle_exit =
+    let fl =
+      match Label_store.follow path with
+      | Ok fl -> fl
+      | Error e ->
+        Printf.eprintf "follow: %s\n" e;
+        exit 2
+    in
+    let online = Train.Online.create ~progress:false config ~swp ~model in
+    let version = ref 0 in
+    let parent = ref "-" in
+    let pending = ref 0 in
+    (* Completed sweeps not yet covered by an emitted artifact. *)
+    let emit () =
+      match Train.Online.retrain online with
+      | Error e ->
+        Printf.eprintf "follow: not training yet: %s\n%!" e;
+        pending := 0
+      | Ok (artifact, report) ->
+        incr version;
+        let digest = Digest.to_hex (Digest.string (Model_artifact.to_string artifact)) in
+        let tmp = Printf.sprintf "%s.tmp.%d" output (Unix.getpid ()) in
+        Model_artifact.save artifact tmp;
+        Sys.rename tmp output;
+        let oc = open_out_gen [ Open_append; Open_creat ] 0o644 (output ^ ".lineage") in
         Fun.protect
-          ~finally:(fun () -> Option.iter Label_store.close journal)
+          ~finally:(fun () -> close_out oc)
           (fun () ->
-            let artifact, report = Train.run ~progress:true ?journal config ~swp ~model in
-            Model_artifact.save artifact output;
-            Printf.printf "trained %s model on %d loops (%d measured), %d features\n"
-              report.Train.chosen report.Train.kept report.Train.measured
-              (Array.length report.Train.features);
-            Printf.printf "LOOCV accuracy: nn %.3f, svm %.3f\n" report.Train.nn_loocv
-              report.Train.svm_loocv;
-            Printf.printf "dataset digest: %s\n" report.Train.dataset_digest;
-            Printf.printf "wrote %s\n" output))
+            Printf.fprintf oc "v%d parent %s digest %s dataset %s\n" !version !parent
+              digest report.Train.dataset_digest);
+        Printf.printf "v%d %s: %s model, %d/%d sweeps complete (%d loops kept)\n%!"
+          !version digest report.Train.chosen
+          (Train.Online.complete_sweeps online)
+          (Train.Online.total_sweeps online)
+          report.Train.kept;
+        parent := digest;
+        pending := 0
+    in
+    let stop = ref false in
+    Fun.protect
+      ~finally:(fun () -> Label_store.close_follower fl)
+      (fun () ->
+        while not !stop do
+          match Label_store.follow_next ?timeout:idle_exit fl with
+          | Some (key, factor, cycles) ->
+            if Train.Online.ingest online ~key ~factor ~cycles then begin
+              incr pending;
+              if !pending >= every then emit ()
+            end
+          | None ->
+            (* Journal quiet past the idle deadline: flush and exit. *)
+            if !pending > 0 || !version = 0 then emit ();
+            stop := true
+        done);
+    if Train.Online.unknown_records online > 0 then
+      Printf.eprintf "follow: ignored %d foreign records\n%!"
+        (Train.Online.unknown_records online);
+    if !version = 0 then begin
+      Printf.eprintf "follow: no artifact emitted (%d/%d sweeps complete)\n"
+        (Train.Online.complete_sweeps online)
+        (Train.Online.total_sweeps online);
+      exit 1
+    end
+  in
+  let run config output swp journal model follow every idle_exit telemetry =
+    with_telemetry telemetry (fun () ->
+        match follow with
+        | Some path ->
+          if journal <> None then begin
+            Printf.eprintf "train: --follow and --journal are exclusive\n";
+            exit 2
+          end;
+          (try run_follow config ~output ~swp ~model ~path ~every:(max 1 every) ~idle_exit
+           with Label_store.Corrupt e ->
+             Printf.eprintf "follow: %s\n" e;
+             exit 1)
+        | None ->
+          let journal =
+            match journal with
+            | None -> None
+            | Some path -> (
+              match Label_store.open_ path with
+              | Ok j ->
+                if Label_store.recovered_records j > 0 then
+                  Printf.eprintf "journal: resumed %d records from %s (%d torn bytes discarded)\n%!"
+                    (Label_store.recovered_records j) path (Label_store.truncated_bytes j);
+                Some j
+              | Error e ->
+                Printf.eprintf "journal: %s\n" e;
+                exit 2)
+          in
+          Fun.protect
+            ~finally:(fun () -> Option.iter Label_store.close journal)
+            (fun () ->
+              let artifact, report = Train.run ~progress:true ?journal config ~swp ~model in
+              Model_artifact.save artifact output;
+              Printf.printf "trained %s model on %d loops (%d measured), %d features\n"
+                report.Train.chosen report.Train.kept report.Train.measured
+                (Array.length report.Train.features);
+              Printf.printf "LOOCV accuracy: nn %.3f, svm %.3f\n" report.Train.nn_loocv
+                report.Train.svm_loocv;
+              Printf.printf "dataset digest: %s\n" report.Train.dataset_digest;
+              Printf.printf "wrote %s\n" output))
   in
   Cmd.v
     (Cmd.info "train"
        ~doc:
          "Full training pipeline: sweep the suite (journalled, resumable), select \
           features, fit and cross-validate both learners, write a versioned model \
-          artifact.")
-    Term.(const run $ config_term $ output $ swp $ journal $ model $ telemetry_flag)
+          artifact.  With --follow, tail a live journal instead and refit \
+          incrementally as sweeps complete.")
+    Term.(
+      const run $ config_term $ output $ swp $ journal $ model $ follow $ every
+      $ idle_exit $ telemetry_flag)
 
 (* predict *)
 let predict_cmd =
@@ -592,8 +705,28 @@ let serve_cmd =
       & info [ "drain-timeout" ] ~docv:"S"
           ~doc:"Seconds to wait for connections to close during graceful shutdown.")
   in
+  let shadow_window =
+    Arg.(
+      value
+      & opt int 0
+      & info [ "shadow-window" ] ~docv:"N"
+          ~doc:
+            "Shadow-evaluate reloaded models: a reloaded candidate predicts N loops \
+             alongside the live model (its answers are never sent) before being \
+             promoted or rejected on its disagreement rate.  0 (default) swaps \
+             immediately.")
+  in
+  let shadow_threshold =
+    Arg.(
+      value
+      & opt float 0.0
+      & info [ "shadow-threshold" ] ~docv:"F"
+          ~doc:
+            "Max disagreement rate (fraction of shadowed loops) at which a shadow \
+             candidate is still promoted (default 0: require exact agreement).")
+  in
   let run config model port host batch_window_us batch_cap queue_cap cache_cap
-      drain_timeout telemetry =
+      drain_timeout shadow_window shadow_threshold telemetry =
     with_telemetry telemetry (fun () ->
         let opts =
           {
@@ -605,6 +738,8 @@ let serve_cmd =
             queue_cap = max 1 queue_cap;
             cache_capacity = max 0 cache_cap;
             drain_timeout = Float.max 0. drain_timeout;
+            shadow_window = max 0 shadow_window;
+            shadow_threshold = Float.max 0. shadow_threshold;
           }
         in
         match Serve.listen ~opts config ~artifact:model with
@@ -636,7 +771,8 @@ let serve_cmd =
           `reload` control frame) hot-swaps the model without dropping requests.")
     Term.(
       const run $ config_term $ model $ port $ host $ batch_window_us $ batch_cap
-      $ queue_cap $ cache_cap $ drain_timeout $ telemetry_flag)
+      $ queue_cap $ cache_cap $ drain_timeout $ shadow_window $ shadow_threshold
+      $ telemetry_flag)
 
 (* ctl *)
 let ctl_cmd =

@@ -19,14 +19,24 @@ let info progress fmt =
 
 (* §7: classification uses the union of the MIS top features and the greedy
    picks of both classifiers. *)
-let select_feature_subset ?(progress = false) (config : Config.t) dataset =
+let select_feature_subset ?(progress = false) ?warm (config : Config.t) dataset =
   let scaled = Scale.apply (Scale.fit dataset) dataset in
   let mis = Array.to_list (Mis.rank ~jobs:config.Config.jobs dataset) in
   let mis_top = List.filteri (fun i _ -> i < config.Config.mis_k) mis |> List.map fst in
   info progress "feature selection: MIS done";
   let nn_picks =
-    Greedy_select.nn_run ~jobs:config.Config.jobs ~telemetry:Telemetry.global
-      ~k:config.Config.greedy_k scaled
+    (* The warm cache returns picks identical to [nn_run] — selection is
+       the same function of the dataset either way.  The SVM side below
+       always re-runs in full: its deterministic subsample re-strides as
+       the dataset grows, so no warm bound applies (the invalidation rule
+       of DESIGN.md §14). *)
+    (match warm with
+    | Some cache ->
+      Greedy_select.Warm.nn_run ~jobs:config.Config.jobs ~telemetry:Telemetry.global
+        ~k:config.Config.greedy_k cache scaled
+    | None ->
+      Greedy_select.nn_run ~jobs:config.Config.jobs ~telemetry:Telemetry.global
+        ~k:config.Config.greedy_k scaled)
     |> List.map fst
   in
   info progress "feature selection: greedy NN done";

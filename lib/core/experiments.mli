@@ -32,11 +32,19 @@ type env = {
 val build_env : ?progress:bool -> Config.t -> env
 (** [progress] (default true) prints coarse progress to stderr. *)
 
-val select_feature_subset : ?progress:bool -> Config.t -> Dataset.t -> int array
+val select_feature_subset :
+  ?progress:bool -> ?warm:Greedy_select.Warm.t -> Config.t -> Dataset.t ->
+  int array
 (** §7's committed feature subset: the union (first-appearance order) of
     the MIS top-[mis_k] features and the greedy picks of both the NN and
     the SVM.  Shared by {!build_env} and the {!Train} pipeline so the
-    experiments and a deployed artifact select identically. *)
+    experiments and a deployed artifact select identically.
+
+    [warm] supplies a {!Greedy_select.Warm} cache for the greedy-NN leg —
+    identical picks, warm-started when the scaled dataset extends the
+    previous call's.  The greedy-SVM leg always re-runs in full (its
+    deterministic subsample re-strides as the dataset grows, so no
+    incremental bound applies). *)
 
 val fig1 : env -> string
 (** Near-neighbor classification on LDA-projected data (4 classes, ≥30%

@@ -15,35 +15,39 @@ let passes_filters l =
   && best >= float_of_int Measure.min_cycles_filter
   && mean /. best >= 1.05
 
+(* One task per loop, in suite order — the canonical flattening shared by
+   the batch sweep and the online trainer (which must rebuild the same
+   ordering from journal records regardless of arrival order). *)
+let tasks benchmarks =
+  List.concat_map
+    (fun (b : Suite.benchmark) ->
+      Array.to_list
+        (Array.mapi
+           (fun i (loop, weight) -> (b.Suite.bname, i, loop, weight))
+           b.Suite.loops))
+    benchmarks
+  |> Array.of_list
+
+let task_key (config : Config.t) ~swp ~bench ~index loop =
+  Label_store.sweep_key ~machine:config.Config.machine ~swp
+    ~noise:config.Config.noise ~noise_seed:config.Config.noise_seed
+    ~runs:config.Config.runs ~max_sim_iters:config.Config.max_sim_iters ~bench
+    ~index loop
+
 let collect ?progress ?(jobs = 1) ?journal (config : Config.t) ~swp benchmarks =
-  (* One task per loop.  Each loop's measurement RNG is derived from
-     (noise_seed, benchmark, loop index) rather than threaded through a
-     single sequential stream, so the noise a loop observes does not depend
-     on which loops were measured before it — which is what makes the
-     parallel sweep bit-identical to the sequential one, and a journalled
-     resume (skipping already-measured loops) bit-identical to both. *)
-  let tasks =
-    List.concat_map
-      (fun (b : Suite.benchmark) ->
-        Array.to_list
-          (Array.mapi
-             (fun i (loop, weight) -> (b.Suite.bname, i, loop, weight))
-             b.Suite.loops))
-      benchmarks
-    |> Array.of_list
-  in
+  (* Each loop's measurement RNG is derived from (noise_seed, benchmark,
+     loop index) rather than threaded through a single sequential stream,
+     so the noise a loop observes does not depend on which loops were
+     measured before it — which is what makes the parallel sweep
+     bit-identical to the sequential one, and a journalled resume
+     (skipping already-measured loops) bit-identical to both. *)
+  let tasks = tasks benchmarks in
   let total = Array.length tasks in
   let done_ = Atomic.make 0 in
   let progress_mutex = Mutex.create () in
   let measure (bench, i, loop, weight) =
     let key =
-      Option.map
-        (fun _ ->
-          Label_store.sweep_key ~machine:config.Config.machine ~swp
-            ~noise:config.Config.noise ~noise_seed:config.Config.noise_seed
-            ~runs:config.Config.runs ~max_sim_iters:config.Config.max_sim_iters
-            ~bench ~index:i loop)
-        journal
+      Option.map (fun _ -> task_key config ~swp ~bench ~index:i loop) journal
     in
     let journalled =
       match (journal, key) with

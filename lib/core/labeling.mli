@@ -21,6 +21,16 @@ val best_factor : labeled -> int
 
 val passes_filters : labeled -> bool
 
+val tasks : Suite.benchmark list -> (string * int * Loop.t * float) array
+(** The canonical per-loop flattening of a suite, in suite order:
+    [(bench, index, loop, weight)].  Shared by {!collect} and the online
+    trainer, which must rebuild the same ordering from journal records
+    regardless of their arrival order. *)
+
+val task_key : Config.t -> swp:bool -> bench:string -> index:int -> Loop.t -> string
+(** The {!Label_store.sweep_key} of one task under a config — the key
+    {!collect} journals that loop's measurements under. *)
+
 val collect :
   ?progress:(done_:int -> total:int -> unit) ->
   ?jobs:int ->

@@ -2,6 +2,13 @@ type t = {
   config : Config.t;
   predictor : Predictor.t;
   feature_names : string array;
+  (* Identity of the loaded artifact.  Counters below belong to this
+     service instance, so tagging the instance with the artifact digest
+     makes every stat unambiguously since-load: a hot reload builds a new
+     service, and stats reported next to this digest can never silently
+     mix models. *)
+  model_kind : string;
+  model_digest : string;
   telemetry : Telemetry.t option;
   (* Feature vectors keyed by loop content (name blanked): the scaled,
      projected vector [Predictor.featurize] would recompute.  Returning the
@@ -38,6 +45,9 @@ let create ?telemetry ?(cache_capacity = default_cache_capacity) (config : Confi
           config;
           predictor;
           feature_names = artifact.Model_artifact.feature_names;
+          model_kind = Model_artifact.kind artifact;
+          model_digest =
+            Digest.to_hex (Digest.string (Model_artifact.to_string artifact));
           telemetry;
           cache = Hashtbl.create (min 256 (max 16 cache_capacity));
           order = Queue.create ();
@@ -143,6 +153,8 @@ let predict_batch ?(jobs = 1) t loops =
   out
 
 let predict t loop = (predict_batch t [ loop ]).(0)
+let model_kind t = t.model_kind
+let model_digest t = t.model_digest
 let cache_hits t = t.hits
 let cache_misses t = t.misses
 let cache_evictions t = t.evictions

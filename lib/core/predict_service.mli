@@ -43,6 +43,15 @@ val create :
 val predictor : t -> Predictor.t
 (** The reconstructed in-compiler predictor (shared load path). *)
 
+val model_kind : t -> string
+(** ["nn"] or ["svm"] — the loaded artifact's payload kind. *)
+
+val model_digest : t -> string
+(** Hex digest of the loaded artifact's canonical serialisation.  Every
+    counter a service reports belongs to this digest: a hot reload builds
+    a fresh service with fresh counters, so stats tagged with the digest
+    are unambiguously since-load and never mix models across reloads. *)
+
 val predict : t -> Loop.t -> int
 (** One loop; equivalent to a batch of one. *)
 

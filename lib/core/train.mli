@@ -29,3 +29,51 @@ val run :
 (** [Best] picks the higher LOOCV accuracy; an exact tie goes to the SVM
     (the paper's overall winner).  Raises [Failure] if the filtered
     dataset is empty (scale too small to train anything). *)
+
+(** {1 Online training}
+
+    The incremental half of [unroll-ml train --follow]: labels stream in
+    from a {!Label_store} journal (typically tailed with
+    {!Label_store.follow} while another process sweeps) instead of being
+    measured in-process, and the model is refit as sweeps complete.
+
+    The trainer only ever trains on {e journal-complete} sweeps — all
+    factors 1..8 present — assembled in suite order, so the training set
+    is a function of {e which} sweeps are complete, never of record
+    arrival order.  Once the journal covers the whole suite, {!Online.retrain}
+    emits an artifact bit-identical to a batch {!run} over the same
+    journal at any [-j]: the sweep cycles are the journal's, and
+    everything downstream (filters, selection, fit, artifact formatting)
+    is the same code.  Greedy-NN selection warm-starts from the previous
+    generation ({!Greedy_select.Warm}); LOOCV scoring is skipped unless
+    the model choice is [Best] (the report carries [nan] scores then —
+    the artifact never depends on them). *)
+
+module Online : sig
+  type t
+
+  val create : ?progress:bool -> Config.t -> swp:bool -> model:model_choice -> t
+  (** Generate the suite for [config] and index every loop's sweep key.
+      No measuring happens — the journal is the only label source. *)
+
+  val ingest : t -> key:string -> factor:int -> cycles:int -> bool
+  (** Feed one journal record; returns [true] when it completes a sweep
+      (the signal [--every] batches on).  Records for unknown keys or
+      out-of-range factors are counted and ignored — a journal may hold
+      sweeps from other configs.  Duplicate records overwrite (last
+      wins), matching {!Label_store} recovery. *)
+
+  val retrain : t -> (Model_artifact.t * report, string) result
+  (** Refit on the complete sweeps ingested so far.  [Error] while the
+      filtered dataset is still empty. *)
+
+  val total_sweeps : t -> int
+  val complete_sweeps : t -> int
+  val ingested : t -> int
+
+  val unknown_records : t -> int
+  (** Records ignored (foreign key or bad factor). *)
+
+  val warm_cache : t -> Greedy_select.Warm.t
+  (** The greedy-NN warm cache, for instrumentation. *)
+end

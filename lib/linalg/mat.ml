@@ -22,6 +22,10 @@ let of_rows rows =
     init r c (fun i j -> rows.(i).(j))
   end
 
+let of_flat r c a =
+  if r < 0 || c < 0 || Array.length a <> r * c then invalid_arg "Mat.of_flat";
+  { r; c; a }
+
 let identity n = init n n (fun i j -> if i = j then 1.0 else 0.0)
 
 let rows m = m.r

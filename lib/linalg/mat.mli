@@ -10,6 +10,14 @@ val create : int -> int -> t
 
 val init : int -> int -> (int -> int -> float) -> t
 val of_rows : float array array -> t
+
+val of_flat : int -> int -> float array -> t
+(** [of_flat rows cols a] wraps an existing row-major buffer (length must
+    be exactly [rows * cols]) without copying.  The matrix takes ownership
+    of [a] in the {!data} sense: callers growing flat storage (the
+    appendable NN index) hand the used prefix over for the blocked
+    kernels. *)
+
 val identity : int -> t
 
 val rows : t -> int

@@ -1,6 +1,11 @@
 type t = {
-  points : Mat.t; (* n × d, row-major — one flat allocation, cache-friendly *)
-  labels : int array;
+  (* Growable flat row-major storage (capacity-doubled): the database is
+     an appendable index, so online training adds one labelled point in
+     amortised O(d) instead of rebuilding. *)
+  mutable data : float array; (* cap × d *)
+  mutable labels : int array; (* cap *)
+  mutable n : int;
+  d : int;
   radius : float;
   classes : int;
 }
@@ -9,25 +14,47 @@ let train ?(radius = 0.3) ~n_classes pairs =
   if Array.length pairs = 0 then invalid_arg "Knn.train: empty training set";
   let d = Array.length (fst pairs.(0)) in
   let n = Array.length pairs in
-  let points = Mat.create n d in
-  let a = Mat.data points in
+  let data = Array.make (n * d) 0.0 in
   Array.iteri
     (fun i (x, _) ->
       if Array.length x <> d then invalid_arg "Knn.train: ragged features";
-      Array.blit x 0 a (i * d) d)
+      Array.blit x 0 data (i * d) d)
     pairs;
-  { points; labels = Array.map snd pairs; radius; classes = n_classes }
+  { data; labels = Array.map snd pairs; n; d; radius; classes = n_classes }
 
 let n_classes t = t.classes
-let size t = Array.length t.labels
+let size t = t.n
 let radius t = t.radius
+
+let append t (x, label) =
+  if Array.length x <> t.d then invalid_arg "Knn.append: dimension mismatch";
+  if label < 0 || label >= t.classes then invalid_arg "Knn.append: label out of range";
+  if t.n * t.d >= Array.length t.data then begin
+    let cap = max 4 (2 * t.n) in
+    let data = Array.make (cap * t.d) 0.0 in
+    Array.blit t.data 0 data 0 (t.n * t.d);
+    let labels = Array.make cap 0 in
+    Array.blit t.labels 0 labels 0 t.n;
+    t.data <- data;
+    t.labels <- labels
+  end;
+  Array.blit x 0 t.data (t.n * t.d) t.d;
+  t.labels.(t.n) <- label;
+  t.n <- t.n + 1
+
+(* The used prefix as a Mat view for the blocked kernels.  Exact-capacity
+   databases (fresh from [train]) share the buffer; appended ones copy the
+   live prefix. *)
+let points_matrix t =
+  if Array.length t.data = t.n * t.d then Mat.of_flat t.n t.d t.data
+  else Mat.of_flat t.n t.d (Array.sub t.data 0 (t.n * t.d))
 
 (* dist²(x, row i) with the same left-to-right summation as [Vec.dist2];
    callers divide by d and take sqrt for the RMS-per-dimension distance. *)
 let row_dist2 t x i =
-  let d = Mat.cols t.points in
+  let d = t.d in
   if Array.length x <> d then invalid_arg "Knn: dimension mismatch";
-  let a = Mat.data t.points in
+  let a = t.data in
   let base = i * d in
   let acc = ref 0.0 in
   for j = 0 to d - 1 do
@@ -40,7 +67,7 @@ let row_dist2 t x i =
    distance of the query to point [i]; iteration is in index order so ties
    keep the lowest index. *)
 let classify_dists t ~skip dist =
-  let n = Array.length t.labels in
+  let n = t.n in
   let votes = Array.make t.classes 0 in
   let nearest = ref (-1) in
   let nearest_d = ref infinity in
@@ -65,14 +92,14 @@ let classify_dists t ~skip dist =
   end
 
 let classify ?(skip = -1) t x =
-  let dims = float_of_int (max (Mat.cols t.points) 1) in
+  let dims = float_of_int (max t.d 1) in
   classify_dists t ~skip (fun i -> sqrt (row_dist2 t x i /. dims))
 
 let predict t x = fst (classify t x)
 let predict_confidence t x = classify t x
 
 let predict_1nn t x =
-  let n = Array.length t.labels in
+  let n = t.n in
   let nearest = ref 0 and nearest_d = ref infinity in
   for i = 0 to n - 1 do
     let d2 = row_dist2 t x i in
@@ -85,16 +112,18 @@ let predict_1nn t x =
   t.labels.(!nearest)
 
 let loo_predictions ?jobs t =
-  let n = Array.length t.labels in
-  let dims = float_of_int (max (Mat.cols t.points) 1) in
+  let n = t.n in
+  let dims = float_of_int (max t.d 1) in
   (* One blocked O(n²·d) pairwise build replaces n independent O(n·d)
      scans; rows then vote independently across [jobs] domains.  Output is
      identical for every [jobs] value. *)
-  let d2 = Mat.pairwise_dist2 ?jobs t.points in
+  let d2 = Mat.pairwise_dist2 ?jobs (points_matrix t) in
   let dd = Mat.data d2 in
   Parallel.tabulate ?jobs n (fun i ->
       let base = i * n in
       fst (classify_dists t ~skip:i (fun k -> sqrt (dd.(base + k) /. dims))))
 
 let export t =
-  (t.radius, t.classes, Array.mapi (fun i l -> (Mat.row t.points i, l)) t.labels)
+  ( t.radius,
+    t.classes,
+    Array.init t.n (fun i -> (Array.sub t.data (i * t.d) t.d, t.labels.(i))) )

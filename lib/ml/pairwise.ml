@@ -12,18 +12,30 @@
    O(n²·|S|) — and the winner's contribution is folded in once per round
    by {!commit}.
 
+   Storage is *column-block*: pair (i, k) with i < k lives at
+   k(k−1)/2 + i, i.e. all pairs whose larger index is k form one
+   contiguous block.  Appending point n therefore appends exactly one
+   block of n committed-subset distances at the end of the triangle —
+   O(n·|S|) via {!append} — with every existing entry untouched, which is
+   what makes the engine reusable across online-training generations.
+
    Determinism contract: contributions are accumulated in commit order,
    with the candidate term added last, which is exactly the left-to-right
    summation order of [Vec.dist2] over a feature subset projected in
    selection order.  Committed-plus-candidate distances are therefore
-   bit-identical to the direct recomputation the engine replaces, and
-   nothing here depends on [jobs] — candidate evaluations may fan out over
-   domains that only *read* the triangle. *)
+   bit-identical to the direct recomputation the engine replaces — and
+   {!append} folds the committed contributions of the new pairs in the
+   same commit order, so an appended engine is bit-identical to one built
+   from scratch over the extended point set.  Nothing here depends on
+   [jobs] — candidate evaluations may fan out over domains that only
+   *read* the triangle. *)
 
 type t = {
-  points : Mat.t; (* n rows × d feature columns, row-major *)
-  n : int;
-  tri : float array; (* strict upper triangle of committed dist², row-major *)
+  d : int;
+  mutable pts : float array; (* cap rows × d feature columns, row-major *)
+  mutable n : int;
+  mutable cap : int;
+  mutable tri : float array; (* strict upper triangle of committed dist², column-block *)
   committed : bool array; (* per-feature committed flag *)
   mutable committed_rev : int list; (* most recently committed first *)
 }
@@ -32,11 +44,14 @@ let tri_len n = n * (n - 1) / 2
 
 let create points =
   let n = Mat.rows points in
+  let d = Mat.cols points in
   {
-    points;
+    d;
+    pts = Array.sub (Mat.data points) 0 (n * d);
     n;
+    cap = n;
     tri = Array.make (tri_len n) 0.0;
-    committed = Array.make (Mat.cols points) false;
+    committed = Array.make d false;
     committed_rev = [];
   }
 
@@ -45,7 +60,7 @@ let of_dataset ds =
   (create m, labels)
 
 let size t = t.n
-let dim t = Array.length t.committed
+let dim t = t.d
 let committed t = List.rev t.committed_rev
 let is_committed t j = t.committed.(j)
 
@@ -56,18 +71,51 @@ let check_feature t name j =
 let commit t j =
   check_feature t "commit" j;
   if t.committed.(j) then invalid_arg "Pairwise.commit: feature already committed";
-  let p = Mat.data t.points and d = Mat.cols t.points in
+  let p = t.pts and d = t.d in
+  (* One contiguous copy of the feature column keeps the triangle walk
+     streaming instead of striding through the points matrix per pair. *)
+  let col = Array.init t.n (fun r -> p.((r * d) + j)) in
   let idx = ref 0 in
-  for i = 0 to t.n - 1 do
-    let vi = p.((i * d) + j) in
-    for k = i + 1 to t.n - 1 do
-      let dv = vi -. p.((k * d) + j) in
+  for k = 1 to t.n - 1 do
+    let vk = col.(k) in
+    for i = 0 to k - 1 do
+      let dv = col.(i) -. vk in
       t.tri.(!idx) <- t.tri.(!idx) +. (dv *. dv);
       incr idx
     done
   done;
   t.committed.(j) <- true;
   t.committed_rev <- j :: t.committed_rev
+
+let append t x =
+  if Array.length x <> t.d then invalid_arg "Pairwise.append: feature dimension";
+  let n = t.n and d = t.d in
+  if n >= t.cap then begin
+    let cap = max 4 (2 * t.cap) in
+    let pts = Array.make (cap * d) 0.0 in
+    Array.blit t.pts 0 pts 0 (n * d);
+    let tri = Array.make (tri_len cap) 0.0 in
+    Array.blit t.tri 0 tri 0 (tri_len n);
+    t.pts <- pts;
+    t.tri <- tri;
+    t.cap <- cap
+  end;
+  Array.blit x 0 t.pts (n * d) d;
+  (* New block: dist²(i, n) over the committed subset, contributions folded
+     feature by feature in commit order — entry-wise the same accumulation
+     sequence {!commit} would have produced, hence bit-identical to a
+     from-scratch engine over the extended points. *)
+  let base = tri_len n in
+  Array.fill t.tri base n 0.0;
+  List.iter
+    (fun f ->
+      let vn = x.(f) in
+      for i = 0 to n - 1 do
+        let dv = t.pts.((i * d) + f) -. vn in
+        t.tri.(base + i) <- t.tri.(base + i) +. (dv *. dv)
+      done)
+    (List.rev t.committed_rev);
+  t.n <- n + 1
 
 let iter_pairs ?cand t f =
   (match cand with
@@ -78,19 +126,19 @@ let iter_pairs ?cand t f =
   match cand with
   | None ->
     let idx = ref 0 in
-    for i = 0 to t.n - 1 do
-      for k = i + 1 to t.n - 1 do
+    for k = 1 to t.n - 1 do
+      for i = 0 to k - 1 do
         f i k t.tri.(!idx);
         incr idx
       done
     done
   | Some j ->
-    let p = Mat.data t.points and d = Mat.cols t.points in
+    let p = t.pts and d = t.d in
     let idx = ref 0 in
-    for i = 0 to t.n - 1 do
-      let vi = p.((i * d) + j) in
-      for k = i + 1 to t.n - 1 do
-        let dv = vi -. p.((k * d) + j) in
+    for k = 1 to t.n - 1 do
+      let vk = p.((k * d) + j) in
+      for i = 0 to k - 1 do
+        let dv = p.((i * d) + j) -. vk in
         f i k (t.tri.(!idx) +. (dv *. dv));
         incr idx
       done
@@ -100,14 +148,14 @@ let dist2 ?cand t i k =
   if i = k then 0.0
   else begin
     let i, k = if i < k then (i, k) else (k, i) in
-    (* row-major strict upper triangle: rows 0..i-1 contribute n-1-r pairs *)
-    let idx = (i * t.n) - (i * (i + 1) / 2) + (k - i - 1) in
+    (* column-block strict upper triangle: block k holds pairs (0..k-1, k) *)
+    let idx = (k * (k - 1) / 2) + i in
     let base = t.tri.(idx) in
     match cand with
     | None -> base
     | Some j ->
       check_feature t "dist2" j;
-      let p = Mat.data t.points and d = Mat.cols t.points in
+      let p = t.pts and d = t.d in
       let dv = p.((i * d) + j) -. p.((k * d) + j) in
       base +. (dv *. dv)
   end
@@ -132,9 +180,16 @@ let rbf_gram ?cand ~gamma t =
       a.((k * t.n) + i) <- v);
   m
 
-let nn_loo_error ?cand t ~labels =
-  if Array.length labels <> t.n then invalid_arg "Pairwise.nn_loo_error: labels";
-  if t.n < 2 then 1.0
+let nn_loo_error_count ?cand ?nearest_out t ~labels =
+  if Array.length labels <> t.n then invalid_arg "Pairwise.nn_loo_error_count: labels";
+  (match nearest_out with
+  | Some out when Array.length out <> t.n ->
+    invalid_arg "Pairwise.nn_loo_error_count: nearest_out"
+  | _ -> ());
+  if t.n < 2 then begin
+    (match nearest_out with Some out -> Array.fill out 0 t.n infinity | None -> ());
+    0
+  end
   else begin
     (* Leave-one-out training error of [Knn] at radius 0 — the greedy-NN
        objective (§7.2) — reproduced bit for bit.  Each query sees its
@@ -142,9 +197,12 @@ let nn_loo_error ?cand t ~labels =
        minimum, the same tie-breaking as [Knn]'s linear scan; comparing
        raw dist² instead of Knn's sqrt(dist²/d) picks the same neighbor
        because sqrt and the division by the subset size are monotone.
-       Exact duplicates (dist² = 0) matter: Knn's radius test is [<=], so
-       at radius 0 the zero-distance neighbors majority-vote instead of
-       the single nearest deciding. *)
+       (Under the column-block walk a query q still meets 0..q−1 in order
+       inside its own block, then q+1.. in ascending later blocks, so the
+       first-minimum tie-break is unchanged.)  Exact duplicates
+       (dist² = 0) matter: Knn's radius test is [<=], so at radius 0 the
+       zero-distance neighbors majority-vote instead of the single nearest
+       deciding. *)
     let n_classes = 1 + Array.fold_left max 0 labels in
     let nearest = Array.make t.n (-1) in
     let nearest_d = Array.make t.n infinity in
@@ -152,14 +210,14 @@ let nn_loo_error ?cand t ~labels =
     let dup_count = Array.make t.n 0 in
     (* Specialised triangle walks (not {!iter_pairs}): this runs once per
        candidate per round, and a per-pair closure call costs more than
-       the pair's own arithmetic.  Query [i]'s running minimum lives in
-       locals across its row; updates for the second index [k] go straight
-       to the arrays. *)
+       the pair's own arithmetic.  Query [k]'s running minimum lives in
+       locals across its block; updates for the smaller index [i] go
+       straight to the arrays. *)
     let tri = t.tri in
     let[@inline] update i k d2 =
-      if d2 < nearest_d.(k) then begin
-        nearest_d.(k) <- d2;
-        nearest.(k) <- i
+      if d2 < nearest_d.(i) then begin
+        nearest_d.(i) <- d2;
+        nearest.(i) <- k
       end;
       if d2 = 0.0 then begin
         dup_count.(i) <- dup_count.(i) + 1;
@@ -173,45 +231,50 @@ let nn_loo_error ?cand t ~labels =
     (match cand with
     | None ->
       let idx = ref 0 in
-      for i = 0 to t.n - 1 do
-        let best = ref nearest_d.(i) and best_k = ref nearest.(i) in
-        for k = i + 1 to t.n - 1 do
+      for k = 1 to t.n - 1 do
+        let best = ref nearest_d.(k) and best_i = ref nearest.(k) in
+        for i = 0 to k - 1 do
           let d2 = tri.(!idx) in
           incr idx;
           if d2 < !best then begin
             best := d2;
-            best_k := k
+            best_i := i
           end;
           update i k d2
         done;
-        nearest_d.(i) <- !best;
-        nearest.(i) <- !best_k
+        nearest_d.(k) <- !best;
+        nearest.(k) <- !best_i
       done
     | Some j ->
       check_feature t "nn_loo_error" j;
       if t.committed.(j) then invalid_arg "Pairwise.nn_loo_error: candidate already committed";
-      let p = Mat.data t.points and d = Mat.cols t.points in
+      let p = t.pts and d = t.d in
       (* One contiguous copy of the candidate column: the triangle walk
          then streams it sequentially instead of striding through the
          whole points matrix once per row. *)
       let col = Array.init t.n (fun k -> p.((k * d) + j)) in
       let idx = ref 0 in
-      for i = 0 to t.n - 1 do
-        let vi = col.(i) in
-        let best = ref nearest_d.(i) and best_k = ref nearest.(i) in
-        for k = i + 1 to t.n - 1 do
-          let dv = vi -. col.(k) in
+      for k = 1 to t.n - 1 do
+        let vk = col.(k) in
+        let best = ref nearest_d.(k) and best_i = ref nearest.(k) in
+        for i = 0 to k - 1 do
+          let dv = col.(i) -. vk in
           let d2 = tri.(!idx) +. (dv *. dv) in
           incr idx;
           if d2 < !best then begin
             best := d2;
-            best_k := k
+            best_i := i
           end;
           update i k d2
         done;
-        nearest_d.(i) <- !best;
-        nearest.(i) <- !best_k
+        nearest_d.(k) <- !best;
+        nearest.(k) <- !best_i
       done);
+    (* The per-query nearest distances fall out of the walk for free;
+       [Greedy_select.Warm] caches them as displacement thresholds. *)
+    (match nearest_out with
+    | Some out -> Array.blit nearest_d 0 out 0 t.n
+    | None -> ());
     let errs = ref 0 in
     for i = 0 to t.n - 1 do
       let pred =
@@ -222,5 +285,10 @@ let nn_loo_error ?cand t ~labels =
       in
       if pred <> labels.(i) then incr errs
     done;
-    float_of_int !errs /. float_of_int t.n
+    !errs
   end
+
+let nn_loo_error ?cand t ~labels =
+  if Array.length labels <> t.n then invalid_arg "Pairwise.nn_loo_error: labels";
+  if t.n < 2 then 1.0
+  else float_of_int (nn_loo_error_count ?cand t ~labels) /. float_of_int t.n

@@ -11,20 +11,28 @@
     [exp (-gamma * dist²)] falls out of the same triangle for the SVM
     variant.
 
+    The triangle is stored in {e column-block} order — pair (i, k) with
+    i < k at k(k−1)/2 + i — so all pairs whose larger index is k are one
+    contiguous block.  {!append} therefore extends the engine by one point
+    in O(n·|subset|): one new point row, one new block of committed
+    distances, nothing else moves.  This is what online training leans on.
+
     {b Determinism contract.}  Contributions accumulate in commit order
     with the candidate term added last — exactly the left-to-right
     summation order of [Vec.dist2] over features projected in selection
     order — so committed-plus-candidate distances are bit-identical to
-    direct recomputation.  Nothing depends on [jobs]: candidate
-    evaluations may fan out over {!Parallel} domains that only read the
-    triangle, and {!commit} is the single sequential write point between
-    rounds. *)
+    direct recomputation, and an appended engine is bit-identical to one
+    created from scratch over the extended point set.  Nothing depends on
+    [jobs]: candidate evaluations may fan out over {!Parallel} domains
+    that only read the triangle, and {!commit}/{!append} are the
+    sequential write points between rounds. *)
 
 type t
 
 val create : Mat.t -> t
 (** [create points] over an n×d row-major feature matrix, with the empty
-    committed subset (all distances 0). *)
+    committed subset (all distances 0).  The points are copied into
+    growable storage, so the argument is not retained. *)
 
 val of_dataset : Dataset.t -> t * int array
 (** Engine over {!Dataset.points_matrix}, plus the label vector. *)
@@ -45,11 +53,19 @@ val commit : t -> int -> unit
     O(n²), once per greedy round.  Raises [Invalid_argument] if the
     feature is out of range or already committed. *)
 
+val append : t -> float array -> unit
+(** [append t x] adds point [x] (length {!dim}) with index [size t],
+    extending the triangle by one contiguous block of committed-subset
+    distances — O(n·|subset|), amortised over capacity doubling.  The
+    resulting engine is bit-identical to [create] over the extended
+    matrix followed by the same commits. *)
+
 val iter_pairs : ?cand:int -> t -> (int -> int -> float -> unit) -> unit
 (** [iter_pairs ?cand t f] calls [f i k dist2] for every pair [i < k] in
-    row-major order, where [dist2] covers the committed subset plus the
-    optional candidate feature.  The candidate path reads the triangle and
-    the points matrix only, so concurrent candidate evaluations are safe. *)
+    column-block order (ascending [k], then ascending [i]), where [dist2]
+    covers the committed subset plus the optional candidate feature.  The
+    candidate path reads the triangle and the points matrix only, so
+    concurrent candidate evaluations are safe. *)
 
 val dist2 : ?cand:int -> t -> int -> int -> float
 (** Random access to one pairwise distance (0 on the diagonal). *)
@@ -69,3 +85,13 @@ val nn_loo_error : ?cand:int -> t -> labels:int array -> float
     index), except that exact duplicates (dist² = 0) majority-vote, which
     is Knn's [<=] radius test at radius 0.  Returns 1.0 when fewer than
     two points exist. *)
+
+val nn_loo_error_count :
+  ?cand:int -> ?nearest_out:float array -> t -> labels:int array -> int
+(** The same objective as an integer misclassification count (0 when
+    fewer than two points exist) — the form warm-started greedy selection
+    caches, since counts admit exact ±bounds under appended points where
+    ratios do not.  [nearest_out] (length [size]) is filled, when given,
+    with each query's nearest-other dist² under the scored subset
+    ([infinity] when fewer than two points exist) — the displacement
+    thresholds the warm cache certifies against, at no extra cost. *)

@@ -7,6 +7,8 @@ type opts = {
   queue_cap : int;
   cache_capacity : int;
   drain_timeout : float;
+  shadow_window : int;
+  shadow_threshold : float;
 }
 
 let default_opts =
@@ -19,6 +21,8 @@ let default_opts =
     queue_cap = 1024;
     cache_capacity = Predict_service.default_cache_capacity;
     drain_timeout = 5.0;
+    shadow_window = 0;
+    shadow_threshold = 0.0;
   }
 
 (* A connection: one reader thread, and a reorder buffer that sequences
@@ -43,6 +47,16 @@ type item =
    (2^(k-1), 2^k]; the last bucket absorbs anything larger. *)
 let hist_buckets = 8
 
+(* A reloaded candidate under shadow evaluation: it predicts every batch
+   alongside the live model (its answers are never sent) until [sh_seen]
+   reaches the warmup window, then is promoted or rejected on its
+   disagreement rate.  Touched only by the batcher domain. *)
+type shadow = {
+  sh_service : Predict_service.t;
+  mutable sh_seen : int;
+  mutable sh_disagreements : int;
+}
+
 type t = {
   opts : opts;
   config : Config.t;
@@ -58,6 +72,7 @@ type t = {
   stop_flag : bool Atomic.t;
   reload_flag : string option Atomic.t;
   mutable service : Predict_service.t;
+  mutable shadow : shadow option;
   mutable batcher : unit Domain.t option;
   hist : int array;
   mutable max_batch : int;
@@ -68,6 +83,10 @@ type t = {
   mutable batched_loops : int;
   mutable reloads : int;
   mutable reload_rejected : int;
+  mutable shadow_promoted : int;
+  mutable shadow_rejected : int;
+  mutable shadow_seen_total : int;
+  mutable shadow_disagreements_total : int;
   mutable frames_corrupt : int;
   mutable responses_dropped : int;
 }
@@ -119,6 +138,7 @@ let listen ?(opts = default_opts) ?(telemetry = Telemetry.global) config ~artifa
             stop_flag = Atomic.make false;
             reload_flag = Atomic.make None;
             service;
+            shadow = None;
             batcher = None;
             hist = Array.make hist_buckets 0;
             max_batch = 0;
@@ -129,6 +149,10 @@ let listen ?(opts = default_opts) ?(telemetry = Telemetry.global) config ~artifa
             batched_loops = 0;
             reloads = 0;
             reload_rejected = 0;
+            shadow_promoted = 0;
+            shadow_rejected = 0;
+            shadow_seen_total = 0;
+            shadow_disagreements_total = 0;
             frames_corrupt = 0;
             responses_dropped = 0;
           }
@@ -188,38 +212,69 @@ let deliver t conn seq resp =
 
 let stats_text t =
   let svc = t.service in
+  let shadow = t.shadow in
+  let ints kvs = List.map (fun (k, v) -> (k, string_of_int v)) kvs in
   let snapshot =
     locked t (fun () ->
-        [
-          ("accepted", t.accepted);
-          ("active", Hashtbl.length t.conns);
-          ("queue-depth", Queue.length t.q);
-          ("queue-cap", t.opts.queue_cap);
-          ("requests", t.requests);
-          ("shed", t.shed);
-          ("batches", t.batches);
-          ("batched-loops", t.batched_loops);
-          ("max-batch", t.max_batch);
-          ("batch-cap", t.opts.batch_cap);
-          ("batch-window-us", int_of_float (t.opts.batch_window *. 1e6));
-          ("reloads", t.reloads);
-          ("reload-rejected", t.reload_rejected);
-          ("frames-corrupt", t.frames_corrupt);
-          ("responses-dropped", t.responses_dropped);
-        ]
-        @ List.init hist_buckets (fun k ->
-              (Printf.sprintf "batch-le-%d" (1 lsl k), t.hist.(k))))
+        ints
+          ([
+             ("accepted", t.accepted);
+             ("active", Hashtbl.length t.conns);
+             ("queue-depth", Queue.length t.q);
+             ("queue-cap", t.opts.queue_cap);
+             ("requests", t.requests);
+             ("shed", t.shed);
+             ("batches", t.batches);
+             ("batched-loops", t.batched_loops);
+             ("max-batch", t.max_batch);
+             ("batch-cap", t.opts.batch_cap);
+             ("batch-window-us", int_of_float (t.opts.batch_window *. 1e6));
+             ("reloads", t.reloads);
+             ("reload-rejected", t.reload_rejected);
+             ("shadow-window", t.opts.shadow_window);
+             ("shadow-active", if shadow = None then 0 else 1);
+             ("shadow-promoted", t.shadow_promoted);
+             ("shadow-rejected", t.shadow_rejected);
+             ("shadow-seen", t.shadow_seen_total);
+             ("shadow-disagreements", t.shadow_disagreements_total);
+             ("frames-corrupt", t.frames_corrupt);
+             ("responses-dropped", t.responses_dropped);
+           ]
+          @ List.init hist_buckets (fun k ->
+                (Printf.sprintf "batch-le-%d" (1 lsl k), t.hist.(k)))))
   in
-  let cache =
+  (* Per-model block: the counters below belong to the service instance,
+     which is rebuilt on every (promoted) reload — tagging them with the
+     artifact digest makes them unambiguously since-load. *)
+  let model =
     [
-      ("cache-hits", Predict_service.cache_hits svc);
-      ("cache-misses", Predict_service.cache_misses svc);
-      ("cache-evictions", Predict_service.cache_evictions svc);
-      ("cache-size", Predict_service.cache_size svc);
+      ("model-kind", Predict_service.model_kind svc);
+      ("model-digest", Predict_service.model_digest svc);
     ]
+    @ ints
+        [
+          ("cache-hits", Predict_service.cache_hits svc);
+          ("cache-misses", Predict_service.cache_misses svc);
+          ("cache-evictions", Predict_service.cache_evictions svc);
+          ("cache-size", Predict_service.cache_size svc);
+        ]
+  in
+  let shadow_model =
+    match shadow with
+    | None -> []
+    | Some sh ->
+      [
+        ("shadow-model-kind", Predict_service.model_kind sh.sh_service);
+        ("shadow-model-digest", Predict_service.model_digest sh.sh_service);
+      ]
+      @ ints
+          [
+            ("shadow-window-seen", sh.sh_seen);
+            ("shadow-window-disagreements", sh.sh_disagreements);
+          ]
   in
   String.concat ""
-    (List.map (fun (k, v) -> Printf.sprintf "%s %d\n" k v) (snapshot @ cache))
+    (List.map (fun (k, v) -> Printf.sprintf "%s %s\n" k v) (snapshot @ model @ shadow_model))
 
 (* --- the batcher ---------------------------------------------------------- *)
 
@@ -244,15 +299,32 @@ let do_reload t replier path =
     with
     | Error e -> reject e
     | Ok svc ->
-      (* The swap happens between batches, on the only domain that predicts,
-         so no in-flight request ever sees a half-installed model. *)
-      t.service <- svc;
-      locked t (fun () -> t.reloads <- t.reloads + 1);
-      tel t "reloads" 1;
-      (match replier with
-      | Some (conn, seq) ->
-        deliver t conn seq (Wire.Okay ("reloaded " ^ Model_artifact.kind a))
-      | None -> ()))
+      if t.opts.shadow_window > 0 then begin
+        (* Shadow evaluation: the candidate predicts alongside the live
+           model for [shadow_window] loops before it may take over.  A
+           second reload while one is shadowing replaces the candidate
+           (latest wins) and restarts the window. *)
+        t.shadow <- Some { sh_service = svc; sh_seen = 0; sh_disagreements = 0 };
+        tel t "shadow-started" 1;
+        match replier with
+        | Some (conn, seq) ->
+          deliver t conn seq
+            (Wire.Okay
+               (Printf.sprintf "shadowing %s (window %d)" (Model_artifact.kind a)
+                  t.opts.shadow_window))
+        | None -> ()
+      end
+      else begin
+        (* The swap happens between batches, on the only domain that predicts,
+           so no in-flight request ever sees a half-installed model. *)
+        t.service <- svc;
+        locked t (fun () -> t.reloads <- t.reloads + 1);
+        tel t "reloads" 1;
+        match replier with
+        | Some (conn, seq) ->
+          deliver t conn seq (Wire.Okay ("reloaded " ^ Model_artifact.kind a))
+        | None -> ()
+      end)
 
 (* Pop ready predict items (up to the cap), stopping at a reload boundary so
    reloads stay ordered with the traffic around them.  Lock held. *)
@@ -294,6 +366,47 @@ let collect t =
   end;
   List.rev !acc
 
+(* Shadow-predict the same batch and promote or reject the candidate once
+   its warmup window fills.  Runs on the batcher domain, after the live
+   answers are known; the candidate's answers are never sent to clients. *)
+let run_shadow t sh loops nb (factors : (int array, string) result) =
+  match factors with
+  | Error _ -> () (* the live model failed; there is nothing to compare against *)
+  | Ok fs ->
+  let disagreements =
+    match
+      try Ok (Predict_service.predict_batch ~jobs:t.opts.jobs sh.sh_service loops)
+      with e -> Error (Printexc.to_string e)
+    with
+    | Ok cand ->
+      let d = ref 0 in
+      Array.iteri (fun i f -> if f <> cand.(i) then incr d) fs;
+      !d
+    | Error _ -> nb (* a crashing candidate must never be promoted *)
+  in
+  sh.sh_seen <- sh.sh_seen + nb;
+  sh.sh_disagreements <- sh.sh_disagreements + disagreements;
+  locked t (fun () ->
+      t.shadow_seen_total <- t.shadow_seen_total + nb;
+      t.shadow_disagreements_total <- t.shadow_disagreements_total + disagreements);
+  if disagreements > 0 then tel t "shadow-disagreements" disagreements;
+  if sh.sh_seen >= t.opts.shadow_window then begin
+    let rate = float_of_int sh.sh_disagreements /. float_of_int (max 1 sh.sh_seen) in
+    t.shadow <- None;
+    if rate <= t.opts.shadow_threshold then begin
+      t.service <- sh.sh_service;
+      locked t (fun () ->
+          t.shadow_promoted <- t.shadow_promoted + 1;
+          t.reloads <- t.reloads + 1);
+      tel t "shadow-promoted" 1;
+      tel t "reloads" 1
+    end
+    else begin
+      locked t (fun () -> t.shadow_rejected <- t.shadow_rejected + 1);
+      tel t "shadow-rejected" 1
+    end
+  end
+
 let run_batch t batch =
   let loops = List.map (fun (_, _, l) -> l) batch in
   let nb = List.length batch in
@@ -301,6 +414,9 @@ let run_batch t batch =
     try Ok (Predict_service.predict_batch ~jobs:t.opts.jobs t.service loops)
     with e -> Error (Printexc.to_string e)
   in
+  (match t.shadow with
+  | Some sh when nb > 0 -> run_shadow t sh loops nb factors
+  | Some _ | None -> ());
   locked t (fun () ->
       t.batches <- t.batches + 1;
       t.batched_loops <- t.batched_loops + nb;

@@ -24,6 +24,21 @@
     requests are never dropped; a bad artifact is rejected — counted and
     reported to the requester — while the old model keeps serving.
 
+    Shadow evaluation ([shadow_window > 0]): instead of swapping
+    immediately, a reloaded candidate predicts every batch {e alongside}
+    the live model (its answers are never sent) until it has seen
+    [shadow_window] loops; it is then promoted — swapped in between
+    batches exactly like an immediate reload — if its disagreement rate
+    against the live model is at most [shadow_threshold], and discarded
+    otherwise.  Online training feeds this: [train --follow] emits
+    artifacts whose predictions should match the eventual batch retrain,
+    so a candidate that disagrees with serving traffic beyond the
+    threshold is evidence of a divergent (partial or corrupt) artifact
+    and is auto-rejected while the old model keeps serving.  A second
+    reload during a shadow window replaces the candidate and restarts
+    the window; [shadow_window = 0] (the default) keeps the immediate
+    swap.
+
     Shutdown ({!stop}, a ["shutdown"] control frame, or [SIGINT]/[SIGTERM]
     in the CLI) is a graceful drain: the listener stops accepting, every
     queued request is still answered, and connections get up to
@@ -31,11 +46,14 @@
 
     Telemetry accumulates under the ["serve"] pass: [accepted], [requests],
     [shed], [batches], [batched-loops], [reloads], [reload-rejected],
-    [frames-corrupt], [responses-dropped] — alongside the ["parallel"] and
-    ["predict-service"] counters the batch path already feeds.  The
-    ["stats"] control frame renders a live snapshot (queue depth, active
-    connections, batch-size histogram, cache counters) as [key value]
-    lines. *)
+    [shadow-started], [shadow-disagreements], [shadow-promoted],
+    [shadow-rejected], [frames-corrupt], [responses-dropped] — alongside
+    the ["parallel"] and ["predict-service"] counters the batch path
+    already feeds.  The ["stats"] control frame renders a live snapshot
+    (queue depth, active connections, batch-size histogram, shadow state,
+    and a per-model block — [model-kind], [model-digest] and the cache
+    counters, which belong to the loaded service instance and are
+    therefore since-load) as [key value] lines. *)
 
 type opts = {
   host : string;
@@ -46,11 +64,17 @@ type opts = {
   queue_cap : int;  (** admission-control bound; beyond it requests shed *)
   cache_capacity : int;  (** {!Predict_service} feature-vector cache bound *)
   drain_timeout : float;  (** seconds to wait for connections on shutdown *)
+  shadow_window : int;
+      (** loops a reloaded candidate shadow-predicts before promotion;
+          0 swaps immediately *)
+  shadow_threshold : float;
+      (** max disagreement rate (fraction of shadowed loops) for
+          promotion *)
 }
 
 val default_opts : opts
 (** [127.0.0.1:7811], jobs 1, a 2 ms window, batches of 64, a 1024-deep
-    queue, the default cache bound, a 5 s drain. *)
+    queue, the default cache bound, a 5 s drain, shadowing off. *)
 
 type t
 

@@ -230,3 +230,116 @@ let size t = locked t (fun () -> Hashtbl.length t.entries)
 let recovered_records t = t.recovered
 let truncated_bytes t = t.truncated
 let inject_crash_after t n = locked t (fun () -> t.crash_in <- n)
+
+(* --- tail following ------------------------------------------------------
+
+   A follower is a read-only cursor over someone else's live journal: it
+   delivers every valid record exactly once, in file order, blocking (by
+   polling) until the writer fsyncs more.  Position tracking gives the
+   exactly-once guarantee — [f_pos] only ever advances past records that
+   have been handed to the caller or buffered for it.
+
+   Each poll re-reads [f_pos, EOF) and applies the same classification as
+   {!scan}: the valid prefix is buffered and [f_pos] advances past it; an
+   invalid chunk with a valid record after it raises {!Corrupt} exactly
+   like recovery; an invalid or incomplete *tail* is simply not consumed
+   yet — the next poll re-reads it from scratch, which also absorbs the
+   case where a recovering writer truncates a torn tail and appends fresh
+   records over those bytes (recovery never truncates below the last
+   valid record, and [f_pos] never passes an invalid one, so [f_pos]
+   always stays within the stable prefix). *)
+
+type follower = {
+  fl_path : string;
+  mutable fl_fd : Unix.file_descr option;
+  mutable fl_pos : int; (* byte offset of the end of the last consumed record *)
+  mutable fl_header_ok : bool;
+  mutable fl_queue : (string * int * int) list; (* parsed, undelivered (in order) *)
+}
+
+let follow path =
+  try
+    let fd = Unix.openfile path [ Unix.O_RDONLY ] 0 in
+    Ok { fl_path = path; fl_fd = Some fd; fl_pos = 0; fl_header_ok = false; fl_queue = [] }
+  with Unix.Unix_error (e, _, _) ->
+    Error (Printf.sprintf "Label_store: %s: %s" path (Unix.error_message e))
+
+let follower_fd_exn f =
+  match f.fl_fd with Some fd -> fd | None -> invalid_arg "Label_store: follower closed"
+
+let read_tail fd pos =
+  let len = (Unix.fstat fd).Unix.st_size - pos in
+  if len <= 0 then ""
+  else begin
+    ignore (Unix.lseek fd pos Unix.SEEK_SET);
+    let buf = Bytes.create len in
+    let got = ref 0 in
+    (try
+       while !got < len do
+         let r = Unix.read fd buf !got (len - !got) in
+         if r = 0 then raise Exit;
+         got := !got + r
+       done
+     with Exit -> ());
+    (* a concurrent truncate can shorten the file mid-read; deliver what
+       arrived — the next poll re-reads from a consistent offset *)
+    Bytes.sub_string buf 0 !got
+  end
+
+(* One non-blocking poll: refill the queue from newly stable bytes. *)
+let poll_once f =
+  let fd = follower_fd_exn f in
+  if not f.fl_header_ok then begin
+    let hlen = String.length header in
+    let h = read_tail fd 0 in
+    if String.length h >= hlen then begin
+      if String.sub h 0 hlen <> header then
+        raise (Corrupt "not a label journal (bad header)");
+      f.fl_header_ok <- true;
+      f.fl_pos <- hlen
+    end
+  end;
+  if f.fl_header_ok then begin
+    let tail = read_tail fd f.fl_pos in
+    if tail <> "" then begin
+      let r = scan tail 0 in
+      if r.r_keep > 0 then begin
+        f.fl_queue <- f.fl_queue @ List.rev r.r_entries;
+        f.fl_pos <- f.fl_pos + r.r_keep
+      end
+    end
+  end
+
+let follow_next ?timeout ?(poll = 0.02) f =
+  let deadline =
+    match timeout with None -> None | Some s -> Some (Unix.gettimeofday () +. s)
+  in
+  let rec loop () =
+    match f.fl_queue with
+    | r :: rest ->
+      f.fl_queue <- rest;
+      Some r
+    | [] ->
+      poll_once f;
+      if f.fl_queue <> [] then loop ()
+      else begin
+        let expired =
+          match deadline with None -> false | Some d -> Unix.gettimeofday () >= d
+        in
+        if expired then None
+        else begin
+          Unix.sleepf poll;
+          loop ()
+        end
+      end
+  in
+  loop ()
+
+let follower_pos f = f.fl_pos
+
+let close_follower f =
+  match f.fl_fd with
+  | Some fd ->
+    Unix.close fd;
+    f.fl_fd <- None
+  | None -> ()

@@ -82,3 +82,42 @@ val inject_crash_after : t -> int -> unit
     later {!append_sweep} raises {!Injected_crash} without writing, since
     a real kill stops all writers at once (anything appended after the
     torn record would be interior corruption, which recovery rejects). *)
+
+(** {1 Tail following}
+
+    A follower is a read-only cursor over someone else's live journal —
+    the feed of [unroll-ml train --follow].  It delivers every valid
+    record {e exactly once}, in file order, by polling the file for newly
+    fsync'd bytes; the cursor only ever advances past records already
+    handed to the caller.  Damage is classified exactly like {!open_}
+    recovery: an invalid or incomplete {e tail} is simply not consumed
+    yet (re-read on the next poll, which also absorbs a recovering
+    writer truncating the torn bytes), while an invalid chunk with a
+    valid record after it raises {!Corrupt}. *)
+
+exception Corrupt of string
+(** Interior journal corruption seen by a follower, with the offending
+    byte offset relative to the unconsumed tail.  ({!open_} reports the
+    same condition as an [Error].) *)
+
+type follower
+
+val follow : string -> (follower, string) result
+(** Open a follower at the start of an existing journal (the first
+    {!follow_next} delivers the oldest record).  The header is validated
+    lazily, so following a journal whose writer has not finished creating
+    it is safe. *)
+
+val follow_next :
+  ?timeout:float -> ?poll:float -> follower -> (string * int * int) option
+(** [follow_next f] blocks until the next record [(key, factor, cycles)]
+    is available and returns it, polling the file every [poll] seconds
+    (default 0.02).  With [timeout] (seconds), returns [None] once that
+    much time passes with no new complete record.  Raises {!Corrupt} on
+    interior corruption. *)
+
+val follower_pos : follower -> int
+(** Byte offset of the end of the last consumed record (the stable
+    prefix this follower has fully delivered or buffered). *)
+
+val close_follower : follower -> unit

@@ -326,9 +326,60 @@ let test_predictor_save_rejects_unlearned () =
        false
      with Invalid_argument _ -> true)
 
+(* --- Online training = batch training --- *)
+
+let test_online_matches_batch () =
+  (* Batch-train with a journal, then replay that journal through the
+     online trainer: the final artifact must be bit-identical, regardless
+     of intermediate refits along the way. *)
+  let cfg = { Config.fast with Config.scale = 0.05; jobs = 2 } in
+  let path = Filename.temp_file "unrollml_online" ".journal" in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () ->
+      Sys.remove path;
+      let j =
+        match Label_store.open_ path with Ok j -> j | Error e -> Alcotest.fail e
+      in
+      let batch_artifact, batch_report =
+        Train.run ~progress:false ~journal:j cfg ~swp:false ~model:Train.Best
+      in
+      Label_store.close j;
+      let online = Train.Online.create ~progress:false cfg ~swp:false ~model:Train.Best in
+      let f =
+        match Label_store.follow path with Ok f -> f | Error e -> Alcotest.fail e
+      in
+      let completed = ref 0 in
+      let rec drain () =
+        match Label_store.follow_next ~timeout:0.05 f with
+        | None -> ()
+        | Some (key, factor, cycles) ->
+          if Train.Online.ingest online ~key ~factor ~cycles then begin
+            incr completed;
+            (* an intermediate refit must not disturb the final result *)
+            if !completed = 3 then ignore (Train.Online.retrain online)
+          end;
+          drain ()
+      in
+      drain ();
+      Label_store.close_follower f;
+      Alcotest.(check int) "all sweeps complete"
+        (Train.Online.total_sweeps online)
+        (Train.Online.complete_sweeps online);
+      Alcotest.(check int) "no unknown records" 0 (Train.Online.unknown_records online);
+      match Train.Online.retrain online with
+      | Error e -> Alcotest.fail e
+      | Ok (a, report) ->
+        Alcotest.(check string) "artifact bit-identical to batch"
+          (Model_artifact.to_string batch_artifact)
+          (Model_artifact.to_string a);
+        Alcotest.(check string) "same dataset digest" batch_report.Train.dataset_digest
+          report.Train.dataset_digest)
+
 let suite =
   [
     ("features 38", `Quick, test_features_38);
+    ("online train = batch train", `Slow, test_online_matches_batch);
     ("predictor persistence", `Slow, test_predictor_persistence_roundtrip);
     ("predictor save rejects", `Quick, test_predictor_save_rejects_unlearned);
     ("machines shift optima", `Quick, test_machines_shift_optima);

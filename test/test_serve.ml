@@ -376,6 +376,93 @@ let test_hot_reload_under_load () =
   Serve_client.close ctl;
   shutdown_server th addr
 
+(* --- shadow evaluation ------------------------------------------------------ *)
+
+let stats_raw_exn addr =
+  let c = connect_exn addr in
+  Fun.protect
+    ~finally:(fun () -> Serve_client.close c)
+    (fun () ->
+      match Serve_client.control c "stats" with
+      | Ok (Wire.Okay text) -> text
+      | Ok r -> Alcotest.fail ("stats response: " ^ Wire.response_payload r)
+      | Error e -> Alcotest.fail ("stats: " ^ e))
+
+let reload_expect_shadow c path =
+  match Serve_client.control c ("reload " ^ path) with
+  | Ok (Wire.Okay msg) ->
+    Alcotest.(check bool) ("reload enters shadow: " ^ msg) true (contains ~sub:"shadowing" msg)
+  | Ok r -> Alcotest.fail ("reload response: " ^ Wire.response_payload r)
+  | Error e -> Alcotest.fail ("reload: " ^ e)
+
+let drive_round c loops expected =
+  List.iteri
+    (fun i loop ->
+      match Serve_client.predict c loop with
+      | Ok (Wire.Factor f) ->
+        Alcotest.(check int) (Printf.sprintf "loop %d served by live model" i) expected.(i) f
+      | Ok r -> Alcotest.fail ("predict: " ^ Wire.response_payload r)
+      | Error e -> Alcotest.fail ("predict: " ^ e))
+    loops
+
+(* Pump prediction traffic until the shadow window resolves one way or the
+   other; every answer along the way must come from the live model. *)
+let pump_until_resolved c addr loops expected =
+  let rec go n =
+    if n = 0 then Alcotest.fail "shadow window never resolved";
+    drive_round c loops expected;
+    let st = stats_exn addr in
+    if stat st "shadow-promoted" + stat st "shadow-rejected" = 0 then go (n - 1)
+  in
+  go 30
+
+let test_shadow_promotes_matching_candidate () =
+  Alcotest.(check int) "shadowing is off by default" 0 Serve.default_opts.Serve.shadow_window;
+  let loops = kernel_loops () in
+  let expected = local_expected "golden_nn.artifact" loops in
+  let opts = { default_test_opts with Serve.shadow_window = 8; shadow_threshold = 0.0 } in
+  let _t, th, addr = start_server ~opts ~artifact:"golden_nn.artifact" () in
+  let c = connect_exn addr in
+  (* A candidate with identical predictions (the same artifact) must ride
+     out the window without a single disagreement and be promoted. *)
+  reload_expect_shadow c (fixture "golden_nn.artifact");
+  Alcotest.(check int) "shadow started" 1 (stat (stats_exn addr) "shadow-active");
+  pump_until_resolved c addr loops expected;
+  let st = stats_exn addr in
+  Alcotest.(check int) "promoted" 1 (stat st "shadow-promoted");
+  Alcotest.(check int) "not rejected" 0 (stat st "shadow-rejected");
+  Alcotest.(check int) "zero disagreements" 0 (stat st "shadow-disagreements");
+  Alcotest.(check int) "promotion counts as a reload" 1 (stat st "reloads");
+  Alcotest.(check int) "shadow cleared" 0 (stat st "shadow-active");
+  drive_round c loops expected;
+  Serve_client.close c;
+  shutdown_server th addr
+
+let test_shadow_rejects_divergent_candidate () =
+  let loops = kernel_loops () in
+  let expected_nn = local_expected "golden_nn.artifact" loops in
+  let expected_svm = local_expected "golden_svm.artifact" loops in
+  (* The rejection path is only exercised if the fixtures actually
+     disagree somewhere — fail loudly if they ever converge. *)
+  Alcotest.(check bool) "fixtures disagree somewhere" true (expected_nn <> expected_svm);
+  let opts = { default_test_opts with Serve.shadow_window = 8; shadow_threshold = 0.0 } in
+  let _t, th, addr = start_server ~opts ~artifact:"golden_nn.artifact" () in
+  let c = connect_exn addr in
+  reload_expect_shadow c (fixture "golden_svm.artifact");
+  (* While the SVM shadows, and after it is rejected, every answer is the
+     live NN's — the candidate's answers are never sent. *)
+  pump_until_resolved c addr loops expected_nn;
+  let st = stats_exn addr in
+  Alcotest.(check int) "rejected" 1 (stat st "shadow-rejected");
+  Alcotest.(check int) "not promoted" 0 (stat st "shadow-promoted");
+  Alcotest.(check bool) "disagreements counted" true (stat st "shadow-disagreements" > 0);
+  Alcotest.(check int) "no reload landed" 0 (stat st "reloads");
+  Alcotest.(check bool) "live model still the NN" true
+    (contains ~sub:"model-kind nn" (stats_raw_exn addr));
+  drive_round c loops expected_nn;
+  Serve_client.close c;
+  shutdown_server th addr
+
 (* --- corrupt frames kill the connection, not the server -------------------- *)
 
 let raw_connect port =
@@ -475,6 +562,8 @@ let suite =
     ("multi-client bit-identical", `Slow, test_multi_client_bit_identical);
     ("backpressure sheds explicitly", `Slow, test_backpressure_sheds_explicitly);
     ("hot reload under load", `Slow, test_hot_reload_under_load);
+    ("shadow promotes matching candidate", `Slow, test_shadow_promotes_matching_candidate);
+    ("shadow rejects divergent candidate", `Slow, test_shadow_rejects_divergent_candidate);
     ("corrupt frame kills only its connection", `Slow, test_corrupt_frame_kills_connection_only);
     ("graceful drain answers everything", `Slow, test_graceful_drain_answers_everything);
   ]
