@@ -356,6 +356,149 @@ let fuzz_cmd =
           failure.")
     Term.(const run $ fuzz_seed $ budget $ corpus $ jobs_opt $ telemetry_flag)
 
+(* verify *)
+let verify_cmd =
+  let corpus =
+    Arg.(
+      value
+      & opt string "corpus"
+      & info [ "corpus" ] ~docv:"DIR"
+          ~doc:
+            "Reproducer corpus to verify (the default mode): every .loop file is \
+             checked at its recorded coordinates.")
+  in
+  let file =
+    Arg.(
+      value
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE"
+          ~doc:"Verify loops parsed from a .loop file instead of the corpus.")
+  in
+  let factor =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "factor" ] ~docv:"U"
+          ~doc:"Unroll factor for FILE mode (default: sweep 1..8).")
+  in
+  let fuzz_n =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "fuzz" ] ~docv:"N"
+          ~doc:
+            "Verify N freshly generated fuzz cases at their own coordinates; failure \
+             reproducers are written to $(b,--out).")
+  in
+  let fuzz_seed =
+    Arg.(
+      value & opt int 42
+      & info [ "fuzz-seed" ] ~docv:"N" ~doc:"Campaign seed for $(b,--fuzz) mode.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt string "verify-failures"
+      & info [ "out" ] ~docv:"DIR"
+          ~doc:"Directory receiving failure reproducers and reports in $(b,--fuzz) mode.")
+  in
+  let write_failure ~out (c : Fuzz.Gen.case) report =
+    if not (Sys.file_exists out) then Unix.mkdir out 0o755;
+    let base = Filename.concat out (Printf.sprintf "verify-symbolic-%04d" c.Fuzz.Gen.id) in
+    let write path contents =
+      let oc = open_out path in
+      Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc contents)
+    in
+    write (base ^ ".loop") (Fuzz.Driver.repro_to_string c ~oracle:"verify-symbolic");
+    write (base ^ ".report.txt") (Verify.Validate.report_to_string report ^ "\n");
+    base ^ ".loop"
+  in
+  let run config corpus file factor fuzz_n fuzz_seed out telemetry =
+    with_telemetry telemetry @@ fun () ->
+    let tl = Telemetry.global in
+    let failures = ref 0 in
+    let show ?header report =
+      Option.iter print_endline header;
+      print_endline (Verify.Validate.report_to_string report);
+      if not (Verify.Validate.report_ok report) then incr failures
+    in
+    (match (fuzz_n, file) with
+    | Some n, _ ->
+      let jobs = max 1 config.Config.jobs in
+      let reports =
+        Parallel.tabulate ~jobs n (fun id ->
+            let c = Fuzz.Gen.case ~seed:fuzz_seed ~id () in
+            let r =
+              Verify.Validate.verify_case ~telemetry:tl
+                ~coords:[ (c.Fuzz.Gen.swp, c.Fuzz.Gen.rle) ]
+                ~machine:c.Fuzz.Gen.machine c.Fuzz.Gen.loop ~factor:c.Fuzz.Gen.factor
+            in
+            (c, r))
+      in
+      Array.iter
+        (fun (c, r) ->
+          if not (Verify.Validate.report_ok r) then begin
+            show ~header:(Printf.sprintf "== fuzz case %d" c.Fuzz.Gen.id) r;
+            Printf.printf "wrote reproducer %s\n" (write_failure ~out c r)
+          end)
+        reports;
+      Printf.printf "verified %d fuzz case(s) (seed %d): %d failure(s)\n" n fuzz_seed
+        !failures
+    | None, Some f ->
+      let contents =
+        let ic = open_in_bin f in
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      (match Loop_text.parse_many contents with
+      | Error e ->
+        Printf.eprintf "parse error: %s\n" e;
+        exit 2
+      | Ok loops ->
+        let factors =
+          match factor with
+          | Some u -> [ u ]
+          | None -> List.init Unroll.max_factor (fun i -> i + 1)
+        in
+        List.iter
+          (fun loop ->
+            List.iter
+              (fun u ->
+                show
+                  (Verify.Validate.verify_case ~telemetry:tl
+                     ~machine:config.Config.machine loop ~factor:u))
+              factors)
+          loops)
+    | None, None -> begin
+      match Fuzz.Driver.load_corpus corpus with
+      | Error e ->
+        Printf.eprintf "corpus: %s\n" e;
+        exit 2
+      | Ok entries ->
+        List.iter
+          (fun (fname, (repro : Fuzz.Driver.repro)) ->
+            let c = repro.Fuzz.Driver.rcase in
+            show ~header:("== " ^ fname)
+              (Verify.Validate.verify_case ~telemetry:tl
+                 ~coords:[ (c.Fuzz.Gen.swp, c.Fuzz.Gen.rle) ]
+                 ~machine:c.Fuzz.Gen.machine c.Fuzz.Gen.loop ~factor:c.Fuzz.Gen.factor))
+          entries;
+        Printf.printf "corpus verify: %d file(s), %d not proved\n" (List.length entries)
+          !failures
+    end);
+    if !failures > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:
+         "Bounded translation validation: symbolically prove unroll, RLE and the full \
+          pipeline observationally equivalent to the source loop for every trip count \
+          up to a bound, over the corpus, a .loop file, or generated fuzz cases.")
+    Term.(
+      const run $ config_term $ corpus $ file $ factor $ fuzz_n $ fuzz_seed $ out
+      $ telemetry_flag)
+
 (* train *)
 let train_cmd =
   let output =
@@ -848,7 +991,8 @@ let main =
        ~doc:"Predicting unroll factors using supervised classification (CGO 2005 reproduction).")
     [
       dataset_cmd; experiment_cmd; inspect_cmd; inspect_file_cmd; export_cmd;
-      train_cmd; predict_cmd; serve_cmd; ctl_cmd; fuzz_cmd; kernels_cmd; machines_cmd;
+      train_cmd; predict_cmd; serve_cmd; ctl_cmd; fuzz_cmd; verify_cmd; kernels_cmd;
+      machines_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -81,6 +81,7 @@ let oracle_names =
     "cache-roundtrip";
     "text-roundtrip";
     "artifact-predict";
+    "verify-symbolic";
   ]
 
 let oracles_for ~id =
@@ -90,7 +91,8 @@ let oracles_for ~id =
   @ (if id mod 3 = 0 then [ "pipeline-interp[noregalloc]" ] else [])
   @ (if id mod 4 = 0 then [ "cache-roundtrip" ] else [])
   @ (if id mod 4 = 1 then [ "sim-fast-vs-ref" ] else [])
-  @ if id mod 4 = 2 then [ "artifact-predict" ] else []
+  @ (if id mod 4 = 2 then [ "artifact-predict" ] else [])
+  @ if id mod 4 = 3 then [ "verify-symbolic" ] else []
 
 (* --- the oracles -------------------------------------------------------- *)
 
@@ -323,6 +325,30 @@ let check_artifact (c : Fuzz_gen.case) =
   in
   match check_one "nn" nn_text with Some v -> Some v | None -> check_one "svm" svm_text
 
+(* --- bounded translation validation oracle ------------------------------
+
+   The symbolic prover at the case's own swp×rle coordinate.  Only a
+   Refuted verdict — a concrete (trip, location) counterexample — is a
+   violation; Unknown means the normalizer could not close the proof,
+   which is incompleteness, not evidence of a bug (the interp oracles
+   above still cover the case concretely). *)
+
+let check_verify (c : Fuzz_gen.case) =
+  let report =
+    Verify_validate.verify_case
+      ~coords:[ (c.Fuzz_gen.swp, c.Fuzz_gen.rle) ]
+      ~machine:c.Fuzz_gen.machine c.Fuzz_gen.loop ~factor:c.Fuzz_gen.factor
+  in
+  List.find_map
+    (fun (ch : Verify_validate.check) ->
+      match ch.Verify_validate.verdict with
+      | Verify_validate.Refuted _ ->
+        Some
+          (Printf.sprintf "%s %s" ch.Verify_validate.check_name
+             (Verify_validate.verdict_to_string ch.Verify_validate.verdict))
+      | Verify_validate.Proved | Verify_validate.Unknown _ -> None)
+    report.Verify_validate.checks
+
 let check (c : Fuzz_gen.case) ~oracle =
   let f =
     match oracle with
@@ -337,6 +363,7 @@ let check (c : Fuzz_gen.case) ~oracle =
     | "cache-roundtrip" -> check_cache
     | "text-roundtrip" -> check_text
     | "artifact-predict" -> check_artifact
+    | "verify-symbolic" -> check_verify
     | other -> invalid_arg ("Fuzz_oracle.check: unknown oracle " ^ other)
   in
   try f c

@@ -29,7 +29,14 @@
       {!Predict_service}'s batched matrix path predicts the case's loop
       identically to {!Predictor.of_artifact}'s in-compiler path, the
       artifact text is a print fixed point, and the feature-vector cache
-      hits on a repeated loop. *)
+      hits on a repeated loop;
+    - [verify-symbolic] — the bounded translation validator
+      ({!Verify_validate}) proves unroll, unroll+RLE and the full pipeline
+      at the case's coordinate observationally equivalent for every trip
+      count up to the bound; a [Refuted] verdict (a concrete trip/location
+      counterexample) is a violation, while [Unknown] (normalizer
+      incompleteness) is not — the concrete interp oracles still cover the
+      case. *)
 
 type outcome = {
   checked : string list;                (** oracle names that ran *)
@@ -47,9 +54,9 @@ val pipeline_oracle_name : swp:bool -> rle:bool -> string
 val oracles_for : id:int -> string list
 (** The deterministic per-case schedule: the pure-transform, pipeline and
     text oracles always run; the allocator-off oracle cycles with period 3
-    and the cache, simulator and artifact oracles share the period-4 wheel,
-    so any contiguous id range of length 12 runs every oracle at least
-    once. *)
+    and the cache, simulator, artifact and symbolic-verify oracles share
+    the period-4 wheel, so any contiguous id range of length 12 runs every
+    oracle at least once. *)
 
 val check : Fuzz_gen.case -> oracle:string -> string option
 (** [None] when the oracle holds on this case, [Some detail] otherwise.

@@ -53,6 +53,8 @@ let is_implicit op =
 
 let mref op = match op.opcode with Load r | Store r -> Some r | _ -> None
 
+let guard_reg op = Option.map (fun p -> { id = p; cls = Int }) op.pred
+
 let defs op = match op.dst with None -> [] | Some r -> [ r ]
 let uses op = op.srcs
 

@@ -67,6 +67,11 @@ val is_implicit : t -> bool
 val mref : t -> mref option
 (** The memory reference of a load/store, if any. *)
 
+val guard_reg : t -> reg option
+(** The (integer) register holding an op's guarding predicate, if the op
+    is predicated.  Predicates live in the integer class by convention;
+    this is the one place that convention is encoded. *)
+
 val defs : t -> reg list
 val uses : t -> reg list
 val operand_count : t -> int

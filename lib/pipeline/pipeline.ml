@@ -114,6 +114,13 @@ let regalloc_pass =
           metrics ));
   }
 
+(* Test-only: reintroduces the historical phantom-iteration bug where a
+   zero-trip loop was assembled as if it ran once ([effective_trips]
+   clamps to >= 1 even with no iteration to run; fixed after fuzzing
+   caught it).  The translation validator's refutation tests re-enable
+   it to prove they would catch it. *)
+let testing_phantom_trips = ref false
+
 (* Expected iterations before a geometric early exit fires, capped at the
    trip count. *)
 let effective_trips trip p =
@@ -138,7 +145,11 @@ let assemble_pass =
            least one iteration (a geometric exit always fires eventually),
            which is right only when there is an iteration to run.  Without
            this guard a trip-0 loop compiled at factor 1 executed once. *)
-        let eff = if trip = 0 then 0 else effective_trips trip exit_prob in
+        let eff =
+          if !testing_phantom_trips then effective_trips (max trip 1) exit_prob
+          else if trip = 0 then 0
+          else effective_trips trip exit_prob
+        in
         let kernel_trips =
           if exit_prob > 0.0 then
             (* An exit mid-kernel still executes (and wastes) the whole

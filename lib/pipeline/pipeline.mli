@@ -29,6 +29,14 @@ type pass = {
 val default_passes : pass list
 (** [unroll; rle; schedule; regalloc; assemble]. *)
 
+val testing_phantom_trips : bool ref
+(** Test-only: when set, the assembler reverts to the historical
+    phantom-iteration bug (a zero-trip loop assembled as if it ran once).
+    Reintroduced so the translation validator's refutation tests can
+    prove they would catch it.  Never set outside tests; toggling it
+    poisons any shared compile cache, so pair it with uncached
+    compilation ({!run} on a fresh {!Pipeline_state.init}). *)
+
 val pass_names : string list
 (** Names of {!default_passes}, in order. *)
 

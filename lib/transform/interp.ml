@@ -108,9 +108,9 @@ exception Exit_loop
 
 let exec_op st loop ~iter (op : Op.t) =
   let guarded =
-    match op.Op.pred with
+    match Op.guard_reg op with
     | None -> true
-    | Some p -> pred_true (reg_value st { Op.id = p; cls = Op.Int })
+    | Some r -> pred_true (reg_value st r)
   in
   if guarded then begin
     let srcs = List.map (reg_value st) op.Op.srcs in
@@ -179,8 +179,8 @@ let exec_sel st (op : Op.t) =
   match (op.Op.opcode, op.Op.dst) with
   | Op.Sel, Some d -> begin
     let taken =
-      match op.Op.pred with
-      | Some p -> pred_true (reg_value st { Op.id = p; cls = Op.Int })
+      match Op.guard_reg op with
+      | Some r -> pred_true (reg_value st r)
       | None -> true
     in
     (match (op.Op.srcs, taken) with

@@ -23,6 +23,39 @@ type state
 
 val fresh_state : unit -> state
 
+(** {2 Semantic constants}
+
+    Exported so the symbolic validator ({!module:Term}, {!module:Symexec})
+    can mirror the concrete semantics exactly rather than re-derive them. *)
+
+val bound : float -> float
+(** Exact IEEE remainder by the fixed modulus (NaN maps to [0.0]); every
+    opcode result passes through this. *)
+
+val initial_reg_value : int -> float
+(** Deterministic initial value of register [id]. *)
+
+val initial_mem_value : int -> float
+(** Deterministic initial value of memory cell [addr]. *)
+
+val pred_true : float -> bool
+(** Predicate truth threshold on a compare-defined value. *)
+
+val address : Loop.t -> Op.mref -> iter:int -> addr_value:float option -> int
+(** Element address of a memory reference at original-iteration [iter];
+    [addr_value] overrides the affine index for indirect references. *)
+
+val set_reg : state -> Op.reg -> float -> unit
+(** Overwrite a register (used by tests to install arbitrary initial
+    valuations before a run). *)
+
+val set_mem : state -> int -> float -> unit
+(** Overwrite a memory cell, marking it written. *)
+
+val mem_value : state -> int -> float
+(** Current value of a memory cell (its deterministic initial value if
+    never written). *)
+
 type outcome = {
   iterations_run : int;  (** iterations completed before trips or an exit *)
   exited_early : bool;

@@ -1,5 +1,11 @@
 type result = { loop : Loop.t; loads_eliminated : int; stores_eliminated : int }
 
+(* Test-only: reintroduces the historical soundness bug where available
+   entries survived redefinition of the register holding the cached value
+   (fixed after fuzzing caught it; the translation validator's refutation
+   tests re-enable it). *)
+let testing_stale_available = ref false
+
 type key = { array : int; stride : int; offset : int }
 
 let key_of (m : Op.mref) = { array = m.Op.array; stride = m.Op.stride; offset = m.Op.offset }
@@ -82,7 +88,9 @@ let eliminate_loads ~aliased body =
           | Op.Call -> kill_all (); op
           | _ -> op
         in
-        (match op'.Op.dst with Some d -> kill_reg d | None -> ());
+        (match op'.Op.dst with
+        | Some d -> if not !testing_stale_available then kill_reg d
+        | None -> ());
         (match (op'.Op.opcode, direct_unpredicated op', op'.Op.dst) with
         | Op.Load _, Some m', Some d -> Hashtbl.replace available (key_of m') d
         | _ -> ());

@@ -17,6 +17,13 @@ type result = {
   stores_eliminated : int;
 }
 
+val testing_stale_available : bool ref
+(** Test-only: when set, available-table entries survive redefinition of
+    the register holding the cached value — the historical soundness bug
+    the fuzzer caught, reintroduced so the translation validator's
+    refutation tests can prove they would catch it.  Never set outside
+    tests. *)
+
 val run : Loop.t -> result
 (** Rewrites the body.  Eliminated loads become [Mov]s from the register
     holding the value; dead stores are removed outright (uids are

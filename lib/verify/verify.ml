@@ -1,0 +1,9 @@
+(** Namespace for the bounded translation validator.
+
+    [Verify.Term] — hash-consed normalized symbolic terms;
+    [Verify.Symexec] — symbolic mirror of the reference interpreter;
+    [Verify.Validate] — the bounded equivalence checker and its reports. *)
+
+module Term = Verify_term
+module Symexec = Verify_symexec
+module Validate = Verify_validate

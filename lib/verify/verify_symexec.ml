@@ -1,0 +1,155 @@
+(* Symbolic mirror of {!Interp}: same trip structure, same per-opcode
+   formulas, but registers and memory hold {!Verify_term.t}s over the symbolic
+   initial state instead of floats.
+
+   Control is handled by path-condition gating rather than exceptions: an
+   early exit conjoins [not (guard && pred src)] into the state's [alive]
+   term, and every subsequent write — including the whole remainder loop
+   and later schedules — is wrapped in [Ite (alive && guard, new, old)].
+   That models Interp's [Exit_loop] abort exactly: once a concrete
+   valuation makes the exit fire, every later write collapses to its
+   old value under grounding. *)
+
+type state = {
+  ctx : Verify_term.ctx;
+  regs : (int, Verify_term.t) Hashtbl.t;  (* keyed by id, like Interp's file *)
+  mutable mem : Verify_term.t;
+  mutable alive : Verify_term.t;  (* path condition: no early exit has fired *)
+}
+
+let create ctx =
+  { ctx; regs = Hashtbl.create 64; mem = Verify_term.init_mem ctx; alive = Verify_term.top ctx }
+
+let reg st (r : Op.reg) =
+  match Hashtbl.find_opt st.regs r.Op.id with
+  | Some t -> t
+  | None -> Verify_term.reg0 st.ctx r.Op.id
+
+let register_term = reg
+
+let memory_term st = st.mem
+
+let set_reg st (r : Op.reg) t = Hashtbl.replace st.regs r.Op.id t
+
+(* Guarded definition: the register keeps its old term on the paths where
+   the write does not happen.  The written value is only observable when
+   [cond] holds, so it is simplified under that assumption — this is what
+   lets a renamed replica register (whose untaken branches hold different
+   initial-value debris than the source's) normalize to the same term. *)
+let def_under st cond (d : Op.reg) v =
+  set_reg st d (Verify_term.ite st.ctx cond (Verify_term.assume st.ctx cond v) (reg st d))
+
+(* The guard's value only matters while alive (the op is skipped outright
+   otherwise), so the guard register too is read under that assumption. *)
+let guard_term st op =
+  match Op.guard_reg op with
+  | None -> Verify_term.top st.ctx
+  | Some r -> Verify_term.pred_ st.ctx (Verify_term.assume st.ctx st.alive (reg st r))
+
+(* Mirror of {!Interp.address}: affine references resolve to a concrete
+   cell (the iteration is concrete under bounded validation); indirect
+   references with an address operand become a data-indexed symbolic
+   address over the array's footprint. *)
+let address_term st (loop : Loop.t) (m : Op.mref) ~iter ~addr_value =
+  let a = loop.Loop.arrays.(m.Op.array) in
+  let len = max a.Loop.length 1 in
+  match (m.Op.mkind, addr_value) with
+  | Op.Indirect, Some v ->
+    Verify_term.addr_ix st.ctx
+      { Verify_term.ibase = a.Loop.base; ielem = a.Loop.elem_size; ilen = len }
+      v
+  | (Op.Indirect | Op.Direct), _ ->
+    let idx = (m.Op.stride * iter) + m.Op.offset in
+    let idx = ((idx mod len) + len) mod len in
+    Verify_term.addr st.ctx (a.Loop.base + (a.Loop.elem_size * idx))
+
+(* Mirror of {!Interp.exec_sel}: a select with a destination writes it
+   whether or not the guard holds — the guard only chooses the operand —
+   so it runs outside the usual guarded-skip path.  Only [alive] gates
+   the write. *)
+let exec_sel st (op : Op.t) =
+  match (op.Op.opcode, op.Op.dst) with
+  | Op.Sel, Some d ->
+    (* The whole select (guard read included) is observable only while
+       alive, so read everything under that assumption. *)
+    let under r = Verify_term.assume st.ctx st.alive (reg st r) in
+    let taken =
+      match Op.guard_reg op with
+      | None -> Verify_term.top st.ctx
+      | Some r -> Verify_term.pred_ st.ctx (under r)
+    in
+    let value =
+      match op.Op.srcs with
+      | [] -> Verify_term.cst st.ctx 0.0
+      | [ a ] -> under a
+      | [ a; b ] -> Verify_term.ite st.ctx taken (under a) (under b)
+      | a :: _ -> under a
+    in
+    def_under st st.alive d value;
+    true
+  | _ -> false
+
+let exec_op st (loop : Loop.t) ~iter (op : Op.t) =
+  let g = guard_term st op in
+  let eff = Verify_term.and_ st.ctx st.alive g in
+  let ctx = st.ctx in
+  (* Sources only matter on paths where the op takes effect, so read them
+     under the op's own path condition. *)
+  let srcs = List.map (fun r -> Verify_term.assume ctx eff (reg st r)) op.Op.srcs in
+  let def v = match op.Op.dst with Some d -> def_under st eff d v | None -> () in
+  match op.Op.opcode with
+  | Op.Ialu -> def (Verify_term.app ctx Verify_term.Ialu srcs)
+  | Op.Imul -> def (Verify_term.app ctx Verify_term.Imul srcs)
+  | Op.Fadd -> def (Verify_term.app ctx Verify_term.Fadd srcs)
+  | Op.Fmul -> def (Verify_term.app ctx Verify_term.Fmul srcs)
+  | Op.Fmadd -> def (Verify_term.app ctx Verify_term.Fmadd srcs)
+  | Op.Fdiv -> def (Verify_term.app ctx Verify_term.Fdiv srcs)
+  | Op.Cmp -> def (Verify_term.app ctx Verify_term.Cmp srcs)
+  | Op.Sel -> ()  (* dst-less select: Interp's def is a no-op *)
+  | Op.Mov -> def (match srcs with v :: _ -> v | [] -> Verify_term.cst ctx 0.0)
+  | Op.Load m ->
+    let addr_value = match srcs with v :: _ -> Some v | [] -> None in
+    let a = address_term st loop m ~iter ~addr_value in
+    def (Verify_term.select ctx st.mem a)
+  | Op.Store m -> begin
+    match srcs with
+    | value :: rest ->
+      let addr_value = match rest with v :: _ -> Some v | [] -> None in
+      let a = address_term st loop m ~iter ~addr_value in
+      st.mem <- Verify_term.store ctx st.mem eff a value
+    | [] -> ()
+  end
+  | Op.Call -> ()
+  | Op.Br Op.Exit -> begin
+    match srcs with
+    | v :: _ ->
+      let fires = Verify_term.and_ ctx g (Verify_term.pred_ ctx v) in
+      st.alive <- Verify_term.and_ ctx st.alive (Verify_term.not_ ctx fires)
+    | [] -> ()
+  end
+  | Op.Br (Op.Backedge | Op.Internal) -> ()
+
+let run st (loop : Loop.t) ~trips ~phase =
+  for i = 0 to trips - 1 do
+    let iter = phase + i in
+    Array.iter
+      (fun op -> if not (exec_sel st op) then exec_op st loop ~iter op)
+      loop.Loop.body
+  done
+
+let run_unrolled st (u : Unroll.t) =
+  run st u.Unroll.kernel ~trips:u.Unroll.kernel_trips ~phase:0;
+  (* The concrete runner skips the remainder when the kernel exited early;
+     [alive] carries that condition, so the remainder's writes are already
+     gated on it. *)
+  match u.Unroll.remainder with
+  | None -> ()
+  | Some r ->
+    run st r ~trips:u.Unroll.remainder_trips
+      ~phase:(u.Unroll.kernel_trips * u.Unroll.factor)
+
+let run_schedules st schedules =
+  List.iter
+    (fun (sched, trips, phase) ->
+      if trips > 0 then run st sched.Schedule.loop ~trips ~phase)
+    schedules

@@ -1,0 +1,29 @@
+(** Symbolic execution of loops over {!Verify_term} values.
+
+    Mirrors {!Interp} op for op — same trip structure, same per-opcode
+    formulas — but over the symbolic initial state.  Early exits become
+    path-condition gating: the state's [alive] term collects
+    [not (exit fired)] conjuncts, and every write is conditional on it,
+    which models [Interp]'s run-aborting exception exactly under
+    grounding. *)
+
+type state
+
+val create : Verify_term.ctx -> state
+
+val register_term : state -> Op.reg -> Verify_term.t
+(** The register's current term ([Reg0 id] if never written). *)
+
+val memory_term : state -> Verify_term.t
+(** The current memory chain. *)
+
+val run : state -> Loop.t -> trips:int -> phase:int -> unit
+(** Symbolic mirror of {!Interp.run} for a concrete trip count. *)
+
+val run_unrolled : state -> Unroll.t -> unit
+(** Symbolic mirror of {!Interp.run_unrolled}: kernel then remainder,
+    remainder gated on the kernel's surviving path condition. *)
+
+val run_schedules : state -> (Schedule.t * int * int) list -> unit
+(** Symbolic mirror of the fuzz oracle's executable runner: each
+    [(schedule, trips, phase)] in order, skipping zero-trip entries. *)

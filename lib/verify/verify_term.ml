@@ -1,0 +1,503 @@
+(* Hash-consed symbolic terms over the interpreter's semantics.
+
+   A term denotes a value computed by {!Interp} as a function of the
+   initial state: [Reg0 id] and [InitMem] are the symbolic initial
+   register and memory valuations, [App] applies one opcode's exact
+   mixing function, and memory is a McCarthy select/store chain whose
+   stores carry a guard (predication and early exits make written-ness
+   conditional, and written-ness is observable through
+   {!Interp.memory_image}).
+
+   Hash-consing gives O(1) equality: within one context, two terms are
+   structurally identical iff they have the same [tid].  The smart
+   constructors normalise as they build, applying only rewrites that
+   preserve the grounded value {e exactly} (float arithmetic is not
+   associative, so there is no reassociation — only rewrites provable
+   from IEEE commutativity of [+.]/[*.], select/store resolution, and
+   boolean/conditional simplification). *)
+
+type op = Ialu | Imul | Fadd | Fmul | Fmadd | Fdiv | Cmp
+
+(* An indirect reference's address set: [wrap (|v| * 7)] indexed into the
+   array footprint, mirroring {!Interp.address}. *)
+type ix = { ibase : int; ielem : int; ilen : int }
+
+type t = { tid : int; node : node }
+
+and node =
+  | Cst of float
+  | Reg0 of int
+  | InitMem
+  | Top
+  | Bot
+  | App of op * t list
+  | Pred of t
+  | Not of t
+  | And of t * t
+  | Or of t * t
+  | Ite of t * t * t
+  | Addr of int
+  | AddrIx of ix * t
+  | Select of t * t
+  | Store of t * t * t * t  (* mem, guard, addr, value *)
+
+(* Shallow structural key: children compared by tid, so hash-cons lookups
+   never recurse into the DAG. *)
+module Key = struct
+  type nonrec t = node
+
+  let fb f = Int64.to_int (Int64.bits_of_float f)
+
+  let equal a b =
+    match (a, b) with
+    | Cst x, Cst y -> fb x = fb y
+    | Reg0 x, Reg0 y -> x = y
+    | InitMem, InitMem | Top, Top | Bot, Bot -> true
+    | App (o1, l1), App (o2, l2) ->
+      o1 = o2 && List.compare_lengths l1 l2 = 0
+      && List.for_all2 (fun x y -> x.tid = y.tid) l1 l2
+    | Pred x, Pred y | Not x, Not y -> x.tid = y.tid
+    | And (a1, b1), And (a2, b2) | Or (a1, b1), Or (a2, b2) ->
+      a1.tid = a2.tid && b1.tid = b2.tid
+    | Ite (g1, a1, b1), Ite (g2, a2, b2) ->
+      g1.tid = g2.tid && a1.tid = a2.tid && b1.tid = b2.tid
+    | Addr x, Addr y -> x = y
+    | AddrIx (i1, v1), AddrIx (i2, v2) -> i1 = i2 && v1.tid = v2.tid
+    | Select (m1, a1), Select (m2, a2) -> m1.tid = m2.tid && a1.tid = a2.tid
+    | Store (m1, g1, a1, v1), Store (m2, g2, a2, v2) ->
+      m1.tid = m2.tid && g1.tid = g2.tid && a1.tid = a2.tid && v1.tid = v2.tid
+    | _ -> false
+
+  let mix h x = (h * 31) + x
+
+  let hash n =
+    match n with
+    | Cst f -> mix 1 (Hashtbl.hash (fb f))
+    | Reg0 i -> mix 2 i
+    | InitMem -> 3
+    | Top -> 4
+    | Bot -> 5
+    | App (o, l) ->
+      List.fold_left (fun h x -> mix h x.tid) (mix 6 (Hashtbl.hash o)) l
+    | Pred x -> mix 7 x.tid
+    | Not x -> mix 8 x.tid
+    | And (a, b) -> mix (mix 9 a.tid) b.tid
+    | Or (a, b) -> mix (mix 10 a.tid) b.tid
+    | Ite (g, a, b) -> mix (mix (mix 11 g.tid) a.tid) b.tid
+    | Addr x -> mix 12 x
+    | AddrIx (i, v) -> mix (mix (mix (mix 13 i.ibase) i.ielem) i.ilen) v.tid
+    | Select (m, a) -> mix (mix 14 m.tid) a.tid
+    | Store (m, g, a, v) -> mix (mix (mix (mix 15 m.tid) g.tid) a.tid) v.tid
+end
+
+module Tbl = Hashtbl.Make (Key)
+
+(* One verification's term universe.  Contexts are not shared across
+   domains: the fuzz oracle runs cases concurrently, so every check builds
+   its own. *)
+type ctx = {
+  tbl : t Tbl.t;
+  mutable next : int;
+  mutable built : int;     (* distinct nodes created *)
+  mutable rewrites : int;  (* normalisation rules fired *)
+  assume_memo : (int * int, t) Hashtbl.t;  (* (cond.tid, t.tid) -> assumed t *)
+}
+
+let create_ctx () =
+  {
+    tbl = Tbl.create 4096;
+    next = 0;
+    built = 0;
+    rewrites = 0;
+    assume_memo = Hashtbl.create 1024;
+  }
+let terms_built ctx = ctx.built
+let rewrites ctx = ctx.rewrites
+
+let intern ctx node =
+  match Tbl.find_opt ctx.tbl node with
+  | Some t -> t
+  | None ->
+    let t = { tid = ctx.next; node } in
+    ctx.next <- ctx.next + 1;
+    ctx.built <- ctx.built + 1;
+    Tbl.add ctx.tbl node t;
+    t
+
+let rewrote ctx = ctx.rewrites <- ctx.rewrites + 1
+
+let equal a b = a.tid = b.tid
+
+(* --- leaves ------------------------------------------------------------- *)
+
+let cst ctx f = intern ctx (Cst f)
+let reg0 ctx id = intern ctx (Reg0 id)
+let init_mem ctx = intern ctx InitMem
+let top ctx = intern ctx Top
+let bot ctx = intern ctx Bot
+let addr ctx n = intern ctx (Addr n)
+let addr_ix ctx ix v = intern ctx (AddrIx (ix, v))
+
+(* --- booleans ----------------------------------------------------------- *)
+
+let is_top t = match t.node with Top -> true | _ -> false
+let is_bot t = match t.node with Bot -> true | _ -> false
+
+let pred_ ctx v = intern ctx (Pred v)
+
+let not_ ctx t =
+  match t.node with
+  | Top -> rewrote ctx; bot ctx
+  | Bot -> rewrote ctx; top ctx
+  | Not x -> rewrote ctx; x
+  | _ -> intern ctx (Not t)
+
+let and_ ctx a b =
+  if is_top a then b
+  else if is_top b then a
+  else if is_bot a || is_bot b then (rewrote ctx; bot ctx)
+  else if equal a b then (rewrote ctx; a)
+  else begin
+    (* conjunction is commutative and idempotent: canonical operand order *)
+    let a, b = if a.tid <= b.tid then (a, b) else (b, a) in
+    intern ctx (And (a, b))
+  end
+
+let or_ ctx a b =
+  if is_bot a then b
+  else if is_bot b then a
+  else if is_top a || is_top b then (rewrote ctx; top ctx)
+  else if equal a b then (rewrote ctx; a)
+  else begin
+    let a, b = if a.tid <= b.tid then (a, b) else (b, a) in
+    intern ctx (Or (a, b))
+  end
+
+(* --- conditionals ------------------------------------------------------- *)
+
+let rec ite ctx g a b =
+  match g.node with
+  | Top -> rewrote ctx; a
+  | Bot -> rewrote ctx; b
+  | _ ->
+    if equal a b then (rewrote ctx; a)
+    else begin
+      (* Predicated read-modify-write chains repeat the same guard:
+         [Ite (g, x, Ite (g, _, y))] never takes the inner true branch. *)
+      match (a.node, b.node) with
+      | Ite (g', a', _), _ when equal g g' -> rewrote ctx; ite ctx g a' b
+      | _, Ite (g', _, b') when equal g g' -> rewrote ctx; ite ctx g a b'
+      | _ -> intern ctx (Ite (g, a, b))
+    end
+
+(* --- data --------------------------------------------------------------- *)
+
+(* Operand sorting is applied only where the interpreter's formula is
+   IEEE-exactly commutative: the binary forms fold to [x +. y] (or
+   [bound (bound x *. bound y)]), and a 3-operand fmadd multiplies its
+   first two sources.  N-ary sums/products beyond that are left in program
+   order — float arithmetic is not associative. *)
+let app ctx op args =
+  let sort2 x y = if x.tid <= y.tid then [ x; y ] else (rewrote ctx; [ y; x ]) in
+  let args =
+    match (op, args) with
+    | (Ialu | Fadd | Imul | Fmul | Cmp), [ x; y ] -> sort2 x y
+    | Fmadd, [ x; y; z ] -> sort2 x y @ [ z ]
+    | _ -> args
+  in
+  intern ctx (App (op, args))
+
+(* --- memory ------------------------------------------------------------- *)
+
+(* May the two address terms denote the same cell?  Concrete addresses
+   compare directly; an indirect reference ranges over its array's
+   footprint [ibase + ielem*i, i < ilen], so anything provably outside
+   that lattice (spill slots, other arrays) cannot collide. *)
+let ix_may_hit ix n =
+  ix.ielem <= 0
+  || (n >= ix.ibase
+     && n <= ix.ibase + (ix.ielem * (ix.ilen - 1))
+     && (n - ix.ibase) mod ix.ielem = 0)
+
+let ix_ranges_overlap i1 i2 =
+  i1.ielem <= 0 || i2.ielem <= 0
+  || not
+       (i1.ibase + (i1.ielem * (i1.ilen - 1)) < i2.ibase
+       || i2.ibase + (i2.ielem * (i2.ilen - 1)) < i1.ibase)
+
+let definitely_distinct a b =
+  match (a.node, b.node) with
+  | Addr x, Addr y -> x <> y
+  | Addr x, AddrIx (ix, _) | AddrIx (ix, _), Addr x -> not (ix_may_hit ix x)
+  | AddrIx (i1, _), AddrIx (i2, _) -> not (ix_ranges_overlap i1 i2)
+  | _ -> false
+
+let rec store ctx m g a v =
+  if is_bot g then (rewrote ctx; m)
+  else begin
+    match m.node with
+    | Store (m', g', a', v') when equal a a' ->
+      (* Same cell twice: written iff either store fired; the outer value
+         wins when its guard holds. *)
+      rewrote ctx;
+      store ctx m' (or_ ctx g' g) a (ite ctx g v v')
+    | Store (m', g', a', v')
+      when (match (a.node, a'.node) with
+           | Addr x, Addr y -> x < y
+           | _ -> false)
+           && definitely_distinct a a' ->
+      (* Provably-disjoint adjacent stores commute; keep concrete runs in
+         ascending address order so both sides of a comparison reach the
+         same normal form whatever order the passes emitted them in. *)
+      rewrote ctx;
+      let inner = store ctx m' g a v in
+      store ctx inner g' a' v'
+    | _ -> intern ctx (Store (m, g, a, v))
+  end
+
+let rec select ctx m a =
+  match m.node with
+  | Store (m', g, a', v) ->
+    if equal a a' then begin
+      rewrote ctx;
+      if is_top g then v else ite ctx g v (select ctx m' a)
+    end
+    else if definitely_distinct a a' then (rewrote ctx; select ctx m' a)
+    else intern ctx (Select (m, a))
+  | _ -> intern ctx (Select (m, a))
+
+(* --- guard-relative simplification ---------------------------------------
+
+   A value that is only ever observed while [cond] holds can be simplified
+   under that assumption: the unroller's renamed registers drag
+   never-written initial values (and stale previous-iteration values) into
+   the untaken branches of guarded definitions, and those branches are
+   semantically dead at every use site gated by the same path condition.
+   Without this, source and transformed live-outs differ syntactically on
+   every predicated or early-exit loop even when provably equal.
+
+   Implication is syntactic but conjunction-aware: a path condition built
+   as [And (And (a, b), c)] implies each conjunct. *)
+
+let rec implies cond g =
+  equal cond g
+  || match cond.node with And (a, b) -> implies a g || implies b g | _ -> false
+
+let refutes cond g =
+  (* cond => not g *)
+  let rec has_negated cond =
+    match cond.node with
+    | Not h -> equal h g
+    | And (a, b) -> has_negated a || has_negated b
+    | _ -> false
+  in
+  has_negated cond || match g.node with Not h -> implies cond h | _ -> false
+
+let is_boolean t =
+  match t.node with
+  | Top | Bot | Pred _ | Not _ | And _ | Or _ -> true
+  | Cst _ | Reg0 _ | InitMem | App _ | Ite _ | Addr _ | AddrIx _ | Select _
+  | Store _ -> false
+
+let rec assume ctx cond t =
+  if is_top cond then t
+  else begin
+    match Hashtbl.find_opt ctx.assume_memo (cond.tid, t.tid) with
+    | Some t' -> t'
+    | None ->
+      let t' =
+        if is_boolean t && implies cond t then (rewrote ctx; top ctx)
+        else if is_boolean t && refutes cond t then (rewrote ctx; bot ctx)
+        else begin
+          let go = assume ctx cond in
+          match t.node with
+          | Cst _ | Reg0 _ | InitMem | Top | Bot | Addr _ -> t
+          | App (op, args) -> app ctx op (List.map go args)
+          | Pred v -> pred_ ctx (go v)
+          | Not a -> not_ ctx (go a)
+          | And (a, b) -> and_ ctx (go a) (go b)
+          | Or (a, b) -> or_ ctx (go a) (go b)
+          | Ite (g, a, b) -> begin
+            (* Decide the guard first so only the live branch is rewritten
+               (and the dead branch's subterms stay untouched). *)
+            let g' = go g in
+            if is_top g' then (rewrote ctx; go a)
+            else if is_bot g' then (rewrote ctx; go b)
+            else ite ctx g' (go a) (go b)
+          end
+          | AddrIx (ix, v) -> addr_ix ctx ix (go v)
+          | Select (m, a) -> select ctx (go m) (go a)
+          | Store (m, g, a, v) -> store ctx (go m) (go g) (go a) (go v)
+        end
+      in
+      Hashtbl.add ctx.assume_memo (cond.tid, t.tid) t';
+      t'
+  end
+
+(* Rebuild a store chain keeping only cells [keep] accepts (used to mask
+   the allocator's spill slots, whose addresses are always concrete). *)
+let rec filter_stores ctx ~keep m =
+  match m.node with
+  | Store (m', g, a, v) ->
+    let below = filter_stores ctx ~keep m' in
+    (match a.node with
+    | Addr n when not (keep n) -> below
+    | _ -> store ctx below g a v)
+  | _ -> m
+
+(* --- grounding ----------------------------------------------------------
+
+   Evaluating a term under a concrete initial valuation must reproduce the
+   interpreter bit for bit; the per-opcode cases below mirror
+   {!Interp.exec_op} literally (raw sources into the folds, [bound] in the
+   same places).  Grounding serves two masters: the cross-validation
+   property (ground symbolic == concrete interpreter) and counterexample
+   extraction (a term mismatch is only reported Refuted once some concrete
+   valuation actually diverges). *)
+
+type env = { greg : int -> float; gmem : int -> float }
+
+let standard_env =
+  { greg = Interp.initial_reg_value; gmem = Interp.initial_mem_value }
+
+(* Deterministic pseudo-random valuations: a pure hash of (seed, index),
+   spread across [-modulus, modulus) so predicates land on both sides of
+   the truth threshold. *)
+let random_env seed =
+  let mixin k i =
+    let h = (k * 0x9e3779b9) lxor (i * 0x85ebca6b) lxor 0x2545f491 in
+    let h = h lxor (h lsr 13) in
+    let h = (h * 0xc2b2ae35) land max_int in
+    h lxor (h lsr 16)
+  in
+  let value k i =
+    Interp.bound ((float_of_int (mixin k i mod 40840) /. 20.0) -. 1021.0)
+  in
+  { greg = value (2 * seed); gmem = value ((2 * seed) + 1) }
+
+type gvalue = F of float | B of bool | A of int
+
+type grounding = { env : env; memo : (int, gvalue) Hashtbl.t }
+
+let grounding env = { env; memo = Hashtbl.create 256 }
+
+let rec ground g t =
+  match Hashtbl.find_opt g.memo t.tid with
+  | Some v -> v
+  | None ->
+    let v = compute g t in
+    Hashtbl.add g.memo t.tid v;
+    v
+
+and gfloat g t = match ground g t with F f -> f | _ -> invalid_arg "Term.ground: not data"
+and gbool g t = match ground g t with B b -> b | _ -> invalid_arg "Term.ground: not bool"
+and gaddr g t = match ground g t with A a -> a | _ -> invalid_arg "Term.ground: not addr"
+
+and compute g t =
+  match t.node with
+  | Cst f -> F f
+  | Reg0 id -> F (g.env.greg id)
+  | InitMem -> invalid_arg "Term.ground: bare memory term"
+  | Top -> B true
+  | Bot -> B false
+  | App (op, args) ->
+    let srcs = List.map (gfloat g) args in
+    let sum = List.fold_left ( +. ) 0.0 (List.map Interp.bound srcs) in
+    let prod () =
+      List.fold_left (fun acc v -> Interp.bound (acc *. Interp.bound v)) 1.0 srcs
+    in
+    F
+      (match op with
+      | Ialu -> Interp.bound (sum +. 1.0)
+      | Imul -> Interp.bound (prod () +. 2.0)
+      | Fadd -> Interp.bound (sum +. 0.5)
+      | Fmul -> Interp.bound (prod () +. 0.25)
+      | Fmadd -> begin
+        match srcs with
+        | [ a; b; c ] -> Interp.bound (Interp.bound (a *. b) +. c +. 0.125)
+        | _ -> Interp.bound (sum +. 0.125)
+      end
+      | Fdiv -> begin
+        match srcs with
+        | [ a; b ] ->
+          let d = if Float.abs b < 1.0 then 2.0 else b in
+          Interp.bound ((a /. d) +. 3.0)
+        | _ -> Interp.bound (sum +. 3.0)
+      end
+      | Cmp -> Interp.bound ((sum *. 3.0) +. 7.0))
+  | Pred v -> B (Interp.pred_true (gfloat g v))
+  | Not x -> B (not (gbool g x))
+  | And (a, b) -> B (gbool g a && gbool g b)
+  | Or (a, b) -> B (gbool g a || gbool g b)
+  | Ite (c, a, b) -> if gbool g c then ground g a else ground g b
+  | Addr n -> A n
+  | AddrIx (ix, v) ->
+    let idx = int_of_float (Float.abs (gfloat g v *. 7.0)) in
+    let len = max ix.ilen 1 in
+    let idx = ((idx mod len) + len) mod len in
+    A (ix.ibase + (ix.ielem * idx))
+  | Select (m, a) -> F (ground_cell g m (gaddr g a))
+  | Store _ -> invalid_arg "Term.ground: bare memory term"
+
+(* Final value of one memory cell: the outermost store that fired wins. *)
+and ground_cell g m n =
+  match m.node with
+  | Store (m', guard, a, v) ->
+    if gbool g guard && gaddr g a = n then gfloat g v else ground_cell g m' n
+  | InitMem -> g.env.gmem n
+  | _ -> invalid_arg "Term.ground_cell: not a memory term"
+
+let ground_written g m n =
+  let rec go m =
+    match m.node with
+    | Store (m', guard, a, v) ->
+      ignore v;
+      (gbool g guard && gaddr g a = n) || go m'
+    | _ -> false
+  in
+  go m
+
+(* Every address a chain's fired stores touch under this valuation: the
+   candidate set for a concrete memory-image comparison. *)
+let ground_store_addrs g m =
+  let rec go acc m =
+    match m.node with
+    | Store (m', guard, a, _) ->
+      go (if gbool g guard then gaddr g a :: acc else acc) m'
+    | _ -> acc
+  in
+  List.sort_uniq compare (go [] m)
+
+(* --- printing ----------------------------------------------------------- *)
+
+let op_name = function
+  | Ialu -> "ialu"
+  | Imul -> "imul"
+  | Fadd -> "fadd"
+  | Fmul -> "fmul"
+  | Fmadd -> "fmadd"
+  | Fdiv -> "fdiv"
+  | Cmp -> "cmp"
+
+let rec to_string t =
+  match t.node with
+  | Cst f -> Printf.sprintf "%g" f
+  | Reg0 id -> Printf.sprintf "r0_%d" id
+  | InitMem -> "mem0"
+  | Top -> "true"
+  | Bot -> "false"
+  | App (op, args) ->
+    Printf.sprintf "%s(%s)" (op_name op) (String.concat ", " (List.map to_string args))
+  | Pred v -> Printf.sprintf "pred(%s)" (to_string v)
+  | Not x -> Printf.sprintf "!(%s)" (to_string x)
+  | And (a, b) -> Printf.sprintf "(%s & %s)" (to_string a) (to_string b)
+  | Or (a, b) -> Printf.sprintf "(%s | %s)" (to_string a) (to_string b)
+  | Ite (g, a, b) ->
+    Printf.sprintf "(%s ? %s : %s)" (to_string g) (to_string a) (to_string b)
+  | Addr n -> Printf.sprintf "0x%x" n
+  | AddrIx (ix, v) ->
+    Printf.sprintf "ix[0x%x+%d*wrap%d(%s)]" ix.ibase ix.ielem ix.ilen (to_string v)
+  | Select (m, a) -> Printf.sprintf "sel(%s, %s)" (to_string m) (to_string a)
+  | Store (m, g, a, v) ->
+    Printf.sprintf "store(%s, %s, %s, %s)" (to_string m) (to_string g) (to_string a)
+      (to_string v)

@@ -1,0 +1,138 @@
+(** Hash-consed symbolic terms for bounded translation validation.
+
+    A term denotes a value the {!Interp} reference interpreter would
+    compute, as a function of the {e symbolic} initial state: [Reg0 id]
+    and [InitMem] stand for the initial register and memory valuations,
+    [App] applies one opcode's exact mixing function, and memory is a
+    guarded McCarthy select/store chain ([Store (mem, guard, addr, v)]
+    writes [v] at [addr] only when [guard] holds — predication and early
+    exits make written-ness conditional, and written-ness is observable
+    through {!Interp.memory_image}).
+
+    Terms are hash-consed per {!ctx}: within one context, two terms are
+    structurally identical iff {!equal} (same [tid]).  The smart
+    constructors normalise as they build; every rewrite preserves the
+    grounded value {e exactly} (IEEE-commutative operand sorting,
+    select/store resolution, boolean and conditional simplification — no
+    float reassociation, which is not exact).  See DESIGN.md §15. *)
+
+type op = Ialu | Imul | Fadd | Fmul | Fmadd | Fdiv | Cmp
+
+type ix = { ibase : int; ielem : int; ilen : int }
+(** The address lattice of an indirect reference:
+    [{ibase + ielem*i | 0 <= i < ilen}], mirroring {!Interp.address}. *)
+
+type t = private { tid : int; node : node }
+
+and node = private
+  | Cst of float
+  | Reg0 of int       (** initial value of register [id] *)
+  | InitMem           (** the initial memory valuation *)
+  | Top               (** boolean true *)
+  | Bot               (** boolean false *)
+  | App of op * t list
+  | Pred of t         (** predicate truth of a data value *)
+  | Not of t
+  | And of t * t
+  | Or of t * t
+  | Ite of t * t * t
+  | Addr of int       (** concrete cell address *)
+  | AddrIx of ix * t  (** indirect address: data value indexed into [ix] *)
+  | Select of t * t   (** memory, address *)
+  | Store of t * t * t * t  (** memory, guard, address, value *)
+
+type ctx
+(** One verification's term universe.  Not domain-safe: concurrent checks
+    (the fuzz oracle under {!Parallel}) each build their own. *)
+
+val create_ctx : unit -> ctx
+
+val terms_built : ctx -> int
+(** Distinct nodes interned so far (telemetry). *)
+
+val rewrites : ctx -> int
+(** Normalisation rules fired so far (telemetry). *)
+
+val equal : t -> t -> bool
+(** O(1); meaningful only for terms from the same {!ctx}. *)
+
+(** {2 Smart constructors} *)
+
+val cst : ctx -> float -> t
+val reg0 : ctx -> int -> t
+val init_mem : ctx -> t
+val top : ctx -> t
+val bot : ctx -> t
+val addr : ctx -> int -> t
+val addr_ix : ctx -> ix -> t -> t
+val pred_ : ctx -> t -> t
+val not_ : ctx -> t -> t
+val and_ : ctx -> t -> t -> t
+val or_ : ctx -> t -> t -> t
+val ite : ctx -> t -> t -> t -> t
+val app : ctx -> op -> t list -> t
+val store : ctx -> t -> t -> t -> t -> t
+(** [store ctx mem guard addr v] — collapses same-address stores, drops
+    unfired ([Bot]-guarded) ones, and keeps runs of provably-disjoint
+    concrete stores in canonical address order. *)
+
+val select : ctx -> t -> t -> t
+(** [select ctx mem addr] — resolves through the store chain while
+    addresses are provably equal or provably distinct; goes stuck (a
+    [Select] node) at the first possibly-aliasing symbolic store. *)
+
+val definitely_distinct : t -> t -> bool
+(** Addresses that provably never denote the same cell (distinct concrete
+    addresses, or disjoint indirect footprints). *)
+
+val assume : ctx -> t -> t -> t
+(** [assume ctx cond t] simplifies [t] under the assumption that boolean
+    [cond] holds — sound only at use sites themselves gated by [cond]
+    (e.g. the value of a definition wrapped in [Ite (cond, v, old)]).
+    Conjunction-aware: a path condition implies each of its conjuncts, so
+    guarded-definition chains collapse to their taken branches and the
+    unroller's renamed-register debris disappears from live branches. *)
+
+val filter_stores : ctx -> keep:(int -> bool) -> t -> t
+(** Rebuild a store chain keeping only concrete-address stores whose cell
+    [keep] accepts (plus all symbolic-address stores).  Used to mask the
+    register allocator's spill traffic out of a memory comparison. *)
+
+(** {2 Grounding}
+
+    Evaluating a term under a concrete initial valuation reproduces the
+    interpreter bit for bit.  Grounding backs the cross-validation
+    property (ground symbolic = concrete run) and counterexample
+    extraction (a term mismatch is reported Refuted only once a concrete
+    valuation actually diverges). *)
+
+type env = { greg : int -> float; gmem : int -> float }
+
+val standard_env : env
+(** The interpreter's own deterministic initial values. *)
+
+val random_env : int -> env
+(** Deterministic pseudo-random valuation [seed]; values spread across
+    the full bounded range so predicates land on both sides of the truth
+    threshold. *)
+
+type gvalue = F of float | B of bool | A of int
+
+type grounding
+(** A memo table binding one {!env}; reuse it across terms of one ctx. *)
+
+val grounding : env -> grounding
+val ground : grounding -> t -> gvalue
+val gfloat : grounding -> t -> float
+val ground_cell : grounding -> t -> int -> float
+(** Final value of cell [addr] under a memory chain (initial value if no
+    fired store hits it). *)
+
+val ground_written : grounding -> t -> int -> bool
+(** Did any fired store in the chain hit cell [addr]? *)
+
+val ground_store_addrs : grounding -> t -> int list
+(** All addresses the chain's fired stores touch under this valuation,
+    sorted and deduplicated. *)
+
+val to_string : t -> string

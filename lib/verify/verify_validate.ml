@@ -1,0 +1,304 @@
+(* Bounded translation validation.
+
+   For every trip count t up to a bound straddling the unroll factor, run
+   the source loop and a transformed version symbolically ({!Symexec}) —
+   trip counts concrete, data symbolic — and compare normalized live-out
+   and memory terms.  Term equality proves observational equivalence for
+   that trip under EVERY initial valuation; a term mismatch is grounded
+   under concrete valuations to either extract a counterexample (Refuted)
+   or admit normalization incompleteness (Unknown — never a false
+   refutation, and Unknown is never reported as Proved). *)
+
+type counterexample = {
+  cx_trip : int;
+  cx_env : string;       (* which concrete valuation diverged *)
+  cx_location : string;  (* "live-out r3" or "mem[0x1234]" *)
+  cx_source : float option;       (* None: cell not written on that side *)
+  cx_transformed : float option;
+}
+
+type verdict = Proved | Refuted of counterexample | Unknown of string
+
+type check = {
+  check_name : string;
+  verdict : verdict;
+  trips_proved : int;  (* trip counts proved before stopping *)
+  terms_built : int;
+  rewrites : int;
+  seconds : float;
+}
+
+type report = {
+  loop_name : string;
+  factor : int;
+  bound : int;
+  checks : check list;
+}
+
+(* The bound straddles the factor: enough trips to exercise the empty
+   loop, a partial remainder at every residue, exactly one kernel trip,
+   and kernel-plus-remainder combinations past the factor. *)
+let bound_for factor = (2 * factor) + 2
+
+(* Re-aim a loop at trip count [t], keeping static knowledge static: a
+   compiler-visible trip stays visible (the unroller's divisibility
+   reasoning is part of what is being validated). *)
+let retrip (loop : Loop.t) t =
+  {
+    loop with
+    Loop.trip_actual = t;
+    Loop.trip_static = Option.map (fun _ -> t) loop.Loop.trip_static;
+  }
+
+(* Valuations tried when terms mismatch.  The standard one is the
+   interpreter's own; the pseudo-random ones spread values across the
+   bounded range so predicates land on both sides of the threshold. *)
+let ground_envs =
+  [
+    ("standard", Verify_term.standard_env);
+    ("pseudo-1", Verify_term.random_env 1);
+    ("pseudo-2", Verify_term.random_env 2);
+    ("pseudo-3", Verify_term.random_env 3);
+  ]
+
+let ground_diverge ~trip ~live_out ~src_mem ~tfm_mem =
+  let try_env (ename, env) =
+    let g = Verify_term.grounding env in
+    let cx location source transformed =
+      { cx_trip = trip; cx_env = ename; cx_location = location;
+        cx_source = source; cx_transformed = transformed }
+    in
+    let reg_cx =
+      List.find_map
+        (fun (label, s, t) ->
+          let vs = Verify_term.gfloat g s and vt = Verify_term.gfloat g t in
+          if vs <> vt then Some (cx ("live-out " ^ label) (Some vs) (Some vt))
+          else None)
+        live_out
+    in
+    match reg_cx with
+    | Some _ as r -> r
+    | None ->
+      (* The memory image is the set of written cells with their values,
+         so divergence is a cell written on one side only, or written on
+         both with different values. *)
+      let addrs =
+        List.sort_uniq compare
+          (Verify_term.ground_store_addrs g src_mem @ Verify_term.ground_store_addrs g tfm_mem)
+      in
+      List.find_map
+        (fun a ->
+          let ws = Verify_term.ground_written g src_mem a
+          and wt = Verify_term.ground_written g tfm_mem a in
+          let loc = Printf.sprintf "mem[0x%x]" a in
+          if ws <> wt then
+            Some
+              (cx loc
+                 (if ws then Some (Verify_term.ground_cell g src_mem a) else None)
+                 (if wt then Some (Verify_term.ground_cell g tfm_mem a) else None))
+          else if ws then begin
+            let vs = Verify_term.ground_cell g src_mem a
+            and vt = Verify_term.ground_cell g tfm_mem a in
+            if vs <> vt then Some (cx loc (Some vs) (Some vt)) else None
+          end
+          else None)
+        addrs
+  in
+  List.find_map try_env ground_envs
+
+(* One trip count's decision over already-built terms.  Exposed so tests
+   can feed hand-built term pairs (bound-exhaustion behaviour: ground-equal
+   but term-unequal must come back Unknown, not Proved). *)
+let decide ~trip ~live_out ~mem:(src_mem, tfm_mem) =
+  let regs_equal = List.for_all (fun (_, s, t) -> Verify_term.equal s t) live_out in
+  if regs_equal && Verify_term.equal src_mem tfm_mem then Proved
+  else begin
+    match ground_diverge ~trip ~live_out ~src_mem ~tfm_mem with
+    | Some cx -> Refuted cx
+    | None ->
+      let what =
+        match List.find_opt (fun (_, s, t) -> not (Verify_term.equal s t)) live_out with
+        | Some (label, _, _) -> "live-out " ^ label ^ " terms differ"
+        | None -> "memory terms differ"
+      in
+      Unknown
+        (Printf.sprintf "trip %d: %s; no tried valuation diverges" trip what)
+  end
+
+let reg_label (r : Op.reg) = Format.asprintf "%a" Op.pp_reg r
+
+(* The register allocator's spill traffic is an implementation detail the
+   oracle masks out of memory comparisons; the spill array's footprint is
+   always concrete. *)
+let spill_ranges (exe : Pipeline_state.executable) =
+  List.filter_map
+    (fun ((s : Schedule.t), _, _) ->
+      Array.find_opt
+        (fun (a : Loop.array_info) -> a.Loop.aname = Regalloc.spill_array_name)
+        s.Schedule.loop.Loop.arrays
+      |> Option.map (fun (a : Loop.array_info) ->
+             (a.Loop.base, a.Loop.base + (a.Loop.elem_size * a.Loop.length))))
+    exe.Pipeline_state.schedules
+
+let keep_all _ = true
+
+let spill_keep exe =
+  let ranges = spill_ranges exe in
+  fun addr -> not (List.exists (fun (lo, hi) -> addr >= lo && addr < hi) ranges)
+
+(* --- the per-check driver ----------------------------------------------- *)
+
+(* [transformed ctx loop_t] builds the transformed program for one
+   re-aimed loop, runs it symbolically, and returns the final state plus
+   the memory mask. *)
+let run_check ?telemetry ~name ~bound (loop : Loop.t)
+    (transformed : Verify_term.ctx -> Loop.t -> Verify_symexec.state * (int -> bool)) =
+  let live_out = loop.Loop.live_out in
+  let terms = ref 0 and rewrites = ref 0 in
+  let started = Unix.gettimeofday () in
+  let decide_trip t =
+    let t0 = Unix.gettimeofday () in
+    let ctx = Verify_term.create_ctx () in
+    let loop_t = retrip loop t in
+    let verdict =
+      try
+        let src = Verify_symexec.create ctx in
+        Verify_symexec.run src loop_t ~trips:t ~phase:0;
+        let tfm, keep = transformed ctx loop_t in
+        let src_mem = Verify_symexec.memory_term src in
+        let tfm_mem = Verify_term.filter_stores ctx ~keep (Verify_symexec.memory_term tfm) in
+        let pairs =
+          List.map
+            (fun r ->
+              (reg_label r, Verify_symexec.register_term src r, Verify_symexec.register_term tfm r))
+            live_out
+        in
+        decide ~trip:t ~live_out:pairs ~mem:(src_mem, tfm_mem)
+      with e ->
+        Unknown (Printf.sprintf "trip %d: exception %s" t (Printexc.to_string e))
+    in
+    terms := !terms + Verify_term.terms_built ctx;
+    rewrites := !rewrites + Verify_term.rewrites ctx;
+    Option.iter
+      (fun tl ->
+        Telemetry.record tl ~pass:"verify"
+          ~seconds:(Unix.gettimeofday () -. t0)
+          ~metrics:
+            [ ("terms-built", Verify_term.terms_built ctx); ("rewrites", Verify_term.rewrites ctx) ]
+          ())
+      telemetry;
+    verdict
+  in
+  let rec go t =
+    if t > bound then (Proved, bound + 1)
+    else begin
+      match decide_trip t with
+      | Proved -> go (t + 1)
+      | v -> (v, t)
+    end
+  in
+  let verdict, trips_proved = go 0 in
+  Option.iter
+    (fun tl ->
+      let k =
+        match verdict with
+        | Proved -> "proved"
+        | Refuted _ -> "refuted"
+        | Unknown _ -> "unknown"
+      in
+      Telemetry.incr tl ~pass:"verify" k 1)
+    telemetry;
+  {
+    check_name = name;
+    verdict;
+    trips_proved;
+    terms_built = !terms;
+    rewrites = !rewrites;
+    seconds = Unix.gettimeofday () -. started;
+  }
+
+(* --- the three transformed programs -------------------------------------- *)
+
+let unroll_transformed factor ctx loop_t =
+  let st = Verify_symexec.create ctx in
+  Verify_symexec.run_unrolled st (Unroll.run loop_t factor);
+  (st, keep_all)
+
+let rle_transformed factor ctx loop_t =
+  let u = Unroll.run loop_t factor in
+  let r = Rle.run u.Unroll.kernel in
+  let st = Verify_symexec.create ctx in
+  Verify_symexec.run_unrolled st { u with Unroll.kernel = r.Rle.loop };
+  (st, keep_all)
+
+let passes_without_rle =
+  List.filter (fun p -> p.Pipeline.pass_name <> "rle") Pipeline.default_passes
+
+let pipeline_transformed ~machine ~swp ~rle factor ctx loop_t =
+  let passes = if rle then Pipeline.default_passes else passes_without_rle in
+  let pst = Pipeline_state.init machine ~swp loop_t factor in
+  let pst = Pipeline.run ~telemetry:(Telemetry.create ()) ~passes pst in
+  let exe = Pipeline_state.executable_exn pst in
+  let st = Verify_symexec.create ctx in
+  Verify_symexec.run_schedules st exe.Pipeline_state.schedules;
+  (st, spill_keep exe)
+
+let pipeline_check_name ~swp ~rle =
+  Printf.sprintf "pipeline[%s,%s]"
+    (if swp then "swp" else "list")
+    (if rle then "rle" else "norle")
+
+let all_coords = [ (false, false); (false, true); (true, false); (true, true) ]
+
+let verify_case ?telemetry ?(coords = all_coords) ~machine (loop : Loop.t) ~factor =
+  let bound = bound_for factor in
+  let run name tf = run_check ?telemetry ~name ~bound loop tf in
+  let checks =
+    [
+      run "unroll" (unroll_transformed factor);
+      run "unroll+rle" (rle_transformed factor);
+    ]
+    @ (if loop.Loop.exit_prob = 0.0 then
+         (* The assembler's trip model for probabilistic exits
+            (effective_trips) intentionally changes iteration counts, so
+            per-trip equivalence only makes sense at exit_prob = 0. *)
+         List.map
+           (fun (swp, rle) ->
+             run (pipeline_check_name ~swp ~rle)
+               (pipeline_transformed ~machine ~swp ~rle factor))
+           coords
+       else [])
+  in
+  { loop_name = loop.Loop.name; factor; bound; checks }
+
+(* --- reporting ----------------------------------------------------------- *)
+
+let verdict_ok = function Proved -> true | Refuted _ | Unknown _ -> false
+
+let report_ok r = List.for_all (fun c -> verdict_ok c.verdict) r.checks
+
+let float_opt_str = function
+  | Some v -> Printf.sprintf "%g" v
+  | None -> "<unwritten>"
+
+let verdict_to_string = function
+  | Proved -> "proved"
+  | Refuted cx ->
+    Printf.sprintf "REFUTED at trip %d: %s source=%s transformed=%s (%s valuation)"
+      cx.cx_trip cx.cx_location (float_opt_str cx.cx_source)
+      (float_opt_str cx.cx_transformed) cx.cx_env
+  | Unknown why -> "UNKNOWN: " ^ why
+
+let check_to_string c =
+  Printf.sprintf "  %-22s %-8s trips-proved=%-3d terms=%-7d rewrites=%-6d %.1fms%s"
+    c.check_name
+    (match c.verdict with Proved -> "proved" | Refuted _ -> "REFUTED" | Unknown _ -> "UNKNOWN")
+    c.trips_proved c.terms_built c.rewrites (1000.0 *. c.seconds)
+    (match c.verdict with
+    | Proved -> ""
+    | v -> "\n    " ^ verdict_to_string v)
+
+let report_to_string r =
+  Printf.sprintf "%s factor=%d trips 0..%d: %s\n%s" r.loop_name r.factor r.bound
+    (if report_ok r then "equivalent" else "NOT PROVED")
+    (String.concat "\n" (List.map check_to_string r.checks))

@@ -1,0 +1,78 @@
+(** Bounded translation validation of the transform passes.
+
+    For every trip count [t] in [0 .. bound_for factor], the source loop
+    and a transformed version (unroll-only, unroll+RLE, or the full
+    compile pipeline at a swp×rle coordinate) are executed symbolically —
+    trip counts concrete, data symbolic — and their normalized live-out
+    and memory terms compared.  Term equality proves observational
+    equivalence at that trip for {e every} initial valuation; a mismatch
+    is grounded under concrete valuations to either extract a
+    counterexample or admit incompleteness:
+
+    - [Proved] — terms equal at every trip up to the bound.
+    - [Refuted] — a concrete (trip, location, values) divergence.
+    - [Unknown] — terms differ but no tried valuation diverges; sound
+      (never claimed proved), possibly a normalizer gap.
+
+    See DESIGN.md §15. *)
+
+type counterexample = {
+  cx_trip : int;            (** trip count at which behaviour diverges *)
+  cx_env : string;          (** which concrete valuation diverged *)
+  cx_location : string;     (** ["live-out r3"] or ["mem[0x1234]"] *)
+  cx_source : float option; (** [None]: cell not written on that side *)
+  cx_transformed : float option;
+}
+
+type verdict = Proved | Refuted of counterexample | Unknown of string
+
+type check = {
+  check_name : string;  (** ["unroll"], ["unroll+rle"], ["pipeline[swp,rle]"], … *)
+  verdict : verdict;
+  trips_proved : int;   (** trip counts proved before stopping *)
+  terms_built : int;
+  rewrites : int;
+  seconds : float;
+}
+
+type report = {
+  loop_name : string;
+  factor : int;
+  bound : int;
+  checks : check list;
+}
+
+val bound_for : int -> int
+(** [2*factor + 2]: covers the empty loop, every remainder residue,
+    exactly one kernel trip, and kernel+remainder mixes past the factor. *)
+
+val retrip : Loop.t -> int -> Loop.t
+(** Re-aim a loop at a trip count, keeping static trip knowledge static. *)
+
+val decide :
+  trip:int ->
+  live_out:(string * Verify_term.t * Verify_term.t) list ->
+  mem:Verify_term.t * Verify_term.t ->
+  verdict
+(** One trip's decision over already-built (source, transformed) term
+    pairs.  Exposed for tests: ground-equal but term-unequal pairs must
+    come back [Unknown], never [Proved]. *)
+
+val verify_case :
+  ?telemetry:Telemetry.t ->
+  ?coords:(bool * bool) list ->
+  machine:Machine.t ->
+  Loop.t ->
+  factor:int ->
+  report
+(** Run all checks for one loop at one unroll factor: unroll-only,
+    unroll+RLE, and — when [loop.exit_prob = 0] — the full pipeline at
+    each [(swp, rle)] coordinate in [coords] (default: all four).
+    Telemetry lands in pass ["verify"]: per-trip timings, [terms-built],
+    [rewrites], and [proved]/[refuted]/[unknown] counters. *)
+
+val report_ok : report -> bool
+(** Every check proved. *)
+
+val verdict_to_string : verdict -> string
+val report_to_string : report -> string

@@ -52,4 +52,38 @@ let test_corpus_replays_clean () =
           | (oracle, detail) :: _ -> Alcotest.failf "%s [%s]: %s" file oracle detail)
         entries)
 
-let suite = [ ("corpus replays clean", `Quick, test_corpus_replays_clean) ]
+(* Directed translation validation: beyond replaying each reproducer's
+   original oracle, the symbolic validator must PROVE every corpus entry
+   equivalent at its own (swp, rle) coordinate — a Refuted here is a live
+   bug, an Unknown is a normalizer gap worth knowing about either way. *)
+let test_corpus_verifies () =
+  match find_corpus () with
+  | None -> Alcotest.fail "corpus/ directory not found above the test cwd"
+  | Some dir -> (
+    match Fuzz.Driver.load_corpus dir with
+    | Error e -> Alcotest.failf "corpus does not parse: %s" e
+    | Ok entries ->
+      List.iter
+        (fun (file, repro) ->
+          let c = repro.Fuzz.Driver.rcase in
+          let report =
+            Verify.Validate.verify_case
+              ~coords:[ (c.Fuzz.Gen.swp, c.Fuzz.Gen.rle) ]
+              ~machine:c.Fuzz.Gen.machine c.Fuzz.Gen.loop ~factor:c.Fuzz.Gen.factor
+          in
+          List.iter
+            (fun (check : Verify.Validate.check) ->
+              match check.Verify.Validate.verdict with
+              | Verify.Validate.Proved -> ()
+              | v ->
+                Alcotest.failf "%s: %s not proved: %s" file
+                  check.Verify.Validate.check_name
+                  (Verify.Validate.verdict_to_string v))
+            report.Verify.Validate.checks)
+        entries)
+
+let suite =
+  [
+    ("corpus replays clean", `Quick, test_corpus_replays_clean);
+    ("corpus proves under translation validation", `Quick, test_corpus_verifies);
+  ]

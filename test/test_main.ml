@@ -17,6 +17,7 @@ let () =
       ("workloads", Test_workloads.suite);
       ("fuzz", Test_fuzz.suite);
       ("fuzz_corpus", Test_fuzz_corpus.suite);
+      ("verify", Test_verify.suite);
       ("ml", Test_ml.suite);
       ("core", Test_core.suite);
       ("store", Test_store.suite);

@@ -1,0 +1,403 @@
+(* Tests for the bounded translation validator: the term normalizer's
+   rewrite rules, cross-validation of the symbolic evaluator against the
+   concrete interpreter (grounding the terms under random stores must
+   reproduce Interp bit for bit), refutation of the two reintroduced
+   historical bugs (phantom trip-0 iteration, stale RLE available-table
+   entry), and the soundness boundary: ground-equal but term-unequal pairs
+   come back Unknown, never Proved. *)
+
+module Term = Verify.Term
+module Symexec = Verify.Symexec
+module Validate = Verify.Validate
+
+let machine = Machine.itanium2
+
+(* --- term normalizer ----------------------------------------------------- *)
+
+let test_commutative_sort () =
+  let ctx = Term.create_ctx () in
+  let x = Term.reg0 ctx 1 and y = Term.reg0 ctx 2 in
+  List.iter
+    (fun op ->
+      Alcotest.(check bool)
+        "binary operands sort to one normal form" true
+        (Term.equal (Term.app ctx op [ x; y ]) (Term.app ctx op [ y; x ])))
+    [ Term.Ialu; Term.Imul; Term.Fadd; Term.Fmul; Term.Cmp ];
+  let z = Term.reg0 ctx 3 in
+  Alcotest.(check bool) "fmadd sorts its two factors" true
+    (Term.equal
+       (Term.app ctx Term.Fmadd [ x; y; z ])
+       (Term.app ctx Term.Fmadd [ y; x; z ]));
+  Alcotest.(check bool) "fmadd keeps the addend in place" false
+    (Term.equal
+       (Term.app ctx Term.Fmadd [ x; y; z ])
+       (Term.app ctx Term.Fmadd [ x; z; y ]))
+
+let test_no_float_reassociation () =
+  (* Three-operand sums are NOT reassociated: float addition is only
+     commutative, and the normalizer must not claim more than IEEE gives. *)
+  let ctx = Term.create_ctx () in
+  let x = Term.reg0 ctx 1 and y = Term.reg0 ctx 2 and z = Term.reg0 ctx 3 in
+  Alcotest.(check bool) "ternary operand order is significant" false
+    (Term.equal (Term.app ctx Term.Fadd [ x; y; z ]) (Term.app ctx Term.Fadd [ z; y; x ]))
+
+let test_select_over_store_normalized_index () =
+  (* The store's index term and the select's are syntactically different
+     ([x+y] vs [y+x]) but normalize equal, so the select must resolve. *)
+  let ctx = Term.create_ctx () in
+  let ix = { Term.ibase = 0x1000; ielem = 8; ilen = 64 } in
+  let x = Term.reg0 ctx 1 and y = Term.reg0 ctx 2 in
+  let v = Term.cst ctx 42.0 in
+  let a_store = Term.addr_ix ctx ix (Term.app ctx Term.Fadd [ x; y ]) in
+  let a_load = Term.addr_ix ctx ix (Term.app ctx Term.Fadd [ y; x ]) in
+  let mem = Term.store ctx (Term.init_mem ctx) (Term.top ctx) a_store v in
+  Alcotest.(check bool) "select resolves through the store" true
+    (Term.equal (Term.select ctx mem a_load) v)
+
+let test_select_skips_distinct_stores () =
+  let ctx = Term.create_ctx () in
+  let m0 = Term.init_mem ctx in
+  let mem = Term.store ctx m0 (Term.top ctx) (Term.addr ctx 8) (Term.cst ctx 1.0) in
+  Alcotest.(check bool) "distinct concrete store is skipped" true
+    (Term.equal (Term.select ctx mem (Term.addr ctx 16)) (Term.select ctx m0 (Term.addr ctx 16)));
+  (* A spill slot far outside an indirect reference's footprint is provably
+     distinct from it, so the select skips the symbolic store too. *)
+  let ix = { Term.ibase = 0x1000; ielem = 8; ilen = 64 } in
+  let sym = Term.store ctx m0 (Term.top ctx) (Term.addr_ix ctx ix (Term.reg0 ctx 1)) (Term.cst ctx 2.0) in
+  Alcotest.(check bool) "spill select skips the indirect store" true
+    (Term.equal
+       (Term.select ctx sym (Term.addr ctx 0x8000))
+       (Term.select ctx m0 (Term.addr ctx 0x8000)))
+
+let test_select_stuck_on_may_alias () =
+  (* An in-footprint concrete address may collide with the indirect store:
+     the select must go stuck rather than resolve either way. *)
+  let ctx = Term.create_ctx () in
+  let ix = { Term.ibase = 0x1000; ielem = 8; ilen = 64 } in
+  let m0 = Term.init_mem ctx in
+  let mem = Term.store ctx m0 (Term.top ctx) (Term.addr_ix ctx ix (Term.reg0 ctx 1)) (Term.cst ctx 2.0) in
+  let s = Term.select ctx mem (Term.addr ctx 0x1008) in
+  Alcotest.(check bool) "not resolved to the stored value" false
+    (Term.equal s (Term.cst ctx 2.0));
+  Alcotest.(check bool) "not resolved past the store" false
+    (Term.equal s (Term.select ctx m0 (Term.addr ctx 0x1008)))
+
+let test_store_over_store_collapse () =
+  let ctx = Term.create_ctx () in
+  let a = Term.addr ctx 64 in
+  let g = Term.pred_ ctx (Term.reg0 ctx 1) in
+  let m0 = Term.init_mem ctx in
+  let m1 = Term.store ctx m0 (Term.top ctx) a (Term.cst ctx 1.0) in
+  let m2 = Term.store ctx m1 g a (Term.cst ctx 2.0) in
+  (* Same cell twice: one store remains, guard Or-merged (here Top), value
+     selected by the outer guard. *)
+  let expected =
+    Term.store ctx m0 (Term.top ctx) a
+      (Term.ite ctx g (Term.cst ctx 2.0) (Term.cst ctx 1.0))
+  in
+  Alcotest.(check bool) "same-address stores collapse" true (Term.equal m2 expected)
+
+let test_concrete_stores_canonical_order () =
+  let ctx = Term.create_ctx () in
+  let m0 = Term.init_mem ctx in
+  let g = Term.top ctx in
+  let s a v m = Term.store ctx m g (Term.addr ctx a) (Term.cst ctx v) in
+  let chain1 = m0 |> s 8 1.0 |> s 24 2.0 |> s 16 3.0 in
+  let chain2 = m0 |> s 24 2.0 |> s 16 3.0 |> s 8 1.0 in
+  Alcotest.(check bool) "disjoint concrete stores reach one normal form" true
+    (Term.equal chain1 chain2)
+
+let test_assume_collapses_guarded_reads () =
+  let ctx = Term.create_ctx () in
+  let g = Term.pred_ ctx (Term.reg0 ctx 1) in
+  let x = Term.reg0 ctx 2 and y = Term.reg0 ctx 3 in
+  let t = Term.ite ctx g x y in
+  Alcotest.(check bool) "assume g (ite g x y) = x" true (Term.equal (Term.assume ctx g t) x);
+  let h = Term.pred_ ctx (Term.reg0 ctx 4) in
+  let conj = Term.and_ ctx g h in
+  Alcotest.(check bool) "a conjunction implies its conjuncts" true
+    (Term.equal (Term.assume ctx conj t) x);
+  Alcotest.(check bool) "assume (not g) takes the else branch" true
+    (Term.equal (Term.assume ctx (Term.not_ ctx g) t) y)
+
+(* --- bound exhaustion: unknown is never proved --------------------------- *)
+
+let test_unknown_not_proved () =
+  (* Cst 1.0 and fmadd(0,0,0.875) ground to 1.0 under EVERY valuation
+     (no symbolic leaves), so no counterexample exists — but the terms
+     differ, and the verdict must be Unknown, never Proved. *)
+  let ctx = Term.create_ctx () in
+  let a = Term.cst ctx 1.0 in
+  let b =
+    Term.app ctx Term.Fmadd [ Term.cst ctx 0.0; Term.cst ctx 0.0; Term.cst ctx 0.875 ]
+  in
+  let g = Term.grounding Term.standard_env in
+  Alcotest.(check (float 0.0)) "the two terms ground equal" (Term.gfloat g a) (Term.gfloat g b);
+  let m = Term.init_mem ctx in
+  (match Validate.decide ~trip:0 ~live_out:[ ("r0", a, b) ] ~mem:(m, m) with
+  | Validate.Unknown _ -> ()
+  | Validate.Proved -> Alcotest.fail "ground-equal but term-unequal pair claimed Proved"
+  | Validate.Refuted _ -> Alcotest.fail "no valuation diverges, yet Refuted")
+
+let test_decide_refutes_on_ground_divergence () =
+  let ctx = Term.create_ctx () in
+  let m = Term.init_mem ctx in
+  match
+    Validate.decide ~trip:3
+      ~live_out:[ ("r0", Term.cst ctx 1.0, Term.cst ctx 2.0) ]
+      ~mem:(m, m)
+  with
+  | Validate.Refuted cx ->
+    Alcotest.(check int) "trip recorded" 3 cx.Validate.cx_trip;
+    Alcotest.(check string) "location recorded" "live-out r0" cx.Validate.cx_location;
+    Alcotest.(check (option (float 0.0))) "source value" (Some 1.0) cx.Validate.cx_source;
+    Alcotest.(check (option (float 0.0))) "transformed value" (Some 2.0)
+      cx.Validate.cx_transformed
+  | _ -> Alcotest.fail "diverging constants must refute"
+
+(* --- cross-validation: grounding == concrete interpreter ----------------- *)
+
+(* Pre-seed a concrete state with the valuation [env] over every register
+   id up to [max_id] and every array cell, so the concrete run and the
+   grounded symbolic run start from the same world. *)
+let seeded_state env ~max_id (loop : Loop.t) =
+  let st = Interp.fresh_state () in
+  for id = 0 to max_id do
+    Interp.set_reg st { Op.id; cls = Op.Int } (env.Term.greg id)
+  done;
+  Array.iter
+    (fun (a : Loop.array_info) ->
+      for i = 0 to a.Loop.length - 1 do
+        let addr = a.Loop.base + (a.Loop.elem_size * i) in
+        Interp.set_mem st addr (env.Term.gmem addr)
+      done)
+    loop.Loop.arrays;
+  st
+
+let check_ground_matches ~what env ~max_id (loop : Loop.t) st sym =
+  let ctx_g = Term.grounding env in
+  let mem = Symexec.memory_term sym in
+  for id = 0 to max_id do
+    let r = { Op.id; cls = Op.Int } in
+    let concrete = Interp.register_value st r in
+    let symbolic = Term.gfloat ctx_g (Symexec.register_term sym r) in
+    if concrete <> symbolic then
+      Alcotest.failf "%s: r%d concrete %h vs ground %h" what id concrete symbolic
+  done;
+  Array.iter
+    (fun (a : Loop.array_info) ->
+      for i = 0 to a.Loop.length - 1 do
+        let addr = a.Loop.base + (a.Loop.elem_size * i) in
+        let concrete = Interp.mem_value st addr in
+        let symbolic = Term.ground_cell ctx_g mem addr in
+        if concrete <> symbolic then
+          Alcotest.failf "%s: mem[0x%x] concrete %h vs ground %h" what addr concrete symbolic
+      done)
+    loop.Loop.arrays
+
+let prop_grounding_matches_interp =
+  QCheck.Test.make ~count:40 ~name:"grounded symbolic run == concrete interp"
+    QCheck.(make Gen.(pair (0 -- 400) (0 -- 2)))
+    (fun (id, env_seed) ->
+      let c = Fuzz.Gen.case ~seed:77 ~id () in
+      let loop = c.Fuzz.Gen.loop in
+      let factor = c.Fuzz.Gen.factor in
+      let env = if env_seed = 0 then Term.standard_env else Term.random_env env_seed in
+      let u = Unroll.run loop factor in
+      let max_id =
+        List.fold_left
+          (fun acc l -> max acc (Loop.max_reg_id l))
+          (Loop.max_reg_id loop)
+          (u.Unroll.kernel :: Option.to_list u.Unroll.remainder)
+      in
+      List.iter
+        (fun trips ->
+          let lt = Validate.retrip loop trips in
+          (* plain run *)
+          let st = seeded_state env ~max_id lt in
+          ignore (Interp.run st lt ~trips ~phase:0);
+          let ctx = Term.create_ctx () in
+          let sym = Symexec.create ctx in
+          Symexec.run sym lt ~trips ~phase:0;
+          check_ground_matches ~what:(Printf.sprintf "case %d run t=%d" id trips) env
+            ~max_id lt st sym;
+          (* unrolled run: exercises renaming, remainder chaining and the
+             alive-gated early-exit model against Exit_loop *)
+          let ut = Unroll.run lt factor in
+          let st' = seeded_state env ~max_id lt in
+          ignore (Interp.run_unrolled st' ut);
+          let ctx' = Term.create_ctx () in
+          let sym' = Symexec.create ctx' in
+          Symexec.run_unrolled sym' ut;
+          check_ground_matches ~what:(Printf.sprintf "case %d unrolled t=%d" id trips) env
+            ~max_id lt st' sym')
+        [ 0; 1; factor; factor + 1 ];
+      true)
+
+(* --- refutation of the reintroduced historical bugs ---------------------- *)
+
+let with_hook hook f =
+  hook := true;
+  Fun.protect ~finally:(fun () -> hook := false) f
+
+let find_check (report : Validate.report) name =
+  match List.find_opt (fun c -> c.Validate.check_name = name) report.Validate.checks with
+  | Some c -> c
+  | None ->
+    Alcotest.failf "report has no %s check (has: %s)" name
+      (String.concat ", " (List.map (fun c -> c.Validate.check_name) report.Validate.checks))
+
+let test_phantom_trip_refuted () =
+  (* The historical assembler bug: a zero-trip loop compiled as if it ran
+     once.  The validator must refute it at trip 0 with a concrete
+     location. *)
+  let loop = Fuzz.Gen.with_exact_trip (Kernels.daxpy ~name:"phantom" ~trip:4) 4 in
+  with_hook Pipeline.testing_phantom_trips (fun () ->
+      let report =
+        Validate.verify_case ~coords:[ (false, true) ] ~machine loop ~factor:1
+      in
+      match (find_check report "pipeline[list,rle]").Validate.verdict with
+      | Validate.Refuted cx ->
+        Alcotest.(check int) "diverges exactly at trip 0" 0 cx.Validate.cx_trip;
+        Alcotest.(check bool) "counterexample names a location" true
+          (String.length cx.Validate.cx_location > 0)
+      | v ->
+        Alcotest.failf "phantom-trip bug not refuted: %s" (Validate.verdict_to_string v));
+  (* and with the hook off the same configuration proves *)
+  let report = Validate.verify_case ~coords:[ (false, true) ] ~machine loop ~factor:1 in
+  Alcotest.(check bool) "fixed pipeline proves" true (Validate.report_ok report)
+
+(* The historical RLE bug in miniature: a store caches [r0] for cell
+   a[i+16]; [r0] is then redefined; a later load of a[i+16] must NOT be
+   forwarded from the redefined register. *)
+let stale_rle_loop () =
+  let b = Builder.create ~name:"stale" ~trip:4 () in
+  let a = Builder.add_array b ~elem_size:8 ~length:64 "a" in
+  let r0 = Builder.load b ~cls:Op.Flt ~array:a ~stride:1 ~offset:0 () in
+  Builder.store b ~array:a ~stride:1 ~offset:16 r0;
+  Builder.accumulate b ~acc:r0 ~op:`Fadd [ r0 ];
+  let y = Builder.load b ~cls:Op.Flt ~array:a ~stride:1 ~offset:16 () in
+  Builder.mark_live_out b y;
+  Builder.finish b
+
+let test_stale_rle_refuted () =
+  let loop = stale_rle_loop () in
+  with_hook Rle.testing_stale_available (fun () ->
+      let report = Validate.verify_case ~coords:[] ~machine loop ~factor:1 in
+      match (find_check report "unroll+rle").Validate.verdict with
+      | Validate.Refuted cx ->
+        Alcotest.(check bool) "diverges at a positive trip" true (cx.Validate.cx_trip >= 1);
+        Alcotest.(check bool) "both sides produced a value" true
+          (cx.Validate.cx_source <> None && cx.Validate.cx_transformed <> None)
+      | v -> Alcotest.failf "stale-RLE bug not refuted: %s" (Validate.verdict_to_string v));
+  let report = Validate.verify_case ~coords:[] ~machine loop ~factor:1 in
+  Alcotest.(check bool) "fixed rle proves" true (Validate.report_ok report)
+
+(* Replays of the fuzzer's own shrunk reproducers under the reintroduced
+   bugs: the directed corpus entries that caught each bug originally must
+   be refuted by the validator too. *)
+let corpus_loop file =
+  let rec up dir =
+    let candidate = Filename.concat dir "corpus" in
+    if Sys.file_exists candidate && Sys.is_directory candidate then candidate
+    else
+      let parent = Filename.dirname dir in
+      if parent = dir then Alcotest.fail "corpus/ not found" else up parent
+  in
+  let dir = up (Sys.getcwd ()) in
+  let ic = open_in_bin (Filename.concat dir file) in
+  let contents =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  match Fuzz.Driver.parse_repro contents with
+  | Ok r -> r.Fuzz.Driver.rcase
+  | Error e -> Alcotest.failf "%s: %s" file e
+
+let test_historical_reproducers_refuted () =
+  let stale = corpus_loop "rle-interp-0857.loop" in
+  with_hook Rle.testing_stale_available (fun () ->
+      let report =
+        Validate.verify_case ~coords:[] ~machine:stale.Fuzz.Gen.machine
+          stale.Fuzz.Gen.loop ~factor:stale.Fuzz.Gen.factor
+      in
+      match (find_check report "unroll+rle").Validate.verdict with
+      | Validate.Refuted _ -> ()
+      | v ->
+        Alcotest.failf "rle-interp-0857 under stale hook: %s" (Validate.verdict_to_string v));
+  let phantom = corpus_loop "remainder-trip0.loop" in
+  with_hook Pipeline.testing_phantom_trips (fun () ->
+      let report =
+        Validate.verify_case
+          ~coords:[ (phantom.Fuzz.Gen.swp, phantom.Fuzz.Gen.rle) ]
+          ~machine:phantom.Fuzz.Gen.machine phantom.Fuzz.Gen.loop
+          ~factor:phantom.Fuzz.Gen.factor
+      in
+      let name =
+        Printf.sprintf "pipeline[%s,%s]"
+          (if phantom.Fuzz.Gen.swp then "swp" else "list")
+          (if phantom.Fuzz.Gen.rle then "rle" else "norle")
+      in
+      match (find_check report name).Validate.verdict with
+      | Validate.Refuted cx -> Alcotest.(check int) "refuted at trip 0" 0 cx.Validate.cx_trip
+      | v ->
+        Alcotest.failf "remainder-trip0 under phantom hook: %s" (Validate.verdict_to_string v))
+
+(* Soundness under mutation, property-tested: whatever the mutant does to a
+   random case, a Proved verdict must imply actual concrete equivalence at
+   every trip up to the bound (the mutation may legitimately not fire —
+   many loops have no eliminable load — but a false proof is never ok). *)
+let concrete_rle_equivalent (loop : Loop.t) factor t =
+  let lt = Validate.retrip loop t in
+  let st0 = Interp.fresh_state () in
+  ignore (Interp.run st0 lt ~trips:t ~phase:0);
+  let u = Unroll.run lt factor in
+  let r = Rle.run u.Unroll.kernel in
+  let u = { u with Unroll.kernel = r.Rle.loop } in
+  let st1 = Interp.fresh_state () in
+  ignore (Interp.run_unrolled st1 u);
+  Interp.equivalent st0 st1 lt.Loop.live_out
+
+let prop_stale_mutant_never_falsely_proved =
+  QCheck.Test.make ~count:25 ~name:"stale-RLE mutant is never falsely proved"
+    QCheck.(make Gen.(0 -- 500))
+    (fun id ->
+      let c = Fuzz.Gen.case ~seed:41 ~id () in
+      with_hook Rle.testing_stale_available (fun () ->
+          let report =
+            Validate.verify_case ~coords:[] ~machine:c.Fuzz.Gen.machine c.Fuzz.Gen.loop
+              ~factor:c.Fuzz.Gen.factor
+          in
+          match (find_check report "unroll+rle").Validate.verdict with
+          | Validate.Refuted _ | Validate.Unknown _ -> true
+          | Validate.Proved ->
+            let bound = Validate.bound_for c.Fuzz.Gen.factor in
+            let ok = ref true in
+            for t = 0 to bound do
+              if not (concrete_rle_equivalent c.Fuzz.Gen.loop c.Fuzz.Gen.factor t) then
+                ok := false
+            done;
+            if !ok then true
+            else
+              QCheck.Test.fail_reportf
+                "case %d: mutant proved but concretely inequivalent" id))
+
+let suite =
+  [
+    ("commutative operands sort to a normal form", `Quick, test_commutative_sort);
+    ("no float reassociation", `Quick, test_no_float_reassociation);
+    ("select resolves normalized-equal indices", `Quick, test_select_over_store_normalized_index);
+    ("select skips provably-distinct stores", `Quick, test_select_skips_distinct_stores);
+    ("select goes stuck on may-alias", `Quick, test_select_stuck_on_may_alias);
+    ("same-address stores collapse", `Quick, test_store_over_store_collapse);
+    ("disjoint concrete stores canonicalize", `Quick, test_concrete_stores_canonical_order);
+    ("assume collapses guarded reads", `Quick, test_assume_collapses_guarded_reads);
+    ("ground-equal term-unequal is Unknown, not Proved", `Quick, test_unknown_not_proved);
+    ("diverging terms refute with a counterexample", `Quick, test_decide_refutes_on_ground_divergence);
+    QCheck_alcotest.to_alcotest prop_grounding_matches_interp;
+    ("phantom trip-0 bug is refuted at trip 0", `Quick, test_phantom_trip_refuted);
+    ("stale-RLE bug is refuted with values", `Quick, test_stale_rle_refuted);
+    ("historical reproducers refuted under reintroduced bugs", `Quick, test_historical_reproducers_refuted);
+    QCheck_alcotest.to_alcotest prop_stale_mutant_never_falsely_proved;
+  ]
