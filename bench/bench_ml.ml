@@ -122,6 +122,44 @@ let () =
     (t_svm_base /. Float.max t_svm_engine 1e-9)
     svm_identical;
 
+  (* MLP training at -j1 vs -j4: the timing row is only meaningful if the
+     determinism contract holds, so gate it on bit-identical parameters
+     (the gradient fan-out must not change a single ULP). *)
+  let mlp_hyper = { Mlp.default_hyper with Mlp.epochs = 40 } in
+  let mlp_seed = Config.fast.Config.mlp_seed in
+  let pairs = Dataset.points ds in
+  let train_mlp jobs =
+    fst (Mlp.train ~jobs ~seed:mlp_seed ~hyper:mlp_hyper ~n_classes:ds.Dataset.n_classes pairs)
+  in
+  let mlp_j1, t_mlp_j1 = time_best ~reps:1 (fun () -> train_mlp 1) in
+  let mlp_j4, t_mlp_j4 = time_best ~reps:1 (fun () -> train_mlp 4) in
+  let bits_equal a b =
+    Array.length a = Array.length b
+    && Array.for_all2 (fun u v -> Int64.bits_of_float u = Int64.bits_of_float v) a b
+  in
+  let flatten m =
+    let _, ws, bs = Mlp.export m in
+    Array.concat (Array.to_list ws @ Array.to_list bs)
+  in
+  let mlp_identical = bits_equal (flatten mlp_j1) (flatten mlp_j4) in
+  let t_mlp_predict =
+    let xs = Array.map fst pairs in
+    let _, t =
+      time_best (fun () -> Array.iter (fun x -> ignore (Mlp.predict mlp_j1 x)) xs)
+    in
+    t /. float_of_int (max 1 (Array.length xs))
+  in
+  Printf.printf
+    "mlp train (%d epochs): j1 %.3fs | j4 %.3fs (%.1fx) | bit-identical=%b | \
+     predict %.0f ns/loop\n%!"
+    mlp_hyper.Mlp.epochs t_mlp_j1 t_mlp_j4
+    (t_mlp_j1 /. Float.max t_mlp_j4 1e-9)
+    mlp_identical (t_mlp_predict *. 1e9);
+  if not mlp_identical then begin
+    Printf.eprintf "mlp bench: parameters differ between -j1 and -j4\n";
+    exit 1
+  end;
+
   let json =
     Printf.sprintf
       "{\"bench\":\"pairwise-engine\",\"n\":%d,\"d\":%d,\"k\":%d,\
@@ -129,7 +167,9 @@ let () =
        \"nn_identical\":%b,\"svm_k\":%d,\"svm_generic_s\":%.3f,\
        \"svm_engine_s\":%.3f,\"svm_speedup\":%.2f,\"svm_identical\":%b,\
        \"pairwise_build_ns\":%.0f,\"cand_incremental_ns\":%.0f,\
-       \"cand_scratch_ns\":%.0f,\"cand_speedup\":%.2f}"
+       \"cand_scratch_ns\":%.0f,\"cand_speedup\":%.2f,\
+       \"mlp_train_j1_s\":%.3f,\"mlp_train_j4_s\":%.3f,\"mlp_train_speedup\":%.2f,\
+       \"mlp_identical\":%b,\"mlp_predict_ns\":%.0f}"
       n d k t_nn_base t_nn_engine
       (t_nn_base /. Float.max t_nn_engine 1e-9)
       nn_identical svm_k t_svm_base t_svm_engine
@@ -138,6 +178,9 @@ let () =
       (ns (Printf.sprintf "pairwise-build-%d" n))
       (ns "cand-eval-incremental") (ns "cand-eval-scratch")
       (ns "cand-eval-scratch" /. Float.max (ns "cand-eval-incremental") 1e-9)
+      t_mlp_j1 t_mlp_j4
+      (t_mlp_j1 /. Float.max t_mlp_j4 1e-9)
+      mlp_identical (t_mlp_predict *. 1e9)
   in
   print_endline json;
   let oc = open_out "BENCH_ml.json" in

@@ -130,11 +130,11 @@ let dataset_cmd =
 (* experiment *)
 let experiment_cmd =
   let which =
-    let all = [ "fig1"; "fig2"; "fig3"; "table2"; "table3"; "table4"; "fig4"; "fig5"; "summary"; "ablations"; "all" ] in
+    let all = [ "fig1"; "fig2"; "fig3"; "table2"; "table3"; "table4"; "fig4"; "fig5"; "joint"; "summary"; "ablations"; "all" ] in
     Arg.(
       required
       & pos 0 (some (enum (List.map (fun s -> (s, s)) all))) None
-      & info [] ~docv:"EXPERIMENT" ~doc:"One of fig1 fig2 fig3 table2 table3 table4 fig4 fig5 summary ablations all.")
+      & info [] ~docv:"EXPERIMENT" ~doc:"One of fig1 fig2 fig3 table2 table3 table4 fig4 fig5 joint summary ablations all.")
   in
   let run config which telemetry =
     with_telemetry telemetry (fun () ->
@@ -149,6 +149,7 @@ let experiment_cmd =
           | "table4" -> Experiments.table4 env
           | "fig4" -> Experiments.fig4 env
           | "fig5" -> Experiments.fig5 env
+          | "joint" -> Experiments.joint env
           | "summary" -> Experiments.summary env
           | "ablations" -> Experiments.ablations env
           | _ -> Experiments.all env
@@ -520,9 +521,24 @@ let train_cmd =
   let model =
     Arg.(
       value
-      & opt (enum [ ("nn", Train.Nn); ("svm", Train.Svm); ("best", Train.Best) ]) Train.Best
+      & opt
+          (enum
+             [ ("nn", Train.Nn); ("svm", Train.Svm); ("mlp", Train.Mlp); ("best", Train.Best) ])
+          Train.Best
       & info [ "model" ] ~docv:"M"
-          ~doc:"Which learner to package: 'nn', 'svm', or 'best' (higher LOOCV accuracy; default).")
+          ~doc:
+            "Which learner to package: 'nn', 'svm', 'mlp', or 'best' (highest \
+             cross-validation accuracy; default).")
+  in
+  let joint =
+    Arg.(
+      value
+      & flag
+      & info [ "joint" ]
+          ~doc:
+            "Train over the joint (unroll factor x SWP) decision space: sweep the \
+             suite at both SWP settings and fit a 16-way classifier.  Exclusive \
+             with --swp and --follow.")
   in
   let follow =
     Arg.(
@@ -623,10 +639,20 @@ let train_cmd =
       exit 1
     end
   in
-  let run config output swp journal model follow every idle_exit telemetry =
+  let run config output swp joint journal model follow every idle_exit telemetry =
     with_telemetry telemetry (fun () ->
+        if joint && swp then begin
+          (* --joint sweeps both SWP settings itself; a pinned setting
+             contradicts it. *)
+          Printf.eprintf "train: --joint and --swp are exclusive\n";
+          exit 2
+        end;
         match follow with
         | Some path ->
+          if joint then begin
+            Printf.eprintf "train: --joint is not supported with --follow\n";
+            exit 2
+          end;
           if journal <> None then begin
             Printf.eprintf "train: --follow and --journal are exclusive\n";
             exit 2
@@ -653,13 +679,18 @@ let train_cmd =
           Fun.protect
             ~finally:(fun () -> Option.iter Label_store.close journal)
             (fun () ->
-              let artifact, report = Train.run ~progress:true ?journal config ~swp ~model in
+              let artifact, report =
+                if joint then Train.run_joint ~progress:true ?journal config ~model
+                else Train.run ~progress:true ?journal config ~swp ~model
+              in
               Model_artifact.save artifact output;
-              Printf.printf "trained %s model on %d loops (%d measured), %d features\n"
-                report.Train.chosen report.Train.kept report.Train.measured
+              Printf.printf "trained %s model (%s space) on %d loops (%d measured), %d features\n"
+                report.Train.chosen
+                (Model_artifact.label_space_name artifact.Model_artifact.label_space)
+                report.Train.kept report.Train.measured
                 (Array.length report.Train.features);
-              Printf.printf "LOOCV accuracy: nn %.3f, svm %.3f\n" report.Train.nn_loocv
-                report.Train.svm_loocv;
+              Printf.printf "cross-validation accuracy: nn %.3f, svm %.3f, mlp %.3f\n"
+                report.Train.nn_loocv report.Train.svm_loocv report.Train.mlp_loocv;
               Printf.printf "dataset digest: %s\n" report.Train.dataset_digest;
               Printf.printf "wrote %s\n" output))
   in
@@ -671,7 +702,7 @@ let train_cmd =
           artifact.  With --follow, tail a live journal instead and refit \
           incrementally as sweeps complete.")
     Term.(
-      const run $ config_term $ output $ swp $ journal $ model $ follow $ every
+      const run $ config_term $ output $ swp $ joint $ journal $ model $ follow $ every
       $ idle_exit $ telemetry_flag)
 
 (* predict *)
@@ -726,7 +757,10 @@ let predict_cmd =
             Printf.eprintf "predict: give exactly one of --kernels or a .loop FILE\n";
             exit 2
         in
-        let factors =
+        (* Decisions are [(factor, swp)]; [swps] stays [None] unless a local
+           joint-space artifact answered, so factor-space output (local and
+           remote) is byte-identical to what it always was. *)
+        let factors, swps =
           match (remote, artifact) with
           | Some addr, _ -> begin
             (* The remote path speaks the same Wire codec as the server and
@@ -746,19 +780,20 @@ let predict_cmd =
                   Printf.eprintf "remote: %s\n" e;
                   exit 2
                 | Ok responses ->
-                  Array.map
-                    (function
-                      | Wire.Factor f -> f
-                      | Wire.Busy ->
-                        Printf.eprintf "remote: server shed the request (busy)\n";
-                        exit 1
-                      | Wire.Okay _ ->
-                        Printf.eprintf "remote: unexpected control response\n";
-                        exit 1
-                      | Wire.Failure e ->
-                        Printf.eprintf "remote: %s\n" e;
-                        exit 1)
-                    responses)
+                  ( Array.map
+                      (function
+                        | Wire.Factor f -> f
+                        | Wire.Busy ->
+                          Printf.eprintf "remote: server shed the request (busy)\n";
+                          exit 1
+                        | Wire.Okay _ ->
+                          Printf.eprintf "remote: unexpected control response\n";
+                          exit 1
+                        | Wire.Failure e ->
+                          Printf.eprintf "remote: %s\n" e;
+                          exit 1)
+                      responses,
+                    None ))
           end
           | None, Some artifact -> begin
             let service =
@@ -770,7 +805,11 @@ let predict_cmd =
                 Printf.eprintf "artifact: %s\n" e;
                 exit 2
             in
-            Predict_service.predict_batch service loops
+            match Predict_service.label_space service with
+            | Model_artifact.Factor -> (Predict_service.predict_batch service loops, None)
+            | Model_artifact.Joint ->
+              let decisions = Predict_service.predict_joint_batch service loops in
+              (Array.map fst decisions, Some (Array.map snd decisions))
           end
           | None, None ->
             Printf.eprintf "predict: give --artifact FILE or --remote HOST:PORT\n";
@@ -779,7 +818,13 @@ let predict_cmd =
         let buf = Buffer.create 256 in
         List.iteri
           (fun i loop ->
-            Buffer.add_string buf (Printf.sprintf "%s %d\n" loop.Loop.name factors.(i)))
+            match swps with
+            | None ->
+              Buffer.add_string buf (Printf.sprintf "%s %d\n" loop.Loop.name factors.(i))
+            | Some swps ->
+              Buffer.add_string buf
+                (Printf.sprintf "%s %d swp=%s\n" loop.Loop.name factors.(i)
+                   (if swps.(i) then "on" else "off")))
           loops;
         if output = "-" then print_string (Buffer.contents buf)
         else begin
@@ -795,7 +840,7 @@ let predict_cmd =
        ~doc:
          "Batched prediction from a model artifact (or a running server with \
           --remote): verify provenance against the serving machine, print `name \
-          factor` per loop.")
+          factor` per loop (joint-space artifacts add `swp=on|off`).")
     Term.(
       const run $ config_term $ artifact $ remote $ kernels $ file $ output
       $ telemetry_flag)

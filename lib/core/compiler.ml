@@ -60,6 +60,84 @@ let speedup_rows ?(jobs = 1) (config : Config.t) ~swp ~features ~benchmarks ~dat
           (fun () ->
             Predictor.train_svm ~cap:config.Config.fig4_svm_cap config ~features train)
       in
+      let mlp = Predictor.train_mlp config ~features train in
       let sp p = benchmark_speedup config ~swp p ~baseline:Predictor.Orc b labeled in
-      (b.Suite.bname, b.Suite.fp, sp nn, sp svm, sp Predictor.Oracle))
+      (b.Suite.bname, b.Suite.fp, sp nn, sp svm, sp mlp, sp Predictor.Oracle))
+    (Array.of_list benchmarks)
+
+(* --- joint (factor × SWP) realisation ------------------------------------ *)
+
+type space = Pinned of bool | Joint
+
+(* The generalised engine below works over loops carrying the 16 merged
+   cycle counts of Labeling.merge_joint; a decision (factor, swp) costs
+   the merged entry at its Joint class.  [Pinned s] restricts decisions to
+   one SWP setting — deliberately re-deriving what [speedup_rows] computes
+   over a single-space sweep, so the two implementations can be checked
+   against each other. *)
+
+let joint_cost (l : Labeling.labeled) ~factor ~swp =
+  float_of_int l.Labeling.cycles.(Labeling.Joint.encode ~factor ~swp)
+
+let joint_decisions_for config ~space predictor merged =
+  Array.map
+    (fun (l : Labeling.labeled) ->
+      match space with
+      | Pinned swp ->
+        let half =
+          Array.sub l.Labeling.cycles
+            (if swp then Unroll.max_factor else 0)
+            Unroll.max_factor
+        in
+        (Predictor.predict predictor config ~swp ~cycles:half l.Labeling.loop, swp)
+      | Joint -> Predictor.predict_joint predictor config ~cycles:l.Labeling.cycles l.Labeling.loop)
+    merged
+
+let joint_benchmark_speedup config ~space predictor ~baseline (b : Suite.benchmark) merged =
+  let mine =
+    Array.of_list
+      (List.filter
+         (fun (l : Labeling.labeled) -> l.Labeling.bench = b.Suite.bname)
+         (Array.to_list merged))
+  in
+  if Array.length mine = 0 then 1.0
+  else begin
+    let picks = joint_decisions_for config ~space predictor mine in
+    let base = joint_decisions_for config ~space baseline mine in
+    let ratio =
+      let num = ref 0.0 and den = ref 0.0 in
+      Array.iteri
+        (fun i (l : Labeling.labeled) ->
+          let pf, ps = picks.(i) and bf, bs = base.(i) in
+          let c_p = joint_cost l ~factor:pf ~swp:ps in
+          let c_b = joint_cost l ~factor:bf ~swp:bs in
+          num := !num +. (l.Labeling.weight *. (c_p /. c_b));
+          den := !den +. l.Labeling.weight)
+        mine;
+      if !den > 0.0 then !num /. !den else 1.0
+    in
+    let f = b.Suite.loop_fraction in
+    1.0 /. ((1.0 -. f) +. (f *. ratio))
+  end
+
+let joint_speedup_rows ?(jobs = 1) (config : Config.t) ~space ~features ~benchmarks
+    ~dataset merged =
+  (* Same LOBO protocol as [speedup_rows], over decisions in [space]: the
+     caller supplies the matching dataset (8-way single-space for
+     [Pinned], 16-way joint for [Joint]) and the merged sweep.  The ORC
+     baseline runs at the pinned SWP setting, or at SWP off for [Joint] —
+     the hand heuristic never enables pipelining by itself. *)
+  Parallel.map ~jobs
+    (fun (b : Suite.benchmark) ->
+      let train = Dataset.without_group dataset b.Suite.bname in
+      let nn, svm =
+        Parallel.fork_join
+          ~jobs:(if jobs > 1 then 2 else 1)
+          (fun () -> Predictor.train_nn config ~features train)
+          (fun () ->
+            Predictor.train_svm ~cap:config.Config.fig4_svm_cap config ~features train)
+      in
+      let mlp = Predictor.train_mlp config ~features train in
+      let sp p = joint_benchmark_speedup config ~space p ~baseline:Predictor.Orc b merged in
+      (b.Suite.bname, b.Suite.fp, sp nn, sp svm, sp mlp, sp Predictor.Oracle))
     (Array.of_list benchmarks)

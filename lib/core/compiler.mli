@@ -36,10 +36,37 @@ val speedup_rows :
   Config.t -> swp:bool -> features:int array ->
   benchmarks:Suite.benchmark list -> dataset:Dataset.t ->
   Labeling.labeled array ->
-  (string * bool * float * float * float) array
+  (string * bool * float * float * float * float) array
 (** One row per benchmark under the leave-one-benchmark-out protocol of
-    §6.1: [(name, is_fp, nn, svm, oracle)] speedups over the ORC baseline.
-    The NN and SVM are retrained per benchmark on the other benchmarks'
-    loops (restricted to [features]); retrainings run across [jobs] worker
-    domains (default 1), with the two learners of a row trained as a
-    nested fork-join, and order-independent output. *)
+    §6.1: [(name, is_fp, nn, svm, mlp, oracle)] speedups over the ORC
+    baseline.  The learners are retrained per benchmark on the other
+    benchmarks' loops (restricted to [features]); retrainings run across
+    [jobs] worker domains (default 1), with the NN and SVM of a row
+    trained as a nested fork-join, and order-independent output. *)
+
+(** The decision space a realisation runs over. *)
+type space =
+  | Pinned of bool  (** factor only, SWP fixed to the given setting *)
+  | Joint           (** (factor × SWP) chosen jointly per loop *)
+
+val joint_benchmark_speedup :
+  Config.t -> space:space -> Predictor.t -> baseline:Predictor.t ->
+  Suite.benchmark -> Labeling.labeled array -> float
+(** {!benchmark_speedup} generalised over a decision space.  Loops must
+    carry the 16 merged cycle counts of {!Labeling.merge_joint}; a
+    decision (factor, swp) costs the merged entry at its
+    {!Labeling.Joint} class.  [Pinned s] restricts every decision (and
+    the oracle's argmin) to SWP setting [s] — an independent re-derivation
+    of the single-space engine, testable against it. *)
+
+val joint_speedup_rows :
+  ?jobs:int ->
+  Config.t -> space:space -> features:int array ->
+  benchmarks:Suite.benchmark list -> dataset:Dataset.t ->
+  Labeling.labeled array ->
+  (string * bool * float * float * float * float) array
+(** {!speedup_rows} over a decision space: [(name, is_fp, nn, svm, mlp,
+    oracle)] against the ORC baseline (ORC runs at the pinned setting,
+    or at SWP off for [Joint]).  The caller supplies the dataset matching
+    the space — 8-way single-space for [Pinned], 16-way joint for
+    [Joint] — and the merged sweep from {!Labeling.merge_joint}. *)

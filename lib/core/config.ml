@@ -14,6 +14,8 @@ type t = {
   mis_k : int;
   fig4_svm_cap : int;
   loocv_svm_cap : int;
+  mlp_seed : int;
+  mlp_hyper : Mlp.hyper;
 }
 
 let default =
@@ -33,6 +35,8 @@ let default =
     mis_k = 5;
     fig4_svm_cap = 2000;
     loocv_svm_cap = 2600;
+    mlp_seed = 7;
+    mlp_hyper = Mlp.default_hyper;
   }
 
 let fast =

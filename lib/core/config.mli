@@ -25,6 +25,9 @@ type t = {
       speedup experiments (keeps 24 retrainings tractable) *)
   loocv_svm_cap : int;
   (** max examples entering the LOOCV SVM factorisation (Table 2) *)
+  mlp_seed : int;
+  (** seed for MLP weight init, epoch shuffles and the holdout split *)
+  mlp_hyper : Mlp.hyper;  (** MLP architecture and SGD hyperparameters *)
 }
 
 val default : t

@@ -1,17 +1,20 @@
-type speedup_row = string * bool * float * float * float
+type speedup_row = string * bool * float * float * float * float
 
 type env = {
   config : Config.t;
   benchmarks : Suite.benchmark list;
   labeled_off : Labeling.labeled array;
   labeled_on : Labeling.labeled array;
+  merged : Labeling.labeled array;
   filtered_off : Labeling.labeled array;
   filtered_on : Labeling.labeled array;
   dataset_off : Dataset.t;
   dataset_on : Dataset.t;
+  dataset_joint : Dataset.t;
   selected : int array;
   rows_off : speedup_row array Lazy.t;
   rows_on : speedup_row array Lazy.t;
+  rows_joint : speedup_row array Lazy.t;
 }
 
 let info progress fmt =
@@ -83,8 +86,10 @@ let build_env ?(progress = true) (config : Config.t) =
   in
   let filtered_off = filter_labeled labeled_off in
   let filtered_on = filter_labeled labeled_on in
+  let merged = Labeling.merge_joint ~off:labeled_off ~on:labeled_on in
   let dataset_off = Labeling.to_dataset config labeled_off in
   let dataset_on = Labeling.to_dataset config labeled_on in
+  let dataset_joint = Labeling.to_joint_dataset config ~off:labeled_off ~on:labeled_on in
   info progress "dataset: %d/%d loops survive filters (swp off), %d (swp on)"
     (Dataset.size dataset_off) count (Dataset.size dataset_on);
   let selected = select_feature_subset ~progress config dataset_off in
@@ -107,13 +112,19 @@ let build_env ?(progress = true) (config : Config.t) =
     benchmarks;
     labeled_off;
     labeled_on;
+    merged;
     filtered_off;
     filtered_on;
     dataset_off;
     dataset_on;
+    dataset_joint;
     selected;
     rows_off = rows ~swp:false labeled_off dataset_off;
     rows_on = rows ~swp:true labeled_on dataset_on;
+    rows_joint =
+      lazy
+        (Compiler.joint_speedup_rows ~jobs:config.Config.jobs config ~space:Compiler.Joint
+           ~features:selected ~benchmarks:spec ~dataset:dataset_joint merged);
   }
 
 (* ------------------------------------------------------------------ *)
@@ -184,6 +195,18 @@ let table2 env =
   in
   let svm_truth = Dataset.labels svm_ds in
   let svm_costs = Array.map (fun e -> e.Dataset.costs) svm_ds.Dataset.examples in
+  (* The MLP has no closed-form leave-one-out shortcut; per-example
+     retraining is O(N × SGD), so it is scored leave-one-benchmark-out
+     (one retraining per group — the §6.1 protocol). *)
+  let mlp_pred =
+    Loocv.grouped ~jobs:config.Config.jobs
+      ~groups:(Array.map (fun e -> e.Dataset.group) ds.Dataset.examples)
+      ~train:(fun p ->
+        fst
+          (Mlp.train ~seed:config.Config.mlp_seed ~hyper:config.Config.mlp_hyper
+             ~n_classes:ds.Dataset.n_classes p))
+      ~predict:Mlp.predict pairs
+  in
   let orc_pred =
     Array.map
       (fun (l : Labeling.labeled) ->
@@ -192,6 +215,7 @@ let table2 env =
   in
   let nn_rank = Metrics.rank_distribution ~pred:nn_pred ~costs in
   let svm_rank = Metrics.rank_distribution ~pred:svm_pred ~costs:svm_costs in
+  let mlp_rank = Metrics.rank_distribution ~pred:mlp_pred ~costs in
   let orc_rank = Metrics.rank_distribution ~pred:orc_pred ~costs in
   let penalty = Metrics.rank_cost_penalty ~costs in
   let t =
@@ -200,6 +224,7 @@ let table2 env =
         ("Prediction correctness", Table.Left);
         ("NN", Table.Right);
         ("SVM", Table.Right);
+        ("MLP", Table.Right);
         ("ORC", Table.Right);
         ("Cost", Table.Right);
       ]
@@ -220,6 +245,7 @@ let table2 env =
         rank_label r;
         Table.cell_float ~decimals:2 nn_rank.(r);
         Table.cell_float ~decimals:2 svm_rank.(r);
+        Table.cell_float ~decimals:2 mlp_rank.(r);
         Table.cell_float ~decimals:2 orc_rank.(r);
         Printf.sprintf "%.2fx" penalty.(r);
       ]
@@ -227,11 +253,12 @@ let table2 env =
   let within7 p c = Metrics.within_of_optimal ~pred:p ~costs:c 1.07 in
   Table.to_string t
   ^ Printf.sprintf
-      "NN accuracy %s (paper 62%%) | SVM accuracy %s (paper 65%%) | ORC accuracy %s (paper 16%%)\n\
+      "NN accuracy %s (paper 62%%) | SVM accuracy %s (paper 65%%) | MLP accuracy %s | ORC accuracy %s (paper 16%%)\n\
        SVM optimal-or-second %s (paper 79%%) | SVM within 7%% of optimal %s\n\
-       truth vs NN agreement on %d examples; SVM LOOCV over %d examples\n"
+       truth vs NN agreement on %d examples; SVM LOOCV over %d examples; MLP scored leave-one-benchmark-out\n"
       (Table.cell_pct (Metrics.accuracy ~pred:nn_pred ~truth))
       (Table.cell_pct (Metrics.accuracy ~pred:svm_pred ~truth:svm_truth))
+      (Table.cell_pct (Metrics.accuracy ~pred:mlp_pred ~truth))
       (Table.cell_pct (Metrics.accuracy ~pred:orc_pred ~truth))
       (Table.cell_pct (svm_rank.(0) +. svm_rank.(1)))
       (Table.cell_pct (within7 svm_pred svm_costs))
@@ -438,6 +465,11 @@ let fig2 env =
 let speedup_rows env ~swp =
   Lazy.force (if swp then env.rows_on else env.rows_off)
 
+let nn_of (_, _, v, _, _, _) = v
+let svm_of (_, _, _, v, _, _) = v
+let mlp_of (_, _, _, _, v, _) = v
+let oracle_of (_, _, _, _, _, v) = v
+
 let render_speedups ~title rows =
   let t =
     Table.create ~title
@@ -445,46 +477,44 @@ let render_speedups ~title rows =
         ("Benchmark", Table.Left);
         ("NN v. ORC", Table.Right);
         ("SVM v. ORC", Table.Right);
+        ("MLP v. ORC", Table.Right);
         ("Oracle v. ORC", Table.Right);
       ]
   in
   Array.iter
-    (fun (name, _, nn, svm, oracle) ->
+    (fun (name, _, nn, svm, mlp, oracle) ->
       Table.add_row t
         [
           name;
           Table.cell_pct (nn -. 1.0);
           Table.cell_pct (svm -. 1.0);
+          Table.cell_pct (mlp -. 1.0);
           Table.cell_pct (oracle -. 1.0);
         ])
     rows;
   Table.add_separator t;
   let agg f rows = Stats.geomean (Array.map f rows) in
   let fp_rows =
-    Array.of_list (List.filter (fun (_, fp, _, _, _) -> fp) (Array.to_list rows))
+    Array.of_list (List.filter (fun (_, fp, _, _, _, _) -> fp) (Array.to_list rows))
   in
-  Table.add_row t
-    [
-      "GEOMEAN (all 24)";
-      Table.cell_pct (agg (fun (_, _, v, _, _) -> v) rows -. 1.0);
-      Table.cell_pct (agg (fun (_, _, _, v, _) -> v) rows -. 1.0);
-      Table.cell_pct (agg (fun (_, _, _, _, v) -> v) rows -. 1.0);
-    ];
-  Table.add_row t
-    [
-      "GEOMEAN (SPECfp)";
-      Table.cell_pct (agg (fun (_, _, v, _, _) -> v) fp_rows -. 1.0);
-      Table.cell_pct (agg (fun (_, _, _, v, _) -> v) fp_rows -. 1.0);
-      Table.cell_pct (agg (fun (_, _, _, _, v) -> v) fp_rows -. 1.0);
-    ];
+  let geomean_row label rows =
+    Table.add_row t
+      [
+        label;
+        Table.cell_pct (agg nn_of rows -. 1.0);
+        Table.cell_pct (agg svm_of rows -. 1.0);
+        Table.cell_pct (agg mlp_of rows -. 1.0);
+        Table.cell_pct (agg oracle_of rows -. 1.0);
+      ]
+  in
+  geomean_row "GEOMEAN (all 24)" rows;
+  geomean_row "GEOMEAN (SPECfp)" fp_rows;
   let wins f =
     Array.fold_left (fun acc r -> if f r > 1.0 then acc + 1 else acc) 0 rows
   in
   Table.to_string t
-  ^ Printf.sprintf "SVM beats ORC on %d of %d benchmarks; NN on %d of %d\n"
-      (wins (fun (_, _, _, v, _) -> v))
-      (Array.length rows)
-      (wins (fun (_, _, v, _, _) -> v))
+  ^ Printf.sprintf "SVM beats ORC on %d of %d benchmarks; NN on %d of %d; MLP on %d of %d\n"
+      (wins svm_of) (Array.length rows) (wins nn_of) (Array.length rows) (wins mlp_of)
       (Array.length rows)
 
 let fig4 env =
@@ -504,7 +534,7 @@ let summary env =
   let rows_on = speedup_rows env ~swp:true in
   let agg f rows = Stats.geomean (Array.map f rows) -. 1.0 in
   let fp rows =
-    Array.of_list (List.filter (fun (_, fp, _, _, _) -> fp) (Array.to_list rows))
+    Array.of_list (List.filter (fun (_, fp, _, _, _, _) -> fp) (Array.to_list rows))
   in
   let t =
     Table.create ~title:"Summary: paper claim vs this reproduction"
@@ -534,23 +564,140 @@ let summary env =
   row "SVM optimal-or-second rate" "79%" (Table.cell_pct (svm_rank.(0) +. svm_rank.(1)));
   row "NN optimal prediction rate (LOOCV)" "62%" (Table.cell_pct nn_acc);
   row "speedup over ORC, SWP off (SPEC 2000)" "5%"
-    (Table.cell_pct (agg (fun (_, _, _, v, _) -> v) rows_off));
+    (Table.cell_pct (agg svm_of rows_off));
   row "speedup over ORC, SWP off (SPECfp)" "9%"
-    (Table.cell_pct (agg (fun (_, _, _, v, _) -> v) (fp rows_off)));
+    (Table.cell_pct (agg svm_of (fp rows_off)));
+  row "MLP speedup over ORC, SWP off" "n/a"
+    (Table.cell_pct (agg mlp_of rows_off));
   row "oracle speedup, SWP off" "7.2%"
-    (Table.cell_pct (agg (fun (_, _, _, _, v) -> v) rows_off));
+    (Table.cell_pct (agg oracle_of rows_off));
   row "speedup over ORC, SWP on (SPEC 2000)" "1%"
-    (Table.cell_pct (agg (fun (_, _, _, v, _) -> v) rows_on));
+    (Table.cell_pct (agg svm_of rows_on));
   row "oracle speedup, SWP on" "4.4%"
-    (Table.cell_pct (agg (fun (_, _, _, _, v) -> v) rows_on));
+    (Table.cell_pct (agg oracle_of rows_on));
   let improved rows =
-    Array.fold_left (fun acc (_, _, _, v, _) -> if v > 1.0 then acc + 1 else acc) 0 rows
+    Array.fold_left
+      (fun acc r -> if svm_of r > 1.0 then acc + 1 else acc)
+      0 rows
   in
   row "benchmarks improved, SWP off" "19 of 24"
     (Printf.sprintf "%d of %d" (improved rows_off) (Array.length rows_off));
   row "benchmarks improved, SWP on" "16 of 24"
     (Printf.sprintf "%d of %d" (improved rows_on) (Array.length rows_on));
   Table.to_string t
+
+(* ------------------------------------------------------------------ *)
+(* Joint (unroll factor × SWP) decision space                          *)
+
+let joint env =
+  let config = env.config in
+  let jobs = config.Config.jobs in
+  let buf = Buffer.create 2048 in
+  (* LOOCV-vs-LOOCV: every learner scored leave-one-benchmark-out on its
+     own label space.  One protocol for all three learners and both heads,
+     so the 8-way and 16-way columns are directly comparable (the
+     closed-form per-example shortcuts only exist for NN/SVM, and only on
+     a fixed training set). *)
+  let head ds =
+    let scaled = scaled_selected env ds in
+    let pairs = Dataset.points scaled in
+    let groups = Array.map (fun e -> e.Dataset.group) scaled.Dataset.examples in
+    let truth = Dataset.labels scaled in
+    let n_classes = scaled.Dataset.n_classes in
+    let score train predict =
+      Metrics.accuracy ~pred:(Loocv.grouped ~jobs ~groups ~train ~predict pairs) ~truth
+    in
+    let nn =
+      score
+        (fun p -> Knn.train ~radius:config.Config.knn_radius ~n_classes p)
+        Knn.predict
+    in
+    let svm_cap = min config.Config.loocv_svm_cap 800 in
+    let svm_scaled = cap_examples scaled svm_cap in
+    let svm_pairs = Dataset.points svm_scaled in
+    let svm_groups = Array.map (fun e -> e.Dataset.group) svm_scaled.Dataset.examples in
+    let svm =
+      Metrics.accuracy
+        ~pred:
+          (Loocv.grouped ~jobs ~groups:svm_groups
+             ~train:(fun p ->
+               Multiclass.train ~n_classes ~kernel:config.Config.svm_kernel
+                 ~gamma:config.Config.svm_gamma p)
+             ~predict:Multiclass.predict svm_pairs)
+        ~truth:(Dataset.labels svm_scaled)
+    in
+    let mlp =
+      score
+        (fun p ->
+          fst
+            (Mlp.train ~seed:config.Config.mlp_seed ~hyper:config.Config.mlp_hyper
+               ~n_classes p))
+        Mlp.predict
+    in
+    (nn, svm, mlp, Dataset.size scaled)
+  in
+  let f_nn, f_svm, f_mlp, f_n = head env.dataset_off in
+  let j_nn, j_svm, j_mlp, j_n = head env.dataset_joint in
+  let t =
+    Table.create
+      ~title:"Joint decision space: leave-one-benchmark-out accuracy per head"
+      [
+        ("Head", Table.Left);
+        ("Classes", Table.Right);
+        ("NN", Table.Right);
+        ("SVM", Table.Right);
+        ("MLP", Table.Right);
+        ("Examples", Table.Right);
+      ]
+  in
+  Table.add_row t
+    [
+      "factor (SWP off)";
+      string_of_int Unroll.max_factor;
+      Table.cell_pct f_nn;
+      Table.cell_pct f_svm;
+      Table.cell_pct f_mlp;
+      string_of_int f_n;
+    ];
+  Table.add_row t
+    [
+      "joint (factor x SWP)";
+      string_of_int Labeling.Joint.classes;
+      Table.cell_pct j_nn;
+      Table.cell_pct j_svm;
+      Table.cell_pct j_mlp;
+      string_of_int j_n;
+    ];
+  Buffer.add_string buf (Table.to_string t);
+  (* Realized speedup over the shared ORC-at-SWP-off baseline: the joint
+     head may pick any (factor, swp) coordinate, the single-decision rows
+     (Figure 4) only a factor at SWP off. *)
+  let rows_joint = Lazy.force env.rows_joint in
+  Buffer.add_string buf
+    (render_speedups
+       ~title:
+         "Joint (unroll x SWP) realized speedup over ORC (SWP off baseline, LOBO)"
+       rows_joint);
+  let rows_off = Lazy.force env.rows_off in
+  let geo f rows = Stats.geomean (Array.map f rows) in
+  let best rows =
+    List.fold_left
+      (fun (bn, bv) (n, v) -> if v > bv then (n, v) else (bn, bv))
+      ("nn", geo nn_of rows)
+      [ ("svm", geo svm_of rows); ("mlp", geo mlp_of rows) ]
+  in
+  let sn, sv = best rows_off in
+  let jn, jv = best rows_joint in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "best joint pipeline: %s %+.2f%% | best single-decision pipeline (SWP off): %s %+.2f%% | joint %s\n\
+        (both against the ORC SWP-off baseline; the SWP-on rows of Figure 5 use a different baseline)\n"
+       jn
+       ((jv -. 1.0) *. 100.0)
+       sn
+       ((sv -. 1.0) *. 100.0)
+       (if jv >= sv then "beats-or-matches" else "trails"));
+  Buffer.contents buf
 
 (* ------------------------------------------------------------------ *)
 (* Ablations: design choices the paper mentions but does not evaluate.  *)
@@ -749,6 +896,7 @@ let all env =
       table4 env;
       fig4 env;
       fig5 env;
+      joint env;
       summary env;
       ablations env;
     ]

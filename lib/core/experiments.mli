@@ -8,25 +8,31 @@
     figure as text (ASCII plots for the figures), shaped after the paper's
     artefact. *)
 
-type speedup_row = string * bool * float * float * float
-(** [(bname, is_fp, nn, svm, oracle)] speedups over the ORC baseline. *)
+type speedup_row = string * bool * float * float * float * float
+(** [(bname, is_fp, nn, svm, mlp, oracle)] speedups over the ORC baseline. *)
 
 type env = {
   config : Config.t;
   benchmarks : Suite.benchmark list;
   labeled_off : Labeling.labeled array;  (** all loops, SWP disabled *)
   labeled_on : Labeling.labeled array;   (** all loops, SWP enabled *)
+  merged : Labeling.labeled array;
+  (** positionally merged off++on sweep ({!Labeling.merge_joint}): every
+      loop with its 16 joint cycle counts *)
   filtered_off : Labeling.labeled array; (** filter-surviving, dataset order *)
   filtered_on : Labeling.labeled array;
   dataset_off : Dataset.t;
   dataset_on : Dataset.t;
+  dataset_joint : Dataset.t;             (** 16-class joint-label dataset *)
   selected : int array;
   (** feature subset used for classification (§7: union of the MIS top-k
       and the greedy picks for both classifiers) *)
   rows_off : speedup_row array Lazy.t;
   rows_on : speedup_row array Lazy.t;
-  (** per-benchmark speedups from {!Compiler.speedup_rows}, computed on
-      first demand and shared between the figure drivers and {!summary} *)
+  rows_joint : speedup_row array Lazy.t;
+  (** per-benchmark speedups from {!Compiler.speedup_rows} (and the joint
+      engine), computed on first demand and shared between the figure
+      drivers, {!joint} and {!summary} *)
 }
 
 val build_env : ?progress:bool -> Config.t -> env
@@ -72,6 +78,13 @@ val fig4 : env -> string
 
 val fig5 : env -> string
 (** Same with SWP enabled. *)
+
+val joint : env -> string
+(** The widened (unroll factor × SWP) decision space: leave-one-benchmark-out
+    accuracy of NN / LS-SVM / MLP on the 8-way factor head vs the 16-way
+    joint head, the joint realized-speedup table over the ORC SWP-off
+    baseline, and a verdict line comparing the best joint pipeline against
+    the best single-decision one. *)
 
 val summary : env -> string
 (** Headline numbers next to the paper's claims. *)

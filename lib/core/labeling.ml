@@ -84,6 +84,55 @@ let collect ?progress ?(jobs = 1) ?journal (config : Config.t) ~swp benchmarks =
   in
   Parallel.map ~jobs measure tasks
 
+(* --- joint (unroll factor × SWP) label space ----------------------------- *)
+
+module Joint = struct
+  let classes = 2 * Unroll.max_factor
+
+  (* Class layout mirrors the concatenated cost array [off ++ on]:
+     classes 0..7 are factors 1..8 with SWP off, 8..15 the same with SWP
+     on.  Keeping encode/decode and the cost concatenation in one place
+     is what the round-trip tests pin down. *)
+  let encode ~factor ~swp =
+    if factor < 1 || factor > Unroll.max_factor then
+      invalid_arg "Labeling.Joint.encode: factor out of range";
+    (if swp then Unroll.max_factor else 0) + factor - 1
+
+  let decode c =
+    if c < 0 || c >= classes then invalid_arg "Labeling.Joint.decode: class out of range";
+    ((c mod Unroll.max_factor) + 1, c >= Unroll.max_factor)
+end
+
+let merge_joint ~off ~on =
+  if Array.length off <> Array.length on then
+    invalid_arg "Labeling: off/on sweeps differ in length";
+  Array.map2
+    (fun (o : labeled) (s : labeled) ->
+      if o.loop.Loop.name <> s.loop.Loop.name || o.bench <> s.bench then
+        invalid_arg "Labeling: off/on sweeps are not positionally aligned";
+      { o with cycles = Array.append o.cycles s.cycles })
+    off on
+
+let to_joint_dataset ?(filtered = true) (config : Config.t) ~off ~on =
+  let merged = merge_joint ~off ~on in
+  let keep =
+    if filtered then List.filter passes_filters (Array.to_list merged)
+    else Array.to_list merged
+  in
+  let examples =
+    List.map
+      (fun l ->
+        {
+          Dataset.features = Features.extract config.Config.machine l.loop;
+          label = Stats.min_index (Array.map float_of_int l.cycles);
+          tag = l.loop.Loop.name;
+          group = l.bench;
+          costs = Array.map float_of_int l.cycles;
+        })
+      keep
+  in
+  Dataset.create ~feature_names:Features.names ~n_classes:Joint.classes examples
+
 let to_dataset ?(filtered = true) (config : Config.t) labeled =
   let keep =
     if filtered then List.filter passes_filters (Array.to_list labeled)

@@ -55,3 +55,31 @@ val to_dataset : ?filtered:bool -> Config.t -> labeled array -> Dataset.t
 (** Feature extraction + labelling.  [filtered] (default true) applies
     {!passes_filters}.  Labels are 0-based (factor − 1); costs are the
     measured cycles. *)
+
+(** The joint (unroll factor × SWP on/off) decision space: 16 classes laid
+    out to mirror the concatenated cost array [off ++ on] — classes 0..7
+    are factors 1..8 with SWP off, 8..15 the same factors with SWP on. *)
+module Joint : sig
+  val classes : int
+
+  val encode : factor:int -> swp:bool -> int
+  (** 0-based joint class of a (1-based factor, swp) decision.  Raises
+      [Invalid_argument] on a factor outside 1..{!Unroll.max_factor}. *)
+
+  val decode : int -> int * bool
+  (** Inverse of {!encode}: [(factor, swp)].  Raises [Invalid_argument]
+      outside \[0, {!classes}). *)
+end
+
+val merge_joint : off:labeled array -> on:labeled array -> labeled array
+(** Positionally merge an SWP-off sweep with an SWP-on sweep of the same
+    suite into loops carrying 16-entry cost arrays (off cycles then on
+    cycles).  Raises [Invalid_argument] if the sweeps differ in length or
+    loop identity at any index. *)
+
+val to_joint_dataset :
+  ?filtered:bool -> Config.t -> off:labeled array -> on:labeled array -> Dataset.t
+(** {!to_dataset} over the joint space: labels are
+    [Joint.encode] indices of the cheapest (factor, swp) coordinate,
+    costs the 16 merged cycle counts.  Filters apply to the merged cost
+    array (best and mean taken over both SWP settings). *)

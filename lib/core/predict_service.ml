@@ -9,6 +9,7 @@ type t = {
      mix models. *)
   model_kind : string;
   model_digest : string;
+  label_space : Model_artifact.label_space;
   telemetry : Telemetry.t option;
   (* Feature vectors keyed by loop content (name blanked): the scaled,
      projected vector [Predictor.featurize] would recompute.  Returning the
@@ -48,6 +49,7 @@ let create ?telemetry ?(cache_capacity = default_cache_capacity) (config : Confi
           model_kind = Model_artifact.kind artifact;
           model_digest =
             Digest.to_hex (Digest.string (Model_artifact.to_string artifact));
+          label_space = artifact.Model_artifact.label_space;
           telemetry;
           cache = Hashtbl.create (min 256 (max 16 cache_capacity));
           order = Queue.create ();
@@ -104,12 +106,13 @@ let record t field n =
   | None -> ()
   | Some tel -> Telemetry.incr tel ~pass:"predict-service" field n
 
-let predict_batch ?(jobs = 1) t loops =
+(* Raw 0-based classes in the artifact's label space.  Class 0 decodes to
+   (factor 1, SWP off) in both spaces, so it is the right answer for
+   non-unrollable loops — the same gate [Predictor.predict] applies. *)
+let classify_batch ?(jobs = 1) t loops =
   let loops = Array.of_list loops in
   let n = Array.length loops in
-  let out = Array.make n 1 in
-  (* Unrollable loops go through the model; the rest stay at factor 1, the
-     same gate [Predictor.predict] applies. *)
+  let out = Array.make n 0 in
   let idx = ref [] in
   for i = n - 1 downto 0 do
     if Loop.unrollable loops.(i) then idx := i :: !idx
@@ -125,7 +128,11 @@ let predict_batch ?(jobs = 1) t loops =
        pure layout step, but it keeps the service on the flat row-major
        allocation pattern the numeric kernels expect and exercises
        [points_matrix] from the serving side. *)
-    let n_classes = Unroll.max_factor in
+    let n_classes =
+      match t.label_space with
+      | Model_artifact.Factor -> Unroll.max_factor
+      | Model_artifact.Joint -> Labeling.Joint.classes
+    in
     let examples =
       Array.to_list
         (Array.mapi
@@ -144,7 +151,7 @@ let predict_batch ?(jobs = 1) t loops =
     (* Row classifications are independent and land at their input index, so
        fanning them over the domain pool is bit-identical at any [jobs]. *)
     Parallel.iter ~jobs (Array.length idx) (fun k ->
-        out.(idx.(k)) <- Predictor.predict_scaled t.predictor (Mat.row m k))
+        out.(idx.(k)) <- Predictor.classify_scaled t.predictor (Mat.row m k))
   end;
   record t "loops" n;
   record t "vector-cache-hits" (t.hits - hits0);
@@ -152,9 +159,23 @@ let predict_batch ?(jobs = 1) t loops =
   record t "vector-cache-evictions" (t.evictions - evict0);
   out
 
+let predict_batch ?jobs t loops =
+  let classes = classify_batch ?jobs t loops in
+  match t.label_space with
+  | Model_artifact.Factor -> Array.map (fun c -> c + 1) classes
+  | Model_artifact.Joint ->
+    Array.map (fun c -> fst (Labeling.Joint.decode c)) classes
+
+let predict_joint_batch ?jobs t loops =
+  let classes = classify_batch ?jobs t loops in
+  match t.label_space with
+  | Model_artifact.Factor -> Array.map (fun c -> (c + 1, false)) classes
+  | Model_artifact.Joint -> Array.map Labeling.Joint.decode classes
+
 let predict t loop = (predict_batch t [ loop ]).(0)
 let model_kind t = t.model_kind
 let model_digest t = t.model_digest
+let label_space t = t.label_space
 let cache_hits t = t.hits
 let cache_misses t = t.misses
 let cache_evictions t = t.evictions

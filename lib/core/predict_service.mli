@@ -44,7 +44,11 @@ val predictor : t -> Predictor.t
 (** The reconstructed in-compiler predictor (shared load path). *)
 
 val model_kind : t -> string
-(** ["nn"] or ["svm"] — the loaded artifact's payload kind. *)
+(** ["nn"], ["svm"] or ["mlp"] — the loaded artifact's payload kind. *)
+
+val label_space : t -> Model_artifact.label_space
+(** The loaded artifact's decision space: [Factor] (8-way unroll factor)
+    or [Joint] (16-way factor × SWP). *)
 
 val model_digest : t -> string
 (** Hex digest of the loaded artifact's canonical serialisation.  Every
@@ -57,9 +61,20 @@ val predict : t -> Loop.t -> int
 
 val predict_batch : ?jobs:int -> t -> Loop.t list -> int array
 (** Factors in 1..8, in input order.  Non-unrollable loops get 1 without
-    consulting the model, like {!Predictor.predict}.  [jobs] (default 1)
-    fans the per-row classification over the {!Parallel} domain pool;
-    results are bit-identical at any value. *)
+    consulting the model, like {!Predictor.predict}.  Joint-space
+    artifacts answer with the factor half of their decision.  [jobs]
+    (default 1) fans the per-row classification over the {!Parallel}
+    domain pool; results are bit-identical at any value. *)
+
+val classify_batch : ?jobs:int -> t -> Loop.t list -> int array
+(** Raw 0-based classes in the artifact's label space, in input order —
+    [0..7] for [Factor] artifacts, [0..15] for [Joint] ones.
+    Non-unrollable loops get class 0, which decodes to (factor 1, SWP
+    off) in both spaces. *)
+
+val predict_joint_batch : ?jobs:int -> t -> Loop.t list -> (int * bool) array
+(** [(factor, swp)] decisions in input order.  [Factor] artifacts always
+    answer [(factor, false)]; [Joint] ones decode their 16-way class. *)
 
 val cache_hits : t -> int
 val cache_misses : t -> int

@@ -5,6 +5,7 @@ type t =
   | Nn of learned_nn
   | Svm of learned_svm
   | Tree of learned_tree
+  | Mlp of learned_mlp
 
 and learned_nn = { nn_model : Knn.t; nn_scaler : Scale.t; nn_features : int array }
 
@@ -20,6 +21,8 @@ and learned_tree = {
   tree_features : int array;
 }
 
+and learned_mlp = { mlp_model : Mlp.t; mlp_scaler : Scale.t; mlp_features : int array }
+
 let name = function
   | Fixed k -> Printf.sprintf "fixed-%d" k
   | Orc -> "orc"
@@ -27,6 +30,7 @@ let name = function
   | Nn _ -> "nn"
   | Svm _ -> "svm"
   | Tree _ -> "tree"
+  | Mlp _ -> "mlp"
 
 let prepare ~features ds =
   let ds = Dataset.select_features ds features in
@@ -62,6 +66,14 @@ let train_svm ?cap (config : Config.t) ~features ds =
   in
   Svm { svm_model = model; svm_scaler = scaler; svm_features = features }
 
+let train_mlp ?jobs ?telemetry (config : Config.t) ~features ds =
+  let scaled, scaler = prepare ~features ds in
+  let model, _stats =
+    Mlp.train ?jobs ?telemetry ~seed:config.Config.mlp_seed ~hyper:config.Config.mlp_hyper
+      ~n_classes:ds.Dataset.n_classes (Dataset.points scaled)
+  in
+  Mlp { mlp_model = model; mlp_scaler = scaler; mlp_features = features }
+
 let train_tree (_config : Config.t) ~features ds =
   let scaled, scaler = prepare ~features ds in
   let model =
@@ -78,7 +90,7 @@ let project features x = Array.map (fun j -> x.(j)) features
    CLI trainer, the predict service, and the in-compiler load path all
    share, so a shipped model cannot diverge from the in-process one. *)
 
-let to_artifact (config : Config.t) ~dataset_digest t =
+let to_artifact ?(label_space = Model_artifact.Factor) (config : Config.t) ~dataset_digest t =
   let provenance =
     {
       Model_artifact.dataset_digest;
@@ -94,6 +106,7 @@ let to_artifact (config : Config.t) ~dataset_digest t =
     let mean, std = Scale.export nn_scaler in
     {
       Model_artifact.provenance;
+      label_space;
       features = nn_features;
       feature_names = names nn_features;
       mean;
@@ -106,6 +119,7 @@ let to_artifact (config : Config.t) ~dataset_digest t =
     let mean, std = Scale.export svm_scaler in
     {
       Model_artifact.provenance;
+      label_space;
       features = svm_features;
       feature_names = names svm_features;
       mean;
@@ -119,8 +133,20 @@ let to_artifact (config : Config.t) ~dataset_digest t =
             points = Lssvm.training_points machines.(0);
           };
     }
+  | Mlp { mlp_model; mlp_scaler; mlp_features } ->
+    let dims, weights, biases = Mlp.export mlp_model in
+    let mean, std = Scale.export mlp_scaler in
+    {
+      Model_artifact.provenance;
+      label_space;
+      features = mlp_features;
+      feature_names = names mlp_features;
+      mean;
+      std;
+      payload = Model_artifact.Mlp { dims; weights; biases };
+    }
   | Fixed _ | Orc | Oracle | Tree _ ->
-    invalid_arg "Predictor.to_artifact: only learned NN/SVM predictors persist"
+    invalid_arg "Predictor.to_artifact: only learned NN/SVM/MLP predictors persist"
 
 let of_artifact (a : Model_artifact.t) =
   (* The artifact names the features it was trained on; a mismatch with
@@ -158,6 +184,14 @@ let of_artifact (a : Model_artifact.t) =
              svm_model = Multiclass.import ~codewords ~machines;
              svm_scaler = scaler;
              svm_features = a.Model_artifact.features;
+           })
+    | Model_artifact.Mlp { dims; weights; biases } ->
+      Ok
+        (Mlp
+           {
+             mlp_model = Mlp.import ~dims ~weights ~biases;
+             mlp_scaler = scaler;
+             mlp_features = a.Model_artifact.features;
            }))
 
 let predict t (config : Config.t) ~swp ?cycles loop =
@@ -182,6 +216,9 @@ let predict t (config : Config.t) ~swp ?cycles loop =
   | Tree { tree_model; tree_scaler; tree_features } ->
     let x = project tree_features (Features.extract config.Config.machine loop) in
     1 + Decision_tree.predict tree_model (Scale.transform tree_scaler x)
+  | Mlp { mlp_model; mlp_scaler; mlp_features } ->
+    let x = project mlp_features (Features.extract config.Config.machine loop) in
+    1 + Mlp.predict mlp_model (Scale.transform mlp_scaler x)
 
 let featurize t (config : Config.t) loop =
   let go features scaler =
@@ -191,13 +228,39 @@ let featurize t (config : Config.t) loop =
   | Nn { nn_scaler; nn_features; _ } -> go nn_features nn_scaler
   | Svm { svm_scaler; svm_features; _ } -> go svm_features svm_scaler
   | Tree { tree_scaler; tree_features; _ } -> go tree_features tree_scaler
+  | Mlp { mlp_scaler; mlp_features; _ } -> go mlp_features mlp_scaler
   | Fixed _ | Orc | Oracle ->
     invalid_arg "Predictor.featurize: only learned predictors have a feature space"
 
-let predict_scaled t x =
+let classify_scaled t x =
   match t with
-  | Nn { nn_model; _ } -> 1 + Knn.predict nn_model x
-  | Svm { svm_model; _ } -> 1 + Multiclass.predict svm_model x
-  | Tree { tree_model; _ } -> 1 + Decision_tree.predict tree_model x
+  | Nn { nn_model; _ } -> Knn.predict nn_model x
+  | Svm { svm_model; _ } -> Multiclass.predict svm_model x
+  | Tree { tree_model; _ } -> Decision_tree.predict tree_model x
+  | Mlp { mlp_model; _ } -> Mlp.predict mlp_model x
   | Fixed _ | Orc | Oracle ->
-    invalid_arg "Predictor.predict_scaled: only learned predictors take feature vectors"
+    invalid_arg "Predictor.classify_scaled: only learned predictors take feature vectors"
+
+let predict_scaled t x = 1 + classify_scaled t x
+
+(* --- joint (factor × SWP) decisions -------------------------------------- *)
+
+let predict_joint t (config : Config.t) ?cycles loop =
+  if not (Loop.unrollable loop) then (1, false)
+  else
+  match t with
+  | Fixed k -> (max 1 (min Unroll.max_factor k), false)
+  (* The hand heuristic never turns SWP on by itself — it picks a factor
+     for whatever pipeline setting it is given.  As a joint baseline it
+     is ORC at SWP off, mirroring the single-decision experiments. *)
+  | Orc -> (Orc_heuristic.predict config.Config.machine ~swp:false loop, false)
+  | Oracle -> begin
+    match cycles with
+    | Some cs ->
+      if Array.length cs <> Labeling.Joint.classes then
+        invalid_arg "Predictor.predict_joint: Oracle needs the 16 merged cycle counts";
+      Labeling.Joint.decode (Stats.min_index (Array.map float_of_int cs))
+    | None -> invalid_arg "Predictor.predict_joint: Oracle needs measured cycles"
+  end
+  | Nn _ | Svm _ | Tree _ | Mlp _ ->
+    Labeling.Joint.decode (classify_scaled t (featurize t config loop))

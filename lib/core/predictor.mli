@@ -12,6 +12,7 @@ type t =
   | Nn of learned_nn
   | Svm of learned_svm
   | Tree of learned_tree
+  | Mlp of learned_mlp
 
 and learned_nn = {
   nn_model : Knn.t;
@@ -31,6 +32,12 @@ and learned_tree = {
   tree_features : int array;
 }
 
+and learned_mlp = {
+  mlp_model : Mlp.t;
+  mlp_scaler : Scale.t;
+  mlp_features : int array;
+}
+
 val name : t -> string
 
 val train_nn : Config.t -> features:int array -> Dataset.t -> t
@@ -43,11 +50,21 @@ val train_svm : ?cap:int -> Config.t -> features:int array -> Dataset.t -> t
 
 val train_tree : Config.t -> features:int array -> Dataset.t -> t
 
-val to_artifact : Config.t -> dataset_digest:string -> t -> Model_artifact.t
-(** Package a learned NN/SVM predictor as a versioned, provenance-stamped
-    deployment artifact ({!Model_artifact}): model state, feature subset,
-    scale parameters, dataset/machine/code digests.  Raises
-    [Invalid_argument] for predictors with no learned state. *)
+val train_mlp :
+  ?jobs:int -> ?telemetry:Telemetry.t -> Config.t -> features:int array -> Dataset.t -> t
+(** Train the from-scratch MLP ({!Mlp}) on the restricted, normalised
+    dataset.  Deterministic from [config.mlp_seed] at every [jobs] value;
+    [telemetry] records the ["mlp"] training pass. *)
+
+val to_artifact :
+  ?label_space:Model_artifact.label_space ->
+  Config.t -> dataset_digest:string -> t -> Model_artifact.t
+(** Package a learned NN/SVM/MLP predictor as a versioned,
+    provenance-stamped deployment artifact ({!Model_artifact}): model
+    state, feature subset, scale parameters, dataset/machine/code digests.
+    [label_space] (default [Factor]) stamps which decision space the
+    model's classes index into.  Raises [Invalid_argument] for predictors
+    with no learned state. *)
 
 val of_artifact : Model_artifact.t -> (t, string) result
 (** Reconstruct the in-compiler predictor from an artifact — the single
@@ -73,3 +90,19 @@ val predict_scaled : t -> float array -> int
     unrollability check).  [predict t config ~swp loop] equals
     [predict_scaled t (featurize t config loop)] for every unrollable
     loop — the contract the batched {!Predict_service} relies on. *)
+
+val classify_scaled : t -> float array -> int
+(** Raw 0-based class of an already-{!featurize}d vector —
+    [predict_scaled] minus the factor offset.  For joint-space models the
+    class is a {!Labeling.Joint} index; decode with
+    {!Labeling.Joint.decode}. *)
+
+val predict_joint :
+  t -> Config.t -> ?cycles:int array -> Loop.t -> int * bool
+(** The joint (factor, SWP on/off) decision for a loop.  Non-unrollable
+    loops get [(1, false)]; [Orc] is the hand heuristic at SWP off (it
+    never enables pipelining by itself); [Oracle] needs the 16 merged
+    cycle counts ({!Labeling.merge_joint} order) and picks their argmin.
+    Learned predictors must have been trained on a 16-class joint
+    dataset — their class output is decoded with
+    {!Labeling.Joint.decode}. *)

@@ -1,4 +1,4 @@
-type model_choice = Nn | Svm | Best
+type model_choice = Nn | Svm | Mlp | Best
 
 type report = {
   measured : int;
@@ -6,6 +6,7 @@ type report = {
   features : int array;
   nn_loocv : float;
   svm_loocv : float;
+  mlp_loocv : float;
   chosen : string;
   dataset_digest : string;
 }
@@ -44,12 +45,35 @@ let loocv_scores ~jobs (config : Config.t) ds selected =
       (Dataset.points svm_ds)
   in
   let svm_loocv = Metrics.accuracy ~pred:svm_pred ~truth:(Dataset.labels svm_ds) in
-  (nn_loocv, svm_loocv)
+  (* No closed-form LOO shortcut exists for the MLP; per-example
+     retraining would be O(N × SGD).  Score it leave-one-benchmark-out —
+     one retraining per group, the §6.1 protocol. *)
+  let mlp_loocv =
+    let groups = Array.map (fun e -> e.Dataset.group) scaled.Dataset.examples in
+    Metrics.accuracy
+      ~pred:
+        (Loocv.grouped ~jobs ~groups
+           ~train:(fun p ->
+             (* A dataset with a single group leaves an empty training
+                fold: nothing to learn, fall back to the neutral class
+                (factor 1) so tiny online-training prefixes still score. *)
+             if Array.length p = 0 then None
+             else
+               Some
+                 (fst
+                    (Mlp.train ~seed:config.Config.mlp_seed ~hyper:config.Config.mlp_hyper
+                       ~n_classes:scaled.Dataset.n_classes p)))
+           ~predict:(fun m x -> match m with None -> 0 | Some m -> Mlp.predict m x)
+           (Dataset.points scaled))
+      ~truth
+  in
+  (nn_loocv, svm_loocv, mlp_loocv)
 
 (* Fit the chosen learner and stamp the artifact — the tail end of the
    pipeline, shared verbatim by the batch and online paths so a followed
    journal can never produce different bits than a batch retrain. *)
-let fit ?(progress = false) ?warm ~loocv (config : Config.t) ~model ~measured ds =
+let fit ?(progress = false) ?warm ?(label_space = Model_artifact.Factor) ~loocv
+    (config : Config.t) ~model ~measured ds =
   let jobs = config.Config.jobs in
   if Dataset.size ds = 0 then
     failwith "Train.run: no loops survive the labelling filters at this scale";
@@ -58,25 +82,36 @@ let fit ?(progress = false) ?warm ~loocv (config : Config.t) ~model ~measured ds
     measured dataset_digest;
   let selected = Experiments.select_feature_subset ~progress ?warm config ds in
   info progress "train: %d features committed" (Array.length selected);
-  let nn_loocv, svm_loocv =
+  let nn_loocv, svm_loocv, mlp_loocv =
     (* A forced model choice does not need the LOOCV comparison to pick a
        learner; the online path skips it (retraining runs on every batch
        of arriving labels, and the artifact is unaffected), while the
-       batch path always scores both — the report is its point. *)
+       batch path always scores all three — the report is its point. *)
     if loocv || model = Best then loocv_scores ~jobs config ds selected
-    else (Float.nan, Float.nan)
+    else (Float.nan, Float.nan, Float.nan)
   in
   if loocv || model = Best then
-    info progress "train: LOOCV nn %.3f, svm %.3f" nn_loocv svm_loocv;
+    info progress "train: LOOCV nn %.3f, svm %.3f, mlp %.3f" nn_loocv svm_loocv mlp_loocv;
   let choice =
-    match model with Nn -> `Nn | Svm -> `Svm | Best -> if nn_loocv > svm_loocv then `Nn else `Svm
+    (* Ties preserve the pre-MLP precedence: SVM beats NN on an exact tie
+       (the paper's overall winner), and the MLP must strictly beat both
+       to be chosen. *)
+    match model with
+    | Nn -> `Nn
+    | Svm -> `Svm
+    | Mlp -> `Mlp
+    | Best ->
+      if mlp_loocv > nn_loocv && mlp_loocv > svm_loocv then `Mlp
+      else if nn_loocv > svm_loocv then `Nn
+      else `Svm
   in
   let predictor =
     match choice with
     | `Nn -> Predictor.train_nn config ~features:selected ds
     | `Svm -> Predictor.train_svm ~cap:config.Config.fig4_svm_cap config ~features:selected ds
+    | `Mlp -> Predictor.train_mlp ~jobs ~telemetry:Telemetry.global config ~features:selected ds
   in
-  let artifact = Predictor.to_artifact config ~dataset_digest predictor in
+  let artifact = Predictor.to_artifact ~label_space config ~dataset_digest predictor in
   ( artifact,
     {
       measured;
@@ -84,6 +119,7 @@ let fit ?(progress = false) ?warm ~loocv (config : Config.t) ~model ~measured ds
       features = selected;
       nn_loocv;
       svm_loocv;
+      mlp_loocv;
       chosen = Predictor.name predictor;
       dataset_digest;
     } )
@@ -99,6 +135,26 @@ let run ?(progress = false) ?journal (config : Config.t) ~swp ~model =
   let labeled = Labeling.collect ~progress:tick ~jobs ?journal config ~swp benchmarks in
   let ds = Labeling.to_dataset config labeled in
   fit ~progress ~loocv:true config ~model ~measured:(Array.length labeled) ds
+
+let run_joint ?(progress = false) ?journal (config : Config.t) ~model =
+  (* Both SWP coordinates of every loop; one journal holds both sweeps
+     (their keys differ in the swp field). *)
+  let jobs = config.Config.jobs in
+  info progress "train: generating suite (scale %.2f)" config.Config.scale;
+  let benchmarks = Suite.full ~scale:config.Config.scale ~seed:config.Config.seed in
+  let tick label ~done_ ~total =
+    if progress && (done_ mod (max 1 (total / 10)) = 0 || done_ = total) then
+      Printf.eprintf "  sweep %s: %d/%d\n%!" label done_ total
+  in
+  let off =
+    Labeling.collect ~progress:(tick "swp-off") ~jobs ?journal config ~swp:false benchmarks
+  in
+  let on =
+    Labeling.collect ~progress:(tick "swp-on") ~jobs ?journal config ~swp:true benchmarks
+  in
+  let ds = Labeling.to_joint_dataset config ~off ~on in
+  fit ~progress ~label_space:Model_artifact.Joint ~loocv:true config ~model
+    ~measured:(Array.length off) ds
 
 (* --- online training ---------------------------------------------------- *)
 

@@ -11,7 +11,7 @@
     this one function, so a shipped artifact can never diverge from what
     an in-process experiment would have trained. *)
 
-type model_choice = Nn | Svm | Best
+type model_choice = Nn | Svm | Mlp | Best
 
 type report = {
   measured : int;          (** loops swept (before filters) *)
@@ -19,16 +19,28 @@ type report = {
   features : int array;    (** committed feature subset *)
   nn_loocv : float;        (** NN leave-one-out accuracy *)
   svm_loocv : float;       (** SVM leave-one-out accuracy (capped set) *)
-  chosen : string;         (** ["nn"] or ["svm"] *)
+  mlp_loocv : float;       (** MLP leave-one-benchmark-out accuracy (no
+                               closed-form LOO shortcut exists for SGD) *)
+  chosen : string;         (** ["nn"], ["svm"] or ["mlp"] *)
   dataset_digest : string;
 }
 
 val run :
   ?progress:bool -> ?journal:Label_store.t ->
   Config.t -> swp:bool -> model:model_choice -> Model_artifact.t * report
-(** [Best] picks the higher LOOCV accuracy; an exact tie goes to the SVM
-    (the paper's overall winner).  Raises [Failure] if the filtered
-    dataset is empty (scale too small to train anything). *)
+(** [Best] picks the highest cross-validation accuracy; an exact NN/SVM
+    tie goes to the SVM (the paper's overall winner), and the MLP must
+    strictly beat both.  Raises [Failure] if the filtered dataset is
+    empty (scale too small to train anything). *)
+
+val run_joint :
+  ?progress:bool -> ?journal:Label_store.t ->
+  Config.t -> model:model_choice -> Model_artifact.t * report
+(** {!run} over the joint (unroll factor × SWP) decision space: sweeps
+    the suite at both SWP settings (one journal serves both — sweep keys
+    differ in the swp coordinate), builds the 16-class
+    {!Labeling.to_joint_dataset}, and stamps the artifact
+    [label-space joint]. *)
 
 (** {1 Online training}
 

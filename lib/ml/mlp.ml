@@ -1,0 +1,365 @@
+(* Multi-layer perceptron with a softmax cross-entropy head.
+
+   Parameter layout: one flat [float array]; layer l (mapping dims.(l)
+   inputs to dims.(l+1) outputs) occupies the weight block
+   [dims.(l+1) * dims.(l)] row-major followed by [dims.(l+1)] biases.
+   Momentum buffers, early-stopping snapshots and the finite-difference
+   gradient checker all address parameters through this one indexing.
+
+   Determinism: weight init and the per-epoch shuffle derive from the
+   seed alone; per-example passes fan out over Parallel.tabulate (results
+   land at their input index) and every reduction — gradient sums, loss
+   means, the weight update — runs sequentially in index order.  Trained
+   weights are therefore bit-identical at every jobs value. *)
+
+type t = {
+  dims : int array;
+  params : float array;
+}
+
+type hyper = {
+  hidden : int array;
+  epochs : int;
+  batch : int;
+  lr : float;
+  momentum : float;
+  holdout : float;
+  patience : int;
+}
+
+let default_hyper =
+  {
+    hidden = [| 24 |];
+    epochs = 150;
+    batch = 32;
+    lr = 0.08;
+    momentum = 0.9;
+    holdout = 0.18;
+    patience = 18;
+  }
+
+type stats = {
+  epochs_run : int;
+  final_loss : float;
+  holdout_accuracy : float;
+  holdout_size : int;
+}
+
+let n_layers t = Array.length t.dims - 1
+let dims t = t.dims
+let n_classes t = t.dims.(Array.length t.dims - 1)
+
+(* Start of layer l's block in the flat parameter array. *)
+let layer_offset dims l =
+  let off = ref 0 in
+  for i = 0 to l - 1 do
+    off := !off + (dims.(i + 1) * (dims.(i) + 1))
+  done;
+  !off
+
+let param_count_of dims = layer_offset dims (Array.length dims - 1)
+let param_count t = param_count_of t.dims
+let get_param t i = t.params.(i)
+let set_param t i v = t.params.(i) <- v
+
+let check_dims dims =
+  if Array.length dims < 2 then invalid_arg "Mlp: need at least input and output layers";
+  Array.iter (fun d -> if d < 1 then invalid_arg "Mlp: layer width must be positive") dims
+
+let init ~seed ~dims =
+  check_dims dims;
+  let params = Array.make (param_count_of dims) 0.0 in
+  for l = 0 to Array.length dims - 2 do
+    let fan_in = dims.(l) and fan_out = dims.(l + 1) in
+    let rng = Rng.derive seed "mlp-init" l in
+    let limit = sqrt (6.0 /. float_of_int (fan_in + fan_out)) in
+    let off = layer_offset dims l in
+    for i = 0 to (fan_out * fan_in) - 1 do
+      params.(off + i) <- Rng.float rng (2.0 *. limit) -. limit
+    done
+    (* biases stay zero *)
+  done;
+  { dims; params }
+
+(* --- forward pass -------------------------------------------------------- *)
+
+(* Activations per layer: acts.(0) is the input, acts.(l+1) the layer-l
+   output (tanh for hidden layers, raw logits at the head). *)
+let forward t x =
+  let nl = n_layers t in
+  let acts = Array.make (nl + 1) x in
+  for l = 0 to nl - 1 do
+    let fan_in = t.dims.(l) and fan_out = t.dims.(l + 1) in
+    let off = layer_offset t.dims l in
+    let bias_off = off + (fan_out * fan_in) in
+    let inp = acts.(l) in
+    let out = Array.make fan_out 0.0 in
+    for i = 0 to fan_out - 1 do
+      let row = off + (i * fan_in) in
+      let s = ref t.params.(bias_off + i) in
+      for j = 0 to fan_in - 1 do
+        s := !s +. (t.params.(row + j) *. inp.(j))
+      done;
+      out.(i) <- (if l = nl - 1 then !s else tanh !s)
+    done;
+    acts.(l + 1) <- out
+  done;
+  acts
+
+let decision_values t x =
+  let acts = forward t x in
+  Array.copy acts.(n_layers t)
+
+let argmax a =
+  let best = ref 0 in
+  for i = 1 to Array.length a - 1 do
+    if a.(i) > a.(!best) then best := i
+  done;
+  !best
+
+let predict t x = argmax (forward t x).(n_layers t)
+
+(* Softmax probabilities from logits, max-shifted for stability. *)
+let softmax logits =
+  let m = Array.fold_left max neg_infinity logits in
+  let e = Array.map (fun z -> exp (z -. m)) logits in
+  let s = Array.fold_left ( +. ) 0.0 e in
+  Array.map (fun v -> v /. s) e
+
+let loss_of_logits logits y =
+  let p = softmax logits in
+  -.log (Float.max p.(y) 1e-300)
+
+(* --- backward pass ------------------------------------------------------- *)
+
+(* Cross-entropy loss of one example plus its analytic gradient, flat. *)
+let backward t x y =
+  let nl = n_layers t in
+  let acts = forward t x in
+  let logits = acts.(nl) in
+  let loss = loss_of_logits logits y in
+  let grad = Array.make (param_count t) 0.0 in
+  (* delta at the head: softmax − one-hot *)
+  let delta = ref (softmax logits) in
+  !delta.(y) <- !delta.(y) -. 1.0;
+  for l = nl - 1 downto 0 do
+    let fan_in = t.dims.(l) and fan_out = t.dims.(l + 1) in
+    let off = layer_offset t.dims l in
+    let bias_off = off + (fan_out * fan_in) in
+    let inp = acts.(l) and d = !delta in
+    for i = 0 to fan_out - 1 do
+      let row = off + (i * fan_in) in
+      let di = d.(i) in
+      grad.(bias_off + i) <- di;
+      for j = 0 to fan_in - 1 do
+        grad.(row + j) <- di *. inp.(j)
+      done
+    done;
+    if l > 0 then begin
+      (* back-propagate through the tanh: d_in.(j) = (1 − a²) Σᵢ dᵢ·Wᵢⱼ *)
+      let prev = Array.make fan_in 0.0 in
+      for j = 0 to fan_in - 1 do
+        let s = ref 0.0 in
+        for i = 0 to fan_out - 1 do
+          s := !s +. (d.(i) *. t.params.(off + (i * fan_in) + j))
+        done;
+        let a = inp.(j) in
+        prev.(j) <- !s *. (1.0 -. (a *. a))
+      done;
+      delta := prev
+    end
+  done;
+  (loss, grad)
+
+let example_loss t x y = loss_of_logits (forward t x).(n_layers t) y
+let example_gradient t x y = snd (backward t x y)
+
+(* --- content-keyed holdout split ----------------------------------------- *)
+
+(* An example's holdout membership is a pure function of (seed, features,
+   label): hash the content, map the first 48 bits to [0, 1) and compare
+   against the holdout fraction.  Appending examples to the dataset (or
+   permuting it) cannot move any existing example across the split. *)
+let holdout_member ~seed ~holdout features label =
+  if holdout <= 0.0 then false
+  else begin
+    let b = Buffer.create 64 in
+    Buffer.add_string b (string_of_int seed);
+    Buffer.add_char b '#';
+    Buffer.add_string b (string_of_int label);
+    Array.iter
+      (fun v ->
+        Buffer.add_char b '#';
+        Buffer.add_string b (Printf.sprintf "%h" v))
+      features;
+    let d = Digest.string (Buffer.contents b) in
+    let bits = ref 0 in
+    for i = 0 to 5 do
+      bits := (!bits lsl 8) lor Char.code d.[i]
+    done;
+    float_of_int !bits /. 281474976710656.0 < holdout
+  end
+
+(* --- serialisation ------------------------------------------------------- *)
+
+let export t =
+  let nl = n_layers t in
+  let weights = Array.make nl [||] and biases = Array.make nl [||] in
+  for l = 0 to nl - 1 do
+    let fan_in = t.dims.(l) and fan_out = t.dims.(l + 1) in
+    let off = layer_offset t.dims l in
+    weights.(l) <- Array.sub t.params off (fan_out * fan_in);
+    biases.(l) <- Array.sub t.params (off + (fan_out * fan_in)) fan_out
+  done;
+  (Array.copy t.dims, weights, biases)
+
+let import ~dims ~weights ~biases =
+  check_dims dims;
+  let nl = Array.length dims - 1 in
+  if Array.length weights <> nl || Array.length biases <> nl then
+    invalid_arg "Mlp.import: layer count mismatch";
+  let params = Array.make (param_count_of dims) 0.0 in
+  for l = 0 to nl - 1 do
+    let fan_in = dims.(l) and fan_out = dims.(l + 1) in
+    if Array.length weights.(l) <> fan_out * fan_in then
+      invalid_arg "Mlp.import: weight block size mismatch";
+    if Array.length biases.(l) <> fan_out then
+      invalid_arg "Mlp.import: bias size mismatch";
+    let off = layer_offset dims l in
+    Array.blit weights.(l) 0 params off (fan_out * fan_in);
+    Array.blit biases.(l) 0 params (off + (fan_out * fan_in)) fan_out
+  done;
+  { dims = Array.copy dims; params }
+
+(* --- training ------------------------------------------------------------ *)
+
+(* Mean loss and accuracy over a fixed index set.  Per-example passes fan
+   out; both sums read results back in index order. *)
+let evaluate ?(jobs = 1) t xs ys idx =
+  let n = Array.length idx in
+  if n = 0 then (nan, nan)
+  else begin
+    let per =
+      Parallel.tabulate ~jobs n (fun k ->
+          let i = idx.(k) in
+          let logits = (forward t xs.(i)).(n_layers t) in
+          (loss_of_logits logits ys.(i), if argmax logits = ys.(i) then 1 else 0))
+    in
+    let loss = ref 0.0 and correct = ref 0 in
+    Array.iter
+      (fun (l, c) ->
+        loss := !loss +. l;
+        correct := !correct + c)
+      per;
+    (!loss /. float_of_int n, float_of_int !correct /. float_of_int n)
+  end
+
+let train ?(jobs = 1) ?telemetry ~seed ~hyper ~n_classes pairs =
+  let t0 = Unix.gettimeofday () in
+  let n = Array.length pairs in
+  if n = 0 then invalid_arg "Mlp.train: empty training set";
+  if n_classes < 2 then invalid_arg "Mlp.train: need at least two classes";
+  let d = Array.length (fst pairs.(0)) in
+  Array.iter
+    (fun (x, y) ->
+      if Array.length x <> d then invalid_arg "Mlp.train: ragged feature vectors";
+      if y < 0 || y >= n_classes then invalid_arg "Mlp.train: label out of range")
+    pairs;
+  let xs = Array.map fst pairs and ys = Array.map snd pairs in
+  let dims = Array.concat [ [| d |]; hyper.hidden; [| n_classes |] ] in
+  let net = init ~seed ~dims in
+  (* Content-keyed split; if everything lands in the holdout (tiny sets),
+     train on all of it and skip early stopping. *)
+  let held = Array.init n (fun i -> holdout_member ~seed ~holdout:hyper.holdout xs.(i) ys.(i)) in
+  let train_idx = ref [] and hold_idx = ref [] in
+  for i = n - 1 downto 0 do
+    if held.(i) then hold_idx := i :: !hold_idx else train_idx := i :: !train_idx
+  done;
+  let train_idx, hold_idx =
+    match !train_idx with
+    | [] -> (Array.init n (fun i -> i), [||])
+    | l -> (Array.of_list l, Array.of_list !hold_idx)
+  in
+  let n_train = Array.length train_idx in
+  let n_hold = Array.length hold_idx in
+  let np = param_count net in
+  let velocity = Array.make np 0.0 in
+  let batch = max 1 hyper.batch in
+  let order = Array.copy train_idx in
+  let best_params = Array.copy net.params in
+  let best_loss = ref infinity in
+  let stale = ref 0 in
+  let last_train_loss = ref nan in
+  let epochs_run = ref 0 in
+  (try
+     for epoch = 0 to hyper.epochs - 1 do
+       incr epochs_run;
+       Rng.shuffle (Rng.derive seed "mlp-epoch" epoch) order;
+       let epoch_loss = ref 0.0 in
+       let pos = ref 0 in
+       while !pos < n_train do
+         let nb = min batch (n_train - !pos) in
+         let base = !pos in
+         (* per-example forward/backward fans out; the sum is sequential *)
+         let grads =
+           Parallel.tabulate ~jobs nb (fun k ->
+               let i = order.(base + k) in
+               backward net xs.(i) ys.(i))
+         in
+         let acc = Array.make np 0.0 in
+         Array.iter
+           (fun (l, g) ->
+             epoch_loss := !epoch_loss +. l;
+             Vec.axpy 1.0 g acc)
+           grads;
+         let inv = 1.0 /. float_of_int nb in
+         for i = 0 to np - 1 do
+           velocity.(i) <- (hyper.momentum *. velocity.(i)) -. (hyper.lr *. acc.(i) *. inv);
+           net.params.(i) <- net.params.(i) +. velocity.(i)
+         done;
+         pos := !pos + nb
+       done;
+       last_train_loss := !epoch_loss /. float_of_int n_train;
+       if n_hold > 0 then begin
+         let hloss, _ = evaluate ~jobs net xs ys hold_idx in
+         if hloss < !best_loss then begin
+           best_loss := hloss;
+           Array.blit net.params 0 best_params 0 np;
+           stale := 0
+         end
+         else begin
+           incr stale;
+           if !stale > hyper.patience then raise Exit
+         end
+       end
+     done
+   with Exit -> ());
+  if n_hold > 0 then Array.blit best_params 0 net.params 0 np;
+  let _, holdout_accuracy =
+    if n_hold > 0 then evaluate ~jobs net xs ys hold_idx else (nan, nan)
+  in
+  let stats =
+    {
+      epochs_run = !epochs_run;
+      final_loss = !last_train_loss;
+      holdout_accuracy;
+      holdout_size = n_hold;
+    }
+  in
+  (match telemetry with
+  | None -> ()
+  | Some tel ->
+    let scaled v mult = if Float.is_nan v then -1 else int_of_float (v *. mult) in
+    Telemetry.record tel ~pass:"mlp"
+      ~seconds:(Unix.gettimeofday () -. t0)
+      ~metrics:
+        [
+          ("epochs", stats.epochs_run);
+          ("params", np);
+          ("examples", n);
+          ("holdout", n_hold);
+          ("final-loss-milli", scaled stats.final_loss 1000.0);
+          ("holdout-acc-bp", scaled stats.holdout_accuracy 10000.0);
+        ]
+      ());
+  (net, stats)

@@ -250,6 +250,8 @@ let stats_text t =
     [
       ("model-kind", Predict_service.model_kind svc);
       ("model-digest", Predict_service.model_digest svc);
+      ( "model-label-space",
+        Model_artifact.label_space_name (Predict_service.label_space svc) );
     ]
     @ ints
         [

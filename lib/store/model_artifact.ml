@@ -13,9 +13,13 @@ type payload =
       alphas : float array array;
       points : float array array;
     }
+  | Mlp of { dims : int array; weights : float array array; biases : float array array }
+
+type label_space = Factor | Joint
 
 type t = {
   provenance : provenance;
+  label_space : label_space;
   features : int array;
   feature_names : string array;
   mean : float array;
@@ -23,12 +27,17 @@ type t = {
   payload : payload;
 }
 
-let version = 1
+(* v2 added the MLP payload and the label-space line.  This build writes
+   v2 and still reads v1 (which is v2 minus those — a v1 artifact is
+   always a factor-space NN or SVM). *)
+let version = 2
+let oldest_readable_version = 1
 let code_version = "unrollml-features38-v1"
 
 let machine_digest (m : Machine.t) = Digest.to_hex (Digest.string (Marshal.to_string m []))
 
-let kind t = match t.payload with Nn _ -> "nn" | Svm _ -> "svm"
+let kind t = match t.payload with Nn _ -> "nn" | Svm _ -> "svm" | Mlp _ -> "mlp"
+let label_space_name = function Factor -> "factor" | Joint -> "joint"
 
 (* Floats are written as C99 hexadecimal literals: every bit of the
    mantissa survives the round trip, so a loaded model predicts exactly
@@ -48,6 +57,7 @@ let to_string t =
   let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf s; Buffer.add_char buf '\n') fmt in
   line "unrollml-artifact v%d" version;
   line "kind %s" (kind t);
+  line "label-space %s" (label_space_name t.label_space);
   line "code-version %s" t.provenance.code_version;
   line "dataset-digest %s" t.provenance.dataset_digest;
   line "machine %s %s" t.provenance.machine_name t.provenance.machine_digest;
@@ -64,7 +74,11 @@ let to_string t =
     line "kernel %s" (String.concat " " (kernel_to_fields kernel));
     Array.iter (fun cw -> line "codeword %s" (ints cw)) codewords;
     Array.iter (fun a -> line "alphas %s" (floats a)) alphas;
-    Array.iter (fun x -> line "point %s" (floats x)) points);
+    Array.iter (fun x -> line "point %s" (floats x)) points
+  | Mlp { dims; weights; biases } ->
+    line "mlp-dims %s" (ints dims);
+    Array.iter (fun w -> line "mlp-weights %s" (floats w)) weights;
+    Array.iter (fun b -> line "mlp-bias %s" (floats b)) biases);
   let body = Buffer.contents buf in
   body ^ Printf.sprintf "checksum %s\n" (Digest.to_hex (Digest.string body))
 
@@ -131,8 +145,13 @@ let of_string text =
     in
     (match split_words header with
     | [ "unrollml-artifact"; v ] ->
-      if v <> Printf.sprintf "v%d" version then
-        failf "unsupported artifact version %s (this build reads v%d)" v version
+      let readable =
+        List.init (version - oldest_readable_version + 1) (fun i ->
+            Printf.sprintf "v%d" (oldest_readable_version + i))
+      in
+      if not (List.mem v readable) then
+        failf "unsupported artifact version %s (this build reads v%d..v%d)" v
+          oldest_readable_version version
     | _ -> failf "not a model artifact (bad header %S)" header);
     let kind = ref "" and code_version = ref "" and dataset_digest = ref "" in
     let machine_name = ref "" and machine_dig = ref "" in
@@ -140,10 +159,21 @@ let of_string text =
     let mean = ref [||] and std = ref [||] in
     let radius = ref nan and n_classes = ref 0 and kernel = ref None in
     let db = ref [] and codewords = ref [] and alphas = ref [] and points = ref [] in
+    (* v1 artifacts predate the label-space line; they are always factor. *)
+    let label_space = ref Factor in
+    let mlp_dims = ref [||] and mlp_weights = ref [] and mlp_biases = ref [] in
     List.iter
       (fun l ->
         match split_words l with
         | "kind" :: [ k ] -> kind := k
+        | "label-space" :: [ s ] -> (
+          match s with
+          | "factor" -> label_space := Factor
+          | "joint" -> label_space := Joint
+          | s -> failf "label-space: unknown space %S" s)
+        | "mlp-dims" :: rest -> mlp_dims := int_fields ~ctx:"mlp-dims" rest
+        | "mlp-weights" :: rest -> mlp_weights := float_fields ~ctx:"mlp-weights" rest :: !mlp_weights
+        | "mlp-bias" :: rest -> mlp_biases := float_fields ~ctx:"mlp-bias" rest :: !mlp_biases
         | "code-version" :: [ v ] -> code_version := v
         | "dataset-digest" :: [ d ] -> dataset_digest := d
         | "machine" :: [ name; d ] ->
@@ -187,6 +217,30 @@ let of_string text =
         if Array.length codewords = 0 then failf "svm artifact has no codewords";
         if Array.length alphas = 0 then failf "svm artifact has no machines";
         Svm { kernel; codewords; alphas; points = Array.of_list (List.rev !points) }
+      | "mlp" ->
+        let dims = !mlp_dims in
+        if Array.length dims < 2 then failf "mlp artifact missing mlp-dims";
+        if dims.(0) <> d then
+          failf "mlp input width %d does not match the %d-feature subset" dims.(0) d;
+        let n_layers = Array.length dims - 1 in
+        let weights = Array.of_list (List.rev !mlp_weights) in
+        let biases = Array.of_list (List.rev !mlp_biases) in
+        if Array.length weights <> n_layers then
+          failf "mlp artifact has %d weight blocks for %d layers" (Array.length weights)
+            n_layers;
+        if Array.length biases <> n_layers then
+          failf "mlp artifact has %d bias blocks for %d layers" (Array.length biases) n_layers;
+        for l = 0 to n_layers - 1 do
+          if Array.length weights.(l) <> dims.(l + 1) * dims.(l) then
+            failf "mlp layer %d weight block has %d floats, expected %d" l
+              (Array.length weights.(l))
+              (dims.(l + 1) * dims.(l));
+          if Array.length biases.(l) <> dims.(l + 1) then
+            failf "mlp layer %d bias block has %d floats, expected %d" l
+              (Array.length biases.(l))
+              dims.(l + 1)
+        done;
+        Mlp { dims; weights; biases }
       | k -> failf "unknown artifact kind %S" k
     in
     Ok
@@ -198,6 +252,7 @@ let of_string text =
             machine_digest = !machine_dig;
             code_version = !code_version;
           };
+        label_space = !label_space;
         features = !features;
         feature_names = !feature_names;
         mean = !mean;
@@ -211,7 +266,12 @@ let save t path =
   Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (to_string t))
 
 let payload_points t =
-  match t.payload with Nn { db; _ } -> Array.length db | Svm { points; _ } -> Array.length points
+  match t.payload with
+  | Nn { db; _ } -> Array.length db
+  | Svm { points; _ } -> Array.length points
+  | Mlp { weights; biases; _ } ->
+    Array.fold_left (fun n w -> n + Array.length w) 0 weights
+    + Array.fold_left (fun n b -> n + Array.length b) 0 biases
 
 let load ?(telemetry = Telemetry.global) path =
   let t0 = Unix.gettimeofday () in

@@ -38,9 +38,19 @@ type payload =
       alphas : float array array;      (** dual coefficients, one row per binary machine *)
       points : float array array;      (** scaled training points shared by the machines *)
     }
+  | Mlp of {
+      dims : int array;                (** layer widths [|d; hidden…; classes|] *)
+      weights : float array array;     (** per-layer weight blocks, row-major *)
+      biases : float array array;      (** per-layer bias vectors *)
+    }
+
+type label_space =
+  | Factor  (** 8-way: unroll factor alone (class = factor − 1) *)
+  | Joint   (** 16-way: (unroll factor × SWP on/off), {!Labeling.Joint} layout *)
 
 type t = {
   provenance : provenance;
+  label_space : label_space;     (** decision space the classes index into *)
   features : int array;          (** committed feature subset (indices into the full vector) *)
   feature_names : string array;  (** names of those features when the model was trained *)
   mean : float array;            (** {!Scale} parameters over the subset *)
@@ -49,7 +59,11 @@ type t = {
 }
 
 val version : int
-(** Format version this build writes and the only one it reads. *)
+(** Format version this build writes.  Older versions down to
+    {!oldest_readable_version} still load: v1 (pre-MLP, no [label-space]
+    line) parses as a factor-space NN or SVM artifact. *)
+
+val oldest_readable_version : int
 
 val code_version : string
 (** Identifies the training code; bumped when the feature definitions or
@@ -59,15 +73,18 @@ val machine_digest : Machine.t -> string
 (** Hex digest over every field of the machine description. *)
 
 val kind : t -> string
-(** ["nn"] or ["svm"]. *)
+(** ["nn"], ["svm"] or ["mlp"]. *)
+
+val label_space_name : label_space -> string
+(** ["factor"] or ["joint"]. *)
 
 val to_string : t -> string
 (** Serialise; deterministic (no timestamps), bit-exact floats. *)
 
 val of_string : string -> (t, string) result
-(** Parse and validate: the version line must match {!version} exactly and
-    the trailing checksum must match the content.  Errors name the
-    offending line. *)
+(** Parse and validate: the version line must name a version between
+    {!oldest_readable_version} and {!version}, and the trailing checksum
+    must match the content.  Errors name the offending line. *)
 
 val save : t -> string -> unit
 

@@ -326,6 +326,132 @@ let test_predictor_save_rejects_unlearned () =
        false
      with Invalid_argument _ -> true)
 
+(* --- Joint (factor x SWP) decision space --- *)
+
+let labeled_on_cache = lazy (
+  let benchmarks = Suite.full ~scale:config.Config.scale ~seed:config.Config.seed in
+  Labeling.collect config ~swp:true benchmarks)
+
+let test_joint_encode_decode_roundtrip () =
+  Alcotest.(check int) "16 classes" 16 Labeling.Joint.classes;
+  for c = 0 to Labeling.Joint.classes - 1 do
+    let factor, swp = Labeling.Joint.decode c in
+    Alcotest.(check int) (Printf.sprintf "class %d roundtrips" c) c
+      (Labeling.Joint.encode ~factor ~swp);
+    Alcotest.(check bool) "factor in range" true (factor >= 1 && factor <= 8)
+  done;
+  for factor = 1 to 8 do
+    List.iter
+      (fun swp ->
+        let c = Labeling.Joint.encode ~factor ~swp in
+        Alcotest.(check (pair int bool))
+          (Printf.sprintf "encode %d swp=%b roundtrips" factor swp)
+          (factor, swp) (Labeling.Joint.decode c))
+      [ false; true ]
+  done;
+  Alcotest.(check bool) "factor 0 rejected" true
+    (try ignore (Labeling.Joint.encode ~factor:0 ~swp:false); false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "class 16 rejected" true
+    (try ignore (Labeling.Joint.decode 16); false
+     with Invalid_argument _ -> true)
+
+let test_joint_merge_layout () =
+  let off = Lazy.force labeled_cache and on = Lazy.force labeled_on_cache in
+  let merged = Labeling.merge_joint ~off ~on in
+  Alcotest.(check int) "one merged row per loop" (Array.length off) (Array.length merged);
+  Array.iteri
+    (fun i (m : Labeling.labeled) ->
+      Alcotest.(check int) "16 costs" 16 (Array.length m.Labeling.cycles);
+      Alcotest.(check (array int)) "off half" off.(i).Labeling.cycles
+        (Array.sub m.Labeling.cycles 0 8);
+      Alcotest.(check (array int)) "on half" on.(i).Labeling.cycles
+        (Array.sub m.Labeling.cycles 8 8))
+    merged
+
+let test_joint_dataset_labels_are_argmin () =
+  let off = Lazy.force labeled_cache and on = Lazy.force labeled_on_cache in
+  let ds = Labeling.to_joint_dataset config ~off ~on in
+  Alcotest.(check int) "16-way" 16 ds.Dataset.n_classes;
+  Array.iter
+    (fun (e : Dataset.example) ->
+      Alcotest.(check int) "16 costs" 16 (Array.length e.Dataset.costs);
+      let best = ref 0 in
+      Array.iteri (fun i c -> if c < e.Dataset.costs.(!best) then best := i) e.Dataset.costs;
+      Alcotest.(check (float 0.0)) "label is the cheapest class"
+        e.Dataset.costs.(!best) e.Dataset.costs.(e.Dataset.label))
+    ds.Dataset.examples
+
+let test_joint_folds_match_factor_folds () =
+  (* The grouped-LOOCV fold structure — example order, tags, groups — must
+     be identical between the 8-way and 16-way heads, so head accuracies
+     are comparable example for example. *)
+  let off = Lazy.force labeled_cache and on = Lazy.force labeled_on_cache in
+  let single = Labeling.to_dataset ~filtered:false config off in
+  let joint = Labeling.to_joint_dataset ~filtered:false config ~off ~on in
+  Alcotest.(check int) "same size" (Dataset.size single) (Dataset.size joint);
+  Array.iteri
+    (fun i (e : Dataset.example) ->
+      let j = joint.Dataset.examples.(i) in
+      Alcotest.(check string) "same tag" e.Dataset.tag j.Dataset.tag;
+      Alcotest.(check string) "same group" e.Dataset.group j.Dataset.group;
+      Alcotest.(check (array (float 0.0))) "same features" e.Dataset.features
+        j.Dataset.features)
+    single.Dataset.examples
+
+let test_predict_joint_basics () =
+  let l = Kernels.daxpy ~name:"pj" ~trip:64 in
+  let cycles = Array.init 16 (fun i -> if i = 11 then 10 else 100 + i) in
+  Alcotest.(check (pair int bool)) "oracle decodes joint argmin" (4, true)
+    (Predictor.predict_joint Predictor.Oracle config ~cycles l);
+  Alcotest.(check (pair int bool)) "fixed pins swp off" (8, false)
+    (Predictor.predict_joint (Predictor.Fixed 12) config l);
+  let call = Kernels.call_in_loop ~name:"pj_call" ~trip:64 in
+  Alcotest.(check (pair int bool)) "non-unrollable forced" (1, false)
+    (Predictor.predict_joint Predictor.Oracle config ~cycles call);
+  let f, s = Predictor.predict_joint Predictor.Orc config l in
+  Alcotest.(check bool) "orc stays in factor space" true (f >= 1 && f <= 8 && not s)
+
+let test_joint_pinned_rows_match_single_space () =
+  (* [joint_speedup_rows ~space:(Pinned false)] is an independent
+     implementation of the single-space engine: over the same training
+     dataset and merged sweep it must reproduce [speedup_rows ~swp:false]
+     exactly, learner by learner. *)
+  let off = Lazy.force labeled_cache and on = Lazy.force labeled_on_cache in
+  let merged = Labeling.merge_joint ~off ~on in
+  let dataset = Labeling.to_dataset config off in
+  let benchmarks =
+    List.filteri (fun i _ -> i < 3)
+      (Suite.full ~scale:config.Config.scale ~seed:config.Config.seed)
+  in
+  let features = Array.init Features.count (fun i -> i) in
+  let single =
+    Compiler.speedup_rows config ~swp:false ~features ~benchmarks ~dataset off
+  in
+  let pinned =
+    Compiler.joint_speedup_rows config ~space:(Compiler.Pinned false) ~features
+      ~benchmarks ~dataset merged
+  in
+  Alcotest.(check int) "same row count" (Array.length single) (Array.length pinned);
+  Array.iteri
+    (fun i (name, fp, nn, svm, mlp, oracle) ->
+      let name', fp', nn', svm', mlp', oracle' = pinned.(i) in
+      Alcotest.(check string) "benchmark" name name';
+      Alcotest.(check bool) "fp flag" fp fp';
+      Alcotest.(check (float 0.0)) "nn speedup" nn nn';
+      Alcotest.(check (float 0.0)) "svm speedup" svm svm';
+      Alcotest.(check (float 0.0)) "mlp speedup" mlp mlp';
+      Alcotest.(check (float 0.0)) "oracle speedup" oracle oracle')
+    single
+
+let test_joint_merge_rejects_misaligned () =
+  let off = Lazy.force labeled_cache in
+  Alcotest.(check bool) "length mismatch rejected" true
+    (try
+       ignore (Labeling.merge_joint ~off ~on:(Array.sub off 0 (Array.length off - 1)));
+       false
+     with Invalid_argument _ -> true)
+
 (* --- Online training = batch training --- *)
 
 let test_online_matches_batch () =
@@ -408,4 +534,11 @@ let suite =
     ("compiler compile runs", `Quick, test_compiler_compile_runs);
     ("experiments end to end", `Slow, test_experiments_end_to_end);
     ("config of_env", `Quick, test_config_of_env);
+    ("joint encode/decode", `Quick, test_joint_encode_decode_roundtrip);
+    ("joint merge layout", `Slow, test_joint_merge_layout);
+    ("joint dataset argmin labels", `Slow, test_joint_dataset_labels_are_argmin);
+    ("joint folds = factor folds", `Slow, test_joint_folds_match_factor_folds);
+    ("predict_joint basics", `Quick, test_predict_joint_basics);
+    ("joint pinned rows = single space", `Slow, test_joint_pinned_rows_match_single_space);
+    ("joint merge rejects misaligned", `Slow, test_joint_merge_rejects_misaligned);
   ]

@@ -859,5 +859,176 @@ let pairwise_tests =
     QCheck_alcotest.to_alcotest prop_pairwise_incremental_exact;
   ]
 
+(* --- Mlp --- *)
+
+let mlp_flat m =
+  let _, ws, bs = Mlp.export m in
+  Array.concat (Array.to_list ws @ Array.to_list bs)
+
+(* Blob inputs are unscaled (the training pipeline z-scores first), so a
+   gentler learning rate than the production default keeps tanh units out
+   of saturation. *)
+let small_hyper =
+  {
+    Mlp.default_hyper with
+    Mlp.hidden = [| 8 |];
+    epochs = 60;
+    batch = 16;
+    patience = 60;
+    lr = 0.02;
+  }
+
+(* Central finite differences vs the analytic gradient, on random small
+   nets with random parameters and inputs.  The tolerance is relative:
+   second-order truncation error scales with the magnitudes involved. *)
+let prop_mlp_gradient_check =
+  QCheck.Test.make ~count:40 ~name:"mlp analytic gradient = finite differences"
+    QCheck.(
+      make
+        Gen.(
+          let* seed = 0 -- 10_000 in
+          let* d = 2 -- 5 in
+          let* layers = 1 -- 2 in
+          let* widths = list_size (return layers) (2 -- 6) in
+          let* k = 2 -- 5 in
+          let* y = 0 -- (k - 1) in
+          let* x = list_size (return d) (float_bound_exclusive 2.0) in
+          return (seed, d, widths, k, y, x)))
+    (fun (seed, d, widths, k, y, x) ->
+      let dims = Array.concat [ [| d |]; Array.of_list widths; [| k |] ] in
+      let net = Mlp.init ~seed ~dims in
+      (* Perturb away from the symmetric zero-bias start so the check also
+         covers non-trivial bias gradients. *)
+      let r = Rng.derive seed "grad-check" 0 in
+      for p = 0 to Mlp.param_count net - 1 do
+        Mlp.set_param net p (Mlp.get_param net p +. (0.2 *. Rng.gaussian r))
+      done;
+      let x = Array.of_list (List.map (fun v -> v -. 1.0) x) in
+      let analytic = Mlp.example_gradient net x y in
+      let eps = 1e-3 in
+      let ok = ref true in
+      for p = 0 to Mlp.param_count net - 1 do
+        let saved = Mlp.get_param net p in
+        Mlp.set_param net p (saved +. eps);
+        let up = Mlp.example_loss net x y in
+        Mlp.set_param net p (saved -. eps);
+        let down = Mlp.example_loss net x y in
+        Mlp.set_param net p saved;
+        let fd = (up -. down) /. (2.0 *. eps) in
+        let a = analytic.(p) in
+        if Float.abs (a -. fd) > 1e-5 +. (1e-3 *. Float.max (Float.abs a) (Float.abs fd))
+        then ok := false
+      done;
+      !ok)
+
+let test_mlp_loss_decreases_on_separable () =
+  (* Separable blobs: training must reduce the loss well below the fresh
+     net's, and the trained net must classify its own training set. *)
+  let pairs = blobs ~classes:3 ~per_class:20 in
+  let d = Array.length (fst pairs.(0)) in
+  let hyper = { small_hyper with Mlp.holdout = 0.0 } in
+  let fresh = Mlp.init ~seed:11 ~dims:[| d; 8; 3 |] in
+  let fresh_loss =
+    Array.fold_left (fun acc (x, y) -> acc +. Mlp.example_loss fresh x y) 0.0 pairs
+    /. float_of_int (Array.length pairs)
+  in
+  let m, stats = Mlp.train ~seed:11 ~hyper ~n_classes:3 pairs in
+  Alcotest.(check bool) "loss drops" true (stats.Mlp.final_loss < 0.5 *. fresh_loss);
+  let errors = ref 0 in
+  Array.iter (fun (x, y) -> if Mlp.predict m x <> y then incr errors) pairs;
+  Alcotest.(check bool) "separable blobs learned" true
+    (float_of_int !errors /. float_of_int (Array.length pairs) < 0.1)
+
+let test_mlp_same_seed_bit_identical () =
+  let pairs = blobs ~classes:3 ~per_class:15 in
+  let train () = fst (Mlp.train ~seed:5 ~hyper:small_hyper ~n_classes:3 pairs) in
+  Alcotest.(check bool) "same seed, same bits" true
+    (bits_equal (mlp_flat (train ())) (mlp_flat (train ())));
+  let other = fst (Mlp.train ~seed:6 ~hyper:small_hyper ~n_classes:3 pairs) in
+  Alcotest.(check bool) "different seed differs" false
+    (bits_equal (mlp_flat (train ())) (mlp_flat other))
+
+let test_mlp_jobs_bit_identical () =
+  let pairs = blobs ~classes:4 ~per_class:12 in
+  let train jobs = fst (Mlp.train ~jobs ~seed:9 ~hyper:small_hyper ~n_classes:4 pairs) in
+  let m1 = train 1 and m4 = train 4 in
+  Alcotest.(check bool) "j1 = j4 weights" true (bits_equal (mlp_flat m1) (mlp_flat m4));
+  Array.iter
+    (fun (x, _) ->
+      Alcotest.(check int) "j1 = j4 prediction" (Mlp.predict m1 x) (Mlp.predict m4 x);
+      Alcotest.(check bool) "j1 = j4 logits" true
+        (bits_equal (Mlp.decision_values m1 x) (Mlp.decision_values m4 x)))
+    pairs
+
+let test_mlp_holdout_append_order_stable () =
+  (* Holdout membership is content-keyed: permuting the dataset must not
+     move any example across the split. *)
+  let pairs = blobs ~classes:3 ~per_class:20 in
+  let member (x, y) = Mlp.holdout_member ~seed:7 ~holdout:0.25 x y in
+  let forward = Array.map member pairs in
+  let reversed = Array.map member (Array.of_list (List.rev (Array.to_list pairs))) in
+  Alcotest.(check (array bool)) "membership survives reversal" forward
+    (Array.of_list (List.rev (Array.to_list reversed)));
+  let frac =
+    let m = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 forward in
+    float_of_int m /. float_of_int (Array.length forward)
+  in
+  Alcotest.(check bool) "roughly the requested fraction" true (frac > 0.05 && frac < 0.5)
+
+let test_mlp_export_import_roundtrip () =
+  let pairs = blobs ~classes:3 ~per_class:10 in
+  let m = fst (Mlp.train ~seed:3 ~hyper:small_hyper ~n_classes:3 pairs) in
+  let dims, weights, biases = Mlp.export m in
+  let m' = Mlp.import ~dims ~weights ~biases in
+  Alcotest.(check bool) "round-trip bits" true (bits_equal (mlp_flat m) (mlp_flat m'));
+  Array.iter
+    (fun (x, _) ->
+      Alcotest.(check bool) "round-trip logits" true
+        (bits_equal (Mlp.decision_values m x) (Mlp.decision_values m' x)))
+    pairs;
+  Alcotest.(check bool) "bad shape rejected" true
+    (try
+       ignore (Mlp.import ~dims:[| 2; 3 |] ~weights:[| [| 1.0 |] |] ~biases:[| [| 0.0 |] |]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_mlp_input_validation () =
+  Alcotest.(check bool) "empty training set rejected" true
+    (try
+       ignore (Mlp.train ~seed:1 ~hyper:small_hyper ~n_classes:2 [||]);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "out-of-range label rejected" true
+    (try
+       ignore (Mlp.train ~seed:1 ~hyper:small_hyper ~n_classes:2 [| ([| 0.0 |], 5) |]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_mlp_predict_is_argmax () =
+  let pairs = blobs ~classes:4 ~per_class:8 in
+  let m = fst (Mlp.train ~seed:2 ~hyper:small_hyper ~n_classes:4 pairs) in
+  Alcotest.(check int) "n_classes" 4 (Mlp.n_classes m);
+  Array.iter
+    (fun (x, _) ->
+      let logits = Mlp.decision_values m x in
+      Alcotest.(check int) "logit count" 4 (Array.length logits);
+      let best = ref 0 in
+      Array.iteri (fun i v -> if v > logits.(!best) then best := i) logits;
+      Alcotest.(check int) "predict = argmax" !best (Mlp.predict m x))
+    pairs
+
+let mlp_tests =
+  [
+    ("mlp loss decreases on separable data", `Quick, test_mlp_loss_decreases_on_separable);
+    ("mlp same seed bit-identical", `Quick, test_mlp_same_seed_bit_identical);
+    ("mlp j1 = j4 bit-identical", `Quick, test_mlp_jobs_bit_identical);
+    ("mlp holdout append-order stable", `Quick, test_mlp_holdout_append_order_stable);
+    ("mlp export/import roundtrip", `Quick, test_mlp_export_import_roundtrip);
+    ("mlp input validation", `Quick, test_mlp_input_validation);
+    ("mlp predict = argmax", `Quick, test_mlp_predict_is_argmax);
+    QCheck_alcotest.to_alcotest prop_mlp_gradient_check;
+  ]
+
 let suite =
   base_tests @ loocv_tests @ kernel_string_tests @ pairwise_tests @ incremental_tests
+  @ mlp_tests
